@@ -1,0 +1,222 @@
+(* xqc — command-line XQuery runner.
+
+     xqc run 'count(doc("f.xml")//item)' --doc f.xml
+     xqc run -q query.xq --doc auction.xml --var auction=auction.xml
+     xqc explain 'for $x in (1,2) return $x + 1' --strategy optim
+     xqc gen xmark --bytes 1000000 -o auction.xml
+     xqc gen dblp --bytes 250000 -o dblp.xml
+
+   Documents named with --doc are available to fn:doc under both their
+   path and basename; --var NAME=FILE binds $NAME to the document node. *)
+
+open Cmdliner
+
+let strategy_conv =
+  let parse = function
+    | "no-algebra" -> Ok Xqc.No_algebra
+    | "saxon-like" | "indexed" -> Ok Xqc.Saxon_like
+    | "no-optim" -> Ok Xqc.Algebra_unoptimized
+    | "nl" | "optim-nl" -> Ok Xqc.Optimized_nl
+    | "optim" | "full" -> Ok Xqc.Optimized
+    | other -> Error (`Msg (Printf.sprintf "unknown strategy %S" other))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Xqc.strategy_name s))
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Xqc.Optimized
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Engine configuration: no-algebra, saxon-like, no-optim, nl, or \
+           optim (default).")
+
+let project_arg =
+  Arg.(
+    value & flag
+    & info [ "project" ]
+        ~doc:"Prune document variables to statically inferred projection paths before evaluation.")
+
+let indent_arg =
+  Arg.(value & flag & info [ "indent" ] ~doc:"Indent the serialized output.")
+
+let query_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Query text.")
+
+let query_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "q"; "query-file" ] ~docv:"FILE" ~doc:"Read the query from a file.")
+
+let docs_arg =
+  Arg.(
+    value & opt_all file []
+    & info [ "doc" ] ~docv:"FILE" ~doc:"Pre-load an XML document for fn:doc.")
+
+let vars_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "var" ] ~docv:"NAME=FILE"
+        ~doc:"Bind variable \\$NAME to the document node of FILE.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_query query query_file =
+  match (query, query_file) with
+  | Some q, None -> Ok q
+  | None, Some f -> Ok (read_file f)
+  | Some _, Some _ -> Error "give either a query argument or --query-file, not both"
+  | None, None -> Error "no query given (positional argument or --query-file)"
+
+let make_context docs vars =
+  let ctx = Xqc.context ~resolver:(fun uri -> Xqc.parse_document ~uri (read_file uri)) () in
+  List.iter
+    (fun path ->
+      let doc = Xqc.parse_document ~uri:path (read_file path) in
+      Xqc.bind_document ctx path doc;
+      Xqc.bind_document ctx (Filename.basename path) doc)
+    docs;
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | Some i ->
+          let name = String.sub spec 0 i in
+          let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+          let doc = Xqc.parse_document ~uri:path (read_file path) in
+          Xqc.bind_variable ctx name [ Xqc.Item.Node doc ]
+      | None -> failwith (Printf.sprintf "--var expects NAME=FILE, got %S" spec))
+    vars;
+  ctx
+
+let run_cmd =
+  let action strategy project indent query query_file docs vars =
+    match load_query query query_file with
+    | Error m ->
+        prerr_endline m;
+        1
+    | Ok q -> (
+        try
+          let ctx = make_context docs vars in
+          let result = Xqc.run (Xqc.prepare ~strategy ~project q) ctx in
+          print_endline
+            (if indent then Xqc.Serializer.sequence_to_string_indented result
+             else Xqc.serialize result);
+          0
+        with
+        | Xqc.Error m ->
+            prerr_endline ("error: " ^ m);
+            1
+        | Failure m ->
+            prerr_endline ("error: " ^ m);
+            1)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Evaluate a query and print the serialized result.")
+    Term.(
+      const action $ strategy_arg $ project_arg $ indent_arg $ query_arg
+      $ query_file_arg $ docs_arg $ vars_arg)
+
+let explain_cmd =
+  let action strategy query query_file =
+    match load_query query query_file with
+    | Error m ->
+        prerr_endline m;
+        1
+    | Ok q -> (
+        try
+          print_string (Xqc.explain ~strategy q);
+          0
+        with Xqc.Error m ->
+          prerr_endline ("error: " ^ m);
+          1)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Print the XQuery Core form and the logical plan before and after \
+          optimization, in the paper's notation.")
+    Term.(const action $ strategy_arg $ query_arg $ query_file_arg)
+
+let gen_cmd =
+  let kind_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("xmark", `Xmark); ("dblp", `Dblp) ])) None
+      & info [] ~docv:"KIND" ~doc:"Document kind: xmark or dblp.")
+  in
+  let bytes_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "bytes" ] ~docv:"N" ~doc:"Approximate document size in bytes.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let action kind bytes seed out =
+    let s =
+      match kind with
+      | `Xmark -> Xqc_workload.Xmark.generate_string ~seed ~target_bytes:bytes ()
+      | `Dblp -> Xqc_workload.Clio.generate_string ~seed ~target_bytes:bytes ()
+    in
+    (match out with
+    | None -> print_string s
+    | Some path ->
+        let oc = open_out_bin path in
+        output_string oc s;
+        close_out oc;
+        Printf.eprintf "wrote %d bytes to %s\n" (String.length s) path);
+    0
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a benchmark document (XMark or DBLP-style).")
+    Term.(const action $ kind_arg $ bytes_arg $ seed_arg $ out_arg)
+
+let queries_cmd =
+  let action () =
+    print_endline "XMark queries:";
+    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) Xqc_workload.Xmark_queries.all;
+    print_endline "Clio queries:";
+    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) Xqc_workload.Clio.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "queries" ~doc:"List the built-in benchmark queries.")
+    Term.(const action $ const ())
+
+let show_query_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Query name (Q1..Q20, N2..N4).")
+  in
+  let action name =
+    match
+      List.assoc_opt name (Xqc_workload.Xmark_queries.all @ Xqc_workload.Clio.all)
+    with
+    | Some q ->
+        print_endline q;
+        0
+    | None ->
+        Printf.eprintf "unknown query %s\n" name;
+        1
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Print the text of a built-in benchmark query.")
+    Term.(const action $ name_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "xqc" ~version:"0.1.0"
+       ~doc:"An algebraic XQuery compiler (ICDE 2006 reproduction).")
+    [ run_cmd; explain_cmd; gen_cmd; queries_cmd; show_query_cmd ]
+
+let () = Stdlib.exit (Cmd.eval' main_cmd)

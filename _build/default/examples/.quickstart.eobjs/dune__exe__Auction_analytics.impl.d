@@ -1,0 +1,1 @@
+examples/auction_analytics.ml: List Printf String Unix Xqc Xqc_workload

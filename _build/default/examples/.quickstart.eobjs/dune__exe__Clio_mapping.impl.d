@@ -1,0 +1,1 @@
+examples/clio_mapping.ml: List Printf String Unix Xqc Xqc_workload

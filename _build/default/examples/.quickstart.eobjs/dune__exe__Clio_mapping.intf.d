@@ -1,0 +1,1 @@
+examples/clio_mapping.mli:

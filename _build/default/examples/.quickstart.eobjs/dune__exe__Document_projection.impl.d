@@ -1,0 +1,1 @@
+examples/document_projection.ml: List Printf String Xqc Xqc_workload

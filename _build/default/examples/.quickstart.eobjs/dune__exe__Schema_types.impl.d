@@ -1,0 +1,1 @@
+examples/schema_types.ml: List Printf String Xqc

@@ -1,0 +1,1 @@
+examples/schema_types.mli:

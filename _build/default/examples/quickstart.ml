@@ -1,0 +1,41 @@
+(* Quickstart: parse a document, run queries, inspect the compiled plan.
+
+     dune exec examples/quickstart.exe
+*)
+
+let catalog =
+  {|<catalog>
+      <book year="2001"><title>Data on the Web</title><price>39.95</price></book>
+      <book year="2006"><title>XQuery from the Experts</title><price>55.00</price></book>
+      <book year="1994"><title>TCP/IP Illustrated</title><price>65.95</price></book>
+    </catalog>|}
+
+let () =
+  (* 1. Parse the document and bind it to a variable. *)
+  let doc = Xqc.parse_document ~uri:"catalog.xml" catalog in
+  let ctx = Xqc.context () in
+  Xqc.bind_variable ctx "cat" [ Xqc.Item.Node doc ];
+
+  (* 2. One-shot evaluation. *)
+  let run q =
+    Printf.printf "query:  %s\nresult: %s\n\n" q
+      (Xqc.serialize (Xqc.run (Xqc.prepare q) ctx))
+  in
+  run "count($cat//book)";
+  run "for $b in $cat//book where $b/price < 60 order by $b/price return $b/title/text()";
+  run "<cheap>{for $b in $cat//book[price < 40] return $b/title}</cheap>";
+  run "avg($cat//price)";
+
+  (* 3. Every engine configuration gives the same answer. *)
+  let q = "for $b in $cat//book where $b/@year >= 2000 return $b/title/text()" in
+  Printf.printf "strategy comparison for: %s\n" q;
+  List.iter
+    (fun s ->
+      Printf.printf "  %-18s %s\n" (Xqc.strategy_name s)
+        (Xqc.serialize (Xqc.run (Xqc.prepare ~strategy:s q) ctx)))
+    Xqc.all_strategies;
+
+  (* 4. Look at the compiled plan in the paper's notation. *)
+  print_newline ();
+  print_string
+    (Xqc.explain "for $b in $cat//book where $b/price < 60 return $b/title")

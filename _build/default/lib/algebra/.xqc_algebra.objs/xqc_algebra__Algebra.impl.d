@@ -1,0 +1,1 @@
+lib/algebra/algebra.ml: Ast Atomic List Promotion Seqtype Xqc_frontend Xqc_types Xqc_xml

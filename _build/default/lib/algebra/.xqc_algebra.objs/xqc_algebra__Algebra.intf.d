@@ -1,0 +1,1 @@
+lib/algebra/algebra.mli: Ast Atomic Promotion Seqtype Xqc_frontend Xqc_types Xqc_xml

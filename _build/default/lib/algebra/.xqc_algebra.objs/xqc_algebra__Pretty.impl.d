@@ -1,0 +1,1 @@
+lib/algebra/pretty.ml: Algebra Ast Atomic Format List Printf Promotion Seqtype String Xqc_frontend Xqc_types Xqc_xml

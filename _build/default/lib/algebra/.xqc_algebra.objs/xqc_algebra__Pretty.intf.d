@@ -1,0 +1,1 @@
+lib/algebra/pretty.mli: Algebra Format

@@ -1,0 +1,169 @@
+(* Plan printer in the paper's notation: Op[params]{dependents}(inputs),
+   indented one operator per line as in the paper's plan listings. *)
+
+open Xqc_xml
+open Xqc_types
+open Xqc_frontend
+open Algebra
+
+let join_alg_to_string = function
+  | Nested_loop -> "nl"
+  | Hash -> "hash"
+  | Sort -> "sort"
+
+let pred_params = function
+  | Pred _ -> ""
+  | Split_pred { op; _ } -> Printf.sprintf "<%s>" (Promotion.cmp_op_name op)
+
+let rec pp ?(indent = 0) ppf (p : plan) =
+  let open Format in
+  let pad = String.make indent ' ' in
+  let line fmt = fprintf ppf ("%s" ^^ fmt) pad in
+  let sub ppf p = pp ~indent:(indent + 2) ppf p in
+  let subs ppf ps =
+    List.iteri
+      (fun i p ->
+        if i > 0 then fprintf ppf ",@,";
+        sub ppf p)
+      ps
+  in
+  let op name params deps inputs =
+    line "%s" name;
+    if params <> "" then fprintf ppf "[%s]" params;
+    (match deps with
+    | [] -> ()
+    | _ ->
+        fprintf ppf "@,%s{@,%a@,%s}" pad subs deps pad);
+    match inputs with
+    | [] -> if deps = [] then fprintf ppf "()"
+    | _ -> fprintf ppf "@,%s(@,%a@,%s)" pad subs inputs pad
+  in
+  match p with
+  | Input -> line "IN"
+  | Empty -> line "Empty()"
+  | Scalar a -> line "Scalar[%s]()" (Atomic.to_string a)
+  | Seq (a, b) -> op "Sequence" "" [] [ a; b ]
+  | Element (n, c) -> op "Element" n [] [ c ]
+  | Attribute (n, c) -> op "Attribute" n [] [ c ]
+  | Text c -> op "Text" "" [] [ c ]
+  | Comment c -> op "Comment" "" [] [ c ]
+  | Pi (n, c) -> op "PI" n [] [ c ]
+  | TreeJoin (axis, test, i) ->
+      op "TreeJoin"
+        (Printf.sprintf "%s::%s" (Ast.axis_to_string axis) (Ast.node_test_to_string test))
+        [] [ i ]
+  | TreeProject (_, i) -> op "TreeProject" "paths" [] [ i ]
+  | Castable (tn, _, i) -> op "Castable" (Atomic.type_name_to_string tn) [] [ i ]
+  | Cast (tn, _, i) -> op "Cast" (Atomic.type_name_to_string tn) [] [ i ]
+  | Validate i -> op "Validate" "" [] [ i ]
+  | TypeMatches (ty, i) -> op "TypeMatches" (Seqtype.to_string ty) [] [ i ]
+  | TypeAssert (ty, i) -> op "TypeAssert" (Seqtype.to_string ty) [] [ i ]
+  | Var q -> line "Var[%s]()" q
+  | Call (f, args) -> op "Call" f [] args
+  | Cond (c, t, e) -> op "Cond" "" [ t; e ] [ c ]
+  | Quantified (q, v, s, b) ->
+      op
+        (match q with Ast.Some_quant -> "Some" | Ast.Every_quant -> "Every")
+        v [ b ] [ s ]
+  | Parse i -> op "Parse" "" [] [ i ]
+  | Serialize (uri, i) -> op "Serialize" uri [] [ i ]
+  | TupleConstruct [] -> line "[]"
+  | TupleConstruct fields ->
+      line "[%s]" (String.concat ";" (List.map fst fields));
+      fprintf ppf "@,%s(@,%a@,%s)" pad subs (List.map snd fields) pad
+  | FieldAccess q -> line "IN#%s" q
+  | Select (d, i) -> op "Select" "" [ d ] [ i ]
+  | Product (a, b) -> op "Product" "" [] [ a; b ]
+  | Join (alg, pred, a, b) ->
+      op
+        (Printf.sprintf "Join<%s>%s" (join_alg_to_string alg) (pred_params pred))
+        "" (pred_plans pred) [ a; b ]
+  | LOuterJoin (alg, q, pred, a, b) ->
+      op
+        (Printf.sprintf "LOuterJoin<%s>%s" (join_alg_to_string alg) (pred_params pred))
+        q (pred_plans pred) [ a; b ]
+  | Map (d, i) -> op "Map" "" [ d ] [ i ]
+  | OMap (q, i) -> op "OMap" q [] [ i ]
+  | MapConcat (d, i) -> op "MapConcat" "" [ d ] [ i ]
+  | OMapConcat (q, d, i) -> op "OMapConcat" q [ d ] [ i ]
+  | MapIndex (q, i) -> op "MapIndex" q [] [ i ]
+  | MapIndexStep (q, i) -> op "MapIndexStep" q [] [ i ]
+  | OrderBy (specs, i) ->
+      op "OrderBy"
+        (String.concat ","
+           (List.map
+              (fun s ->
+                match s.sdir with Ast.Ascending -> "asc" | Ast.Descending -> "desc")
+              specs))
+        (List.map (fun s -> s.skey) specs)
+        [ i ]
+  | GroupBy (g, i) ->
+      op "GroupBy"
+        (Printf.sprintf "%s,[%s],[%s]" g.g_agg
+           (String.concat ";" g.g_indices)
+           (String.concat ";" g.g_nulls))
+        [ g.g_post; g.g_pre ] [ i ]
+  | MapFromItem (d, i) -> op "MapFromItem" "" [ d ] [ i ]
+  | MapToItem (d, i) -> op "MapToItem" "" [ d ] [ i ]
+  | MapSome (d, i) -> op "MapSome" "" [ d ] [ i ]
+  | MapEvery (d, i) -> op "MapEvery" "" [ d ] [ i ]
+
+and pred_plans = function
+  | Pred p -> [ p ]
+  | Split_pred { left_key; right_key; _ } -> [ left_key; right_key ]
+
+let to_string (p : plan) : string =
+  Format.asprintf "@[<v>%a@]" (pp ~indent:0) p
+
+(* Count of operators in a plan, used in tests and explain output. *)
+let rec size (p : plan) : int =
+  1 + List.fold_left (fun acc c -> acc + size c) 0 (children_of p)
+
+(* Collect the multiset of operator names, used by rewriting tests to
+   assert e.g. that the optimized plan contains a GroupBy and an
+   LOuterJoin and no MapConcat. *)
+let rec operator_names (p : plan) : string list =
+  let name =
+    match p with
+    | Input -> "IN"
+    | Empty -> "Empty"
+    | Scalar _ -> "Scalar"
+    | Seq _ -> "Sequence"
+    | Element _ -> "Element"
+    | Attribute _ -> "Attribute"
+    | Text _ -> "Text"
+    | Comment _ -> "Comment"
+    | Pi _ -> "PI"
+    | TreeJoin _ -> "TreeJoin"
+    | TreeProject _ -> "TreeProject"
+    | Castable _ -> "Castable"
+    | Cast _ -> "Cast"
+    | Validate _ -> "Validate"
+    | TypeMatches _ -> "TypeMatches"
+    | TypeAssert _ -> "TypeAssert"
+    | Var _ -> "Var"
+    | Call _ -> "Call"
+    | Cond _ -> "Cond"
+    | Quantified _ -> "Quantified"
+    | Parse _ -> "Parse"
+    | Serialize _ -> "Serialize"
+    | TupleConstruct _ -> "TupleConstruct"
+    | FieldAccess _ -> "FieldAccess"
+    | Select _ -> "Select"
+    | Product _ -> "Product"
+    | Join _ -> "Join"
+    | LOuterJoin _ -> "LOuterJoin"
+    | Map _ -> "Map"
+    | OMap _ -> "OMap"
+    | MapConcat _ -> "MapConcat"
+    | OMapConcat _ -> "OMapConcat"
+    | MapIndex _ -> "MapIndex"
+    | MapIndexStep _ -> "MapIndexStep"
+    | OrderBy _ -> "OrderBy"
+    | GroupBy _ -> "GroupBy"
+    | MapFromItem _ -> "MapFromItem"
+    | MapToItem _ -> "MapToItem"
+    | MapSome _ -> "MapSome"
+    | MapEvery _ -> "MapEvery"
+  in
+  name :: List.concat_map operator_names (children_of p)

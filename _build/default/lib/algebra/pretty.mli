@@ -1,0 +1,16 @@
+(** Plan printer in the paper's notation —
+    [Op\[params\]{dependents}(inputs)] — indented one operator per line as
+    in the paper's plan listings (P1, P1', P2, ...). *)
+
+val join_alg_to_string : Algebra.join_algorithm -> string
+
+val pp : ?indent:int -> Format.formatter -> Algebra.plan -> unit
+
+val to_string : Algebra.plan -> string
+
+val size : Algebra.plan -> int
+(** Number of operators in the plan. *)
+
+val operator_names : Algebra.plan -> string list
+(** The multiset of operator names, preorder — used by tests to assert
+    plan shapes (e.g. one GroupBy, one LOuterJoin, no MapConcat). *)

@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Algebra Ast Core_ast List Normalize Xqc_algebra Xqc_frontend

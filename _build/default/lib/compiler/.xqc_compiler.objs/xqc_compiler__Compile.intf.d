@@ -1,0 +1,1 @@
+lib/compiler/compile.mli: Algebra Core_ast Xqc_algebra Xqc_frontend

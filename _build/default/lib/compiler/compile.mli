@@ -1,0 +1,36 @@
+(** Algebraic compilation: XQuery Core -> logical algebra (Section 4).
+
+    FLWOR blocks thread an intermediate plan through their clauses per
+    Figure 2 (for -> MapConcat/MapFromItem [+ MapIndex for "at"], let ->
+    MapConcat of a tuple constructor, where -> Select, order by ->
+    OrderBy, return -> MapToItem); typeswitch follows Figure 3.  A FLWOR
+    in a dependent context chains from IN, which is what later lets the
+    unnesting rewritings see through nested blocks. *)
+
+open Xqc_frontend
+open Xqc_algebra
+
+(** Compilation environment: which variables are tuple fields of IN
+    (compiled to IN#q) versus function parameters / globals (Var[q]). *)
+type env = { fields : string list; in_tuple_context : bool }
+
+val top_env : env
+
+val compile : env -> Core_ast.cexpr -> Algebra.plan
+
+type compiled_function = {
+  fn_name : string;
+  fn_params : string list;
+  fn_body : Algebra.plan;
+}
+
+type compiled_query = {
+  cfunctions : compiled_function list;
+  cglobals : (string * Algebra.plan) list;  (** declare variable, in order *)
+  cmain : Algebra.plan;
+}
+
+val compile_query : Core_ast.cquery -> compiled_query
+
+val compile_string : string -> compiled_query
+(** Parse, normalize and compile in one step (unoptimized plan). *)

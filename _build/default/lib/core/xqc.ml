@@ -1,0 +1,223 @@
+(* Xqc — the public engine API.
+
+   The pipeline is the paper's: parse -> normalize (XQuery Core) ->
+   algebraic compilation (Section 4) -> logical rewriting (Section 5) ->
+   physical join selection (Section 6) -> evaluation.  The [strategy]
+   type exposes the four engine configurations measured in Table 3, plus
+   the indexed interpreter that stands in for Saxon in Table 5.
+
+   Typical use:
+
+     let doc = Xqc.parse_document ~uri:"auction.xml" xml_string in
+     let ctx = Xqc.context () in
+     Xqc.bind_document ctx "auction.xml" doc;
+     Xqc.bind_variable ctx "auction" [ Xqc.Item.Node doc ];
+     let result = Xqc.run (Xqc.prepare "count($auction//person)") ctx in
+     print_endline (Xqc.serialize result)
+*)
+
+module Atomic = Xqc_xml.Atomic
+module Node = Xqc_xml.Node
+module Item = Xqc_xml.Item
+module Xml_parser = Xqc_xml.Xml_parser
+module Serializer = Xqc_xml.Serializer
+module Schema = Xqc_types.Schema
+module Seqtype = Xqc_types.Seqtype
+module Promotion = Xqc_types.Promotion
+module Ast = Xqc_frontend.Ast
+module Xq_parser = Xqc_frontend.Xq_parser
+module Core_ast = Xqc_frontend.Core_ast
+module Normalize = Xqc_frontend.Normalize
+module Algebra = Xqc_algebra.Algebra
+module Pretty = Xqc_algebra.Pretty
+module Compile = Xqc_compiler.Compile
+module Rewrite = Xqc_optimizer.Rewrite
+module Doc_paths = Xqc_optimizer.Doc_paths
+module Eval = Xqc_runtime.Eval
+module Projection = Xqc_runtime.Projection
+module Regex = Xqc_runtime.Regex
+module Joins = Xqc_runtime.Joins
+module Dynamic_ctx = Xqc_runtime.Dynamic_ctx
+module Builtins = Xqc_runtime.Builtins
+module Interp = Xqc_interp.Interp
+module Indexed = Xqc_interp.Indexed
+
+type strategy =
+  | No_algebra  (** direct interpretation of the Core AST (pre-paper Galax) *)
+  | Saxon_like  (** Core interpreter with automatic where-clause indexes *)
+  | Algebra_unoptimized  (** algebraic plan, no rewriting ("Algebra + no optim") *)
+  | Optimized_nl  (** unnesting rewritings, nested-loop joins *)
+  | Optimized  (** unnesting + XQuery hash/sort joins (the full compiler) *)
+
+let strategy_name = function
+  | No_algebra -> "no-algebra"
+  | Saxon_like -> "saxon-like"
+  | Algebra_unoptimized -> "algebra-no-optim"
+  | Optimized_nl -> "optim-nl-join"
+  | Optimized -> "optim-xquery-join"
+
+let all_strategies =
+  [ No_algebra; Saxon_like; Algebra_unoptimized; Optimized_nl; Optimized ]
+
+type prepared = {
+  source : string;
+  strategy : strategy;
+  core : Core_ast.cquery;
+  plan : Algebra.plan option;  (** main plan, after this strategy's rewriting *)
+  projection : (string * Doc_paths.spec list option) list;
+      (** per-free-variable projection paths (empty unless ~project) *)
+  runner : Dynamic_ctx.t -> Item.sequence;
+}
+
+exception Error of string
+
+let optimizer_options = function
+  | Optimized -> Some Rewrite.default_options
+  | Optimized_nl -> Some { Rewrite.unnest = true; physical_joins = false; static_types = true }
+  | Algebra_unoptimized -> Some { Rewrite.unnest = false; physical_joins = false; static_types = false }
+  | No_algebra | Saxon_like -> None
+
+let optimize_query strategy (q : Compile.compiled_query) : Compile.compiled_query =
+  match optimizer_options strategy with
+  | None | Some { Rewrite.unnest = false; physical_joins = false; static_types = false } -> q
+  | Some options ->
+      {
+        Compile.cmain = Rewrite.optimize ~options q.Compile.cmain;
+        cglobals =
+          List.map (fun (v, p) -> (v, Rewrite.optimize ~options p)) q.Compile.cglobals;
+        cfunctions =
+          List.map
+            (fun (f : Compile.compiled_function) ->
+              { f with Compile.fn_body = Rewrite.optimize ~options f.Compile.fn_body })
+            q.Compile.cfunctions;
+      }
+
+(* Project the bindings of analyzable free variables before running,
+   restoring the original bindings afterwards. *)
+let with_projection (projection : (string * Doc_paths.spec list option) list)
+    (runner : Dynamic_ctx.t -> Item.sequence) (ctx : Dynamic_ctx.t) :
+    Item.sequence =
+  let saved = ref [] in
+  List.iter
+    (fun (var, specs) ->
+      match (specs, Hashtbl.find_opt ctx.Dynamic_ctx.globals var) with
+      | Some specs, Some value when List.exists Item.is_node value ->
+          let projected =
+            Projection.project_specs ctx.Dynamic_ctx.schema
+              (List.map
+                 (fun (sp : Doc_paths.spec) ->
+                   { Projection.steps = sp.Doc_paths.steps; subtree = sp.Doc_paths.subtree })
+                 specs)
+              value
+          in
+          saved := (var, value) :: !saved;
+          Hashtbl.replace ctx.Dynamic_ctx.globals var projected
+      | _ -> ())
+    projection;
+  let restore () =
+    List.iter (fun (var, value) -> Hashtbl.replace ctx.Dynamic_ctx.globals var value) !saved
+  in
+  match runner ctx with
+  | r ->
+      restore ();
+      r
+  | exception e ->
+      restore ();
+      raise e
+
+(* Parse, normalize, compile and (per strategy) optimize a query once; the
+   result can be run against many dynamic contexts.  With [~project:true]
+   the bindings of free document variables are pruned to the statically
+   inferred projection paths before evaluation (Marian-Siméon document
+   projection). *)
+let prepare ?(strategy = Optimized) ?(project = false) (source : string) : prepared =
+  let wrap f =
+    try f () with
+    | Xq_parser.Syntax_error { position; message } ->
+        raise (Error (Printf.sprintf "syntax error at offset %d: %s" position message))
+    | Normalize.Norm_error m -> raise (Error ("normalization error: " ^ m))
+    | Eval.Compile_error m -> raise (Error ("plan compilation error: " ^ m))
+  in
+  wrap (fun () ->
+      let core = Normalize.normalize_string source in
+      let projection = if project then Doc_paths.analyze core else [] in
+      let finish runner plan =
+        let runner = if project then with_projection projection runner else runner in
+        { source; strategy; core; plan; projection; runner }
+      in
+      match strategy with
+      | No_algebra -> finish (fun ctx -> Interp.run ctx core) None
+      | Saxon_like -> finish (fun ctx -> Indexed.run ctx core) None
+      | Algebra_unoptimized | Optimized_nl | Optimized ->
+          let compiled = optimize_query strategy (Compile.compile_query core) in
+          finish (fun ctx -> Eval.run ctx compiled) (Some compiled.Compile.cmain))
+
+let run (p : prepared) (ctx : Dynamic_ctx.t) : Item.sequence =
+  try p.runner ctx with
+  | Dynamic_ctx.Dynamic_error m -> raise (Error ("dynamic error: " ^ m))
+  | Atomic.Cast_error m -> raise (Error ("type error: " ^ m))
+  | Seqtype.Type_assertion_failure m -> raise (Error ("type assertion failure: " ^ m))
+
+(* ------------------------------------------------------------------ *)
+(* Conveniences                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let context ?schema ?resolver () : Dynamic_ctx.t = Dynamic_ctx.create ?schema ?resolver ()
+
+let bind_variable = Dynamic_ctx.bind_global
+let bind_document = Dynamic_ctx.bind_document
+
+let parse_document ?uri (xml : string) : Node.t = Xml_parser.parse_string ?uri xml
+
+let serialize (s : Item.sequence) : string = Serializer.sequence_to_string s
+
+(* One-shot evaluation with optional bindings. *)
+let eval_string ?strategy ?project ?schema ?(variables = []) ?(documents = [])
+    (source : string) : Item.sequence =
+  let ctx = context ?schema () in
+  List.iter (fun (name, value) -> bind_variable ctx name value) variables;
+  List.iter (fun (uri, doc) -> bind_document ctx uri doc) documents;
+  run (prepare ?strategy ?project source) ctx
+
+(* A multi-section compilation report: the Core form and the logical plan
+   before and after optimization, in the paper's notation, plus the
+   inferred document-projection paths. *)
+let explain ?(strategy = Optimized) (source : string) : string =
+  let core = Normalize.normalize_string source in
+  let buf = Buffer.create 1024 in
+  (match Doc_paths.analyze core with
+  | [] -> ()
+  | projection ->
+      Buffer.add_string buf "=== Document projection paths ===\n";
+      List.iter
+        (fun (v, specs) ->
+          match specs with
+          | None -> Buffer.add_string buf (Printf.sprintf "$%s: not projectable\n" v)
+          | Some specs ->
+              List.iter
+                (fun (sp : Doc_paths.spec) ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "$%s/%s%s\n" v
+                       (String.concat "/"
+                          (List.map
+                             (fun (ax, t) ->
+                               Printf.sprintf "%s::%s" (Ast.axis_to_string ax)
+                                 (Ast.node_test_to_string t))
+                             sp.Doc_paths.steps))
+                       (if sp.Doc_paths.subtree then "  (subtree)" else "  (node)")))
+                specs)
+        projection;
+      Buffer.add_string buf "\n");
+  Buffer.add_string buf "=== XQuery Core ===\n";
+  Buffer.add_string buf (Core_ast.to_string core.Core_ast.cq_main);
+  Buffer.add_string buf "\n\n=== Logical plan (naive compilation) ===\n";
+  let compiled = Compile.compile_query core in
+  Buffer.add_string buf (Pretty.to_string compiled.Compile.cmain);
+  (match optimizer_options strategy with
+  | None -> ()
+  | Some options ->
+      Buffer.add_string buf "\n\n=== Optimized plan ===\n";
+      Buffer.add_string buf
+        (Pretty.to_string (Rewrite.optimize ~options compiled.Compile.cmain)));
+  Buffer.add_string buf "\n";
+  Buffer.contents buf

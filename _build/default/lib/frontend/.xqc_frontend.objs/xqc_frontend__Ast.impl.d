@@ -1,0 +1,1 @@
+lib/frontend/ast.ml: Atomic Seqtype Xqc_types Xqc_xml

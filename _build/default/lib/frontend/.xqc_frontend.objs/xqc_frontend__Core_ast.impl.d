@@ -1,0 +1,1 @@
+lib/frontend/core_ast.ml: Ast Atomic Format List Seqtype Xqc_types Xqc_xml

@@ -1,0 +1,1 @@
+lib/frontend/normalize.ml: Ast Atomic Core_ast List Printf String Xq_parser Xqc_xml

@@ -1,0 +1,1 @@
+lib/frontend/normalize.mli: Ast Core_ast

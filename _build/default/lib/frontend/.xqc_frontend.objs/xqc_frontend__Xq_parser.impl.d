@@ -1,0 +1,1 @@
+lib/frontend/xq_parser.ml: Ast Atomic Buffer List Option Printf Seqtype String Xml_parser Xqc_types Xqc_xml

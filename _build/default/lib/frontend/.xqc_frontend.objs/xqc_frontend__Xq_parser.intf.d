@@ -1,0 +1,1 @@
+lib/frontend/xq_parser.mli: Ast

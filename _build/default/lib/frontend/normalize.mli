@@ -1,0 +1,19 @@
+(** Normalization: surface AST -> XQuery Core (Section 4 of the paper).
+
+    Deviations from the W3C rules follow the paper: FLWOR expressions are
+    preserved as whole blocks; each path predicate becomes one complete
+    FLWOR with an [at] variable and a [where] clause (positional machinery
+    omitted for statically boolean predicates, which is what lets the
+    optimizer unnest joins expressed through predicates); typeswitch uses
+    one common variable across its branches.  All bound variables are
+    alpha-renamed to globally fresh names so tuple fields never collide. *)
+
+exception Norm_error of string
+
+val normalize_query : Ast.query -> Core_ast.cquery
+
+val normalize_string : string -> Core_ast.cquery
+(** Parse then normalize.
+    @raise Xq_parser.Syntax_error on parse errors.
+    @raise Norm_error on context-dependence errors (e.g. "." with no
+    context item in scope). *)

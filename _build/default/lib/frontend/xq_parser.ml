@@ -1,0 +1,1116 @@
+(* A scannerless recursive-descent parser for the XQuery subset in ast.ml.
+
+   XQuery lexing is context dependent: "*" is a wildcard in step position
+   and multiplication in operator position, and "<" starts a direct element
+   constructor in operand position but a comparison in operator position.
+   A scannerless parser encodes those contexts directly in the call sites,
+   which keeps the grammar faithful without lexer state machines. *)
+
+open Xqc_xml
+open Xqc_types
+
+exception Syntax_error of { position : int; message : string }
+
+type state = { src : string; mutable pos : int; len : int }
+
+let fail st fmt =
+  Printf.ksprintf
+    (fun message -> raise (Syntax_error { position = st.pos; message }))
+    fmt
+
+let peek st = if st.pos < st.len then Some st.src.[st.pos] else None
+let peek2 st = if st.pos + 1 < st.len then Some st.src.[st.pos + 1] else None
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= st.len && String.sub st.src st.pos n = s
+
+let advance st n = st.pos <- st.pos + n
+
+(* Whitespace and (: nested comments :). *)
+let rec skip_ws st =
+  while
+    st.pos < st.len
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    advance st 1
+  done;
+  if looking_at st "(:" then (
+    advance st 2;
+    let depth = ref 1 in
+    while !depth > 0 do
+      if st.pos >= st.len then fail st "unterminated comment"
+      else if looking_at st "(:" then (incr depth; advance st 2)
+      else if looking_at st ":)" then (decr depth; advance st 2)
+      else advance st 1
+    done;
+    skip_ws st)
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+let is_digit c = c >= '0' && c <= '9'
+
+(* An NCName, optionally prefixed (foo:bar).  "::" is never swallowed. *)
+let read_qname st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st 1
+  | _ -> fail st "expected a name");
+  while st.pos < st.len && is_name_char st.src.[st.pos] do
+    advance st 1
+  done;
+  if
+    st.pos < st.len
+    && st.src.[st.pos] = ':'
+    && st.pos + 1 < st.len
+    && is_name_start st.src.[st.pos + 1]
+  then (
+    advance st 1;
+    while st.pos < st.len && is_name_char st.src.[st.pos] do
+      advance st 1
+    done);
+  String.sub st.src start (st.pos - start)
+
+(* Does a whole word [w] occur at the cursor?  Does not consume. *)
+let at_word st w =
+  looking_at st w
+  && (st.pos + String.length w >= st.len
+     || not (is_name_char st.src.[st.pos + String.length w]
+            || st.src.[st.pos + String.length w] = ':'))
+
+let eat_word st w =
+  if at_word st w then (
+    advance st (String.length w);
+    skip_ws st;
+    true)
+  else false
+
+let expect_word st w = if not (eat_word st w) then fail st "expected %S" w
+
+let expect_char st c =
+  match peek st with
+  | Some c' when c' = c ->
+      advance st 1;
+      skip_ws st
+  | Some c' -> fail st "expected %C, found %C" c c'
+  | None -> fail st "expected %C, found end of input" c
+
+let eat_char st c =
+  match peek st with
+  | Some c' when c' = c ->
+      advance st 1;
+      skip_ws st;
+      true
+  | Some _ | None -> false
+
+(* A symbolic token like "//" or "<=", longest match first at call site. *)
+let eat_sym st s =
+  if looking_at st s then (
+    advance st (String.length s);
+    skip_ws st;
+    true)
+  else false
+
+let read_string_literal st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) -> advance st 1; q
+    | _ -> fail st "expected a string literal"
+  in
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string literal"
+    | Some c when c = quote ->
+        advance st 1;
+        (* doubled quote is an escaped quote *)
+        if peek st = Some quote then (Buffer.add_char buf quote; advance st 1; go ())
+    | Some '&' ->
+        (* reuse the XML entity decoder for &amp; etc. *)
+        let sub = { Xml_parser.src = st.src; pos = st.pos; len = st.len } in
+        (try Buffer.add_string buf (Xml_parser.decode_entity sub)
+         with Xml_parser.Parse_error _ -> fail st "bad entity in string literal");
+        st.pos <- sub.Xml_parser.pos;
+        go ()
+    | Some c -> Buffer.add_char buf c; advance st 1; go ()
+  in
+  go ();
+  skip_ws st;
+  Buffer.contents buf
+
+let read_number st =
+  let start = st.pos in
+  while st.pos < st.len && is_digit st.src.[st.pos] do
+    advance st 1
+  done;
+  let is_decimal =
+    st.pos < st.len && st.src.[st.pos] = '.' && st.pos + 1 < st.len
+    && is_digit st.src.[st.pos + 1]
+  in
+  if is_decimal then (
+    advance st 1;
+    while st.pos < st.len && is_digit st.src.[st.pos] do
+      advance st 1
+    done);
+  let is_double =
+    st.pos < st.len && (st.src.[st.pos] = 'e' || st.src.[st.pos] = 'E')
+  in
+  if is_double then (
+    advance st 1;
+    (match peek st with Some ('+' | '-') -> advance st 1 | _ -> ());
+    while st.pos < st.len && is_digit st.src.[st.pos] do
+      advance st 1
+    done);
+  let text = String.sub st.src start (st.pos - start) in
+  skip_ws st;
+  if is_double then Atomic.Double (float_of_string text)
+  else if is_decimal then Atomic.Decimal (float_of_string text)
+  else Atomic.Integer (int_of_string text)
+
+(* ------------------------------------------------------------------ *)
+(* Sequence types                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let atomic_type_of_name st name =
+  match Atomic.type_name_of_string name with
+  | Some tn -> tn
+  | None -> fail st "unknown atomic type %s" name
+
+(* element(name-or-*, Type) / attribute(...) argument lists. *)
+let parse_kind_args st =
+  if eat_char st ')' then (None, None)
+  else
+    let name = if eat_sym st "*" then None else Some (read_qname st) in
+    skip_ws st;
+    let ty =
+      if eat_char st ',' then (
+        let t = read_qname st in
+        skip_ws st;
+        Some t)
+      else None
+    in
+    expect_char st ')';
+    (name, ty)
+
+let rec parse_item_type st : Seqtype.item_type =
+  if eat_word st "item" then (expect_char st '('; expect_char st ')'; Seqtype.It_item)
+  else if eat_word st "node" then (expect_char st '('; expect_char st ')'; Seqtype.It_node)
+  else if eat_word st "text" then (expect_char st '('; expect_char st ')'; Seqtype.It_text)
+  else if eat_word st "comment" then (expect_char st '('; expect_char st ')'; Seqtype.It_comment)
+  else if eat_word st "processing-instruction" then (
+    expect_char st '(';
+    (if not (eat_char st ')') then (
+       let _ = read_qname st in
+       skip_ws st;
+       expect_char st ')'));
+    Seqtype.It_pi)
+  else if eat_word st "document-node" then (
+    expect_char st '(';
+    (if not (eat_char st ')') then (
+       let _ = parse_item_type st in
+       expect_char st ')'));
+    Seqtype.It_document)
+  else if eat_word st "element" then (
+    expect_char st '(';
+    let name, ty = parse_kind_args st in
+    Seqtype.It_element (name, ty))
+  else if eat_word st "attribute" then (
+    expect_char st '(';
+    let name, ty = parse_kind_args st in
+    Seqtype.It_attribute (name, ty))
+  else
+    let name = read_qname st in
+    skip_ws st;
+    Seqtype.It_atomic (atomic_type_of_name st name)
+
+and parse_sequence_type st : Seqtype.t =
+  if eat_word st "empty-sequence" then (
+    expect_char st '(';
+    expect_char st ')';
+    Seqtype.Empty_sequence)
+  else
+    let it = parse_item_type st in
+    if eat_sym st "?" then Seqtype.Occ (it, Seqtype.Zero_or_one)
+    else if eat_sym st "+" then Seqtype.Occ (it, Seqtype.One_or_more)
+    else if
+      (* "*" is an occurrence indicator only if not beginning an operand *)
+      peek st = Some '*'
+    then (
+      advance st 1;
+      skip_ws st;
+      Seqtype.Occ (it, Seqtype.Zero_or_more))
+    else Seqtype.Occ (it, Seqtype.Exactly_one)
+
+let parse_single_type st =
+  let name = read_qname st in
+  skip_ws st;
+  let tn = atomic_type_of_name st name in
+  let optional = eat_sym st "?" in
+  (tn, optional)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let axis_of_word = function
+  | "child" -> Some Ast.Child
+  | "descendant" -> Some Ast.Descendant
+  | "descendant-or-self" -> Some Ast.Descendant_or_self
+  | "attribute" -> Some Ast.Attribute_axis
+  | "self" -> Some Ast.Self
+  | "parent" -> Some Ast.Parent
+  | "ancestor" -> Some Ast.Ancestor
+  | "ancestor-or-self" -> Some Ast.Ancestor_or_self
+  | "following-sibling" -> Some Ast.Following_sibling
+  | "preceding-sibling" -> Some Ast.Preceding_sibling
+  | _ -> None
+
+let kind_test_keywords =
+  [ "node"; "text"; "comment"; "processing-instruction"; "document-node"; "element"; "attribute" ]
+
+let reserved_function_names =
+  [ "if"; "typeswitch"; "item"; "node"; "text"; "comment"; "document-node";
+    "element"; "attribute"; "processing-instruction"; "empty-sequence" ]
+
+let rec parse_expr st : Ast.expr =
+  let first = parse_expr_single st in
+  if peek st = Some ',' then (
+    let acc = ref [ first ] in
+    while eat_char st ',' do
+      acc := parse_expr_single st :: !acc
+    done;
+    Ast.Sequence_expr (List.rev !acc))
+  else first
+
+and parse_expr_single st : Ast.expr =
+  skip_ws st;
+  if (at_word st "for" || at_word st "let") && next_nonword_is st '$' then
+    parse_flwor st
+  else if (at_word st "some" || at_word st "every") && next_nonword_is st '$' then
+    parse_quantified st
+  else if at_word st "if" && next_nonword_is st '(' then parse_if st
+  else if at_word st "typeswitch" && next_nonword_is st '(' then parse_typeswitch st
+  else parse_or_expr st
+
+(* Is the next char after the keyword (and whitespace) equal to [c]?  Used
+   to disambiguate keywords from element names in step position. *)
+and next_nonword_is st c =
+  let save = st.pos in
+  let _ = read_qname st in
+  skip_ws st;
+  let r = peek st = Some c in
+  st.pos <- save;
+  r
+
+and parse_flwor st =
+  let clauses = ref [] in
+  let rec clause_loop () =
+    skip_ws st;
+    if at_word st "for" && next_nonword_is st '$' then (
+      expect_word st "for";
+      parse_for_bindings ();
+      clause_loop ())
+    else if at_word st "let" && next_nonword_is st '$' then (
+      expect_word st "let";
+      parse_let_bindings ();
+      clause_loop ())
+    else if at_word st "where" then (
+      expect_word st "where";
+      clauses := Ast.Where_clause (parse_expr_single st) :: !clauses;
+      clause_loop ())
+  and parse_for_bindings () =
+    let rec one () =
+      expect_char st '$';
+      let var = read_qname st in
+      skip_ws st;
+      let astype = if eat_word st "as" then Some (parse_sequence_type st) else None in
+      let at_var =
+        if eat_word st "at" then (
+          expect_char st '$';
+          let v = read_qname st in
+          skip_ws st;
+          Some v)
+        else None
+      in
+      expect_word st "in";
+      let source = parse_expr_single st in
+      clauses := Ast.For_clause { var; at_var; astype; source } :: !clauses;
+      if eat_char st ',' then one ()
+    in
+    one ()
+  and parse_let_bindings () =
+    let rec one () =
+      expect_char st '$';
+      let var = read_qname st in
+      skip_ws st;
+      let astype = if eat_word st "as" then Some (parse_sequence_type st) else None in
+      if not (eat_sym st ":=") then fail st "expected := in let clause";
+      let value = parse_expr_single st in
+      clauses := Ast.Let_clause { var; astype; value } :: !clauses;
+      if eat_char st ',' then one ()
+    in
+    one ()
+  in
+  clause_loop ();
+  let order_specs =
+    if at_word st "order" then (
+      expect_word st "order";
+      expect_word st "by";
+      let rec specs acc =
+        let key = parse_expr_single st in
+        let dir =
+          if eat_word st "descending" then Ast.Descending
+          else (
+            let _ = eat_word st "ascending" in
+            Ast.Ascending)
+        in
+        let empty =
+          if eat_word st "empty" then
+            if eat_word st "greatest" then Ast.Empty_greatest
+            else (
+              expect_word st "least";
+              Ast.Empty_least)
+          else Ast.Empty_least
+        in
+        let acc = { Ast.key; dir; empty } :: acc in
+        if eat_char st ',' then specs acc else List.rev acc
+      in
+      specs [])
+    else if at_word st "stable" then (
+      expect_word st "stable";
+      expect_word st "order";
+      expect_word st "by";
+      let key = parse_expr_single st in
+      [ { Ast.key; dir = Ast.Ascending; empty = Ast.Empty_least } ])
+    else []
+  in
+  expect_word st "return";
+  let body = parse_expr_single st in
+  Ast.Flwor (List.rev !clauses, order_specs, body)
+
+and parse_quantified st =
+  let quant =
+    if eat_word st "some" then Ast.Some_quant
+    else (
+      expect_word st "every";
+      Ast.Every_quant)
+  in
+  let rec bindings acc =
+    expect_char st '$';
+    let var = read_qname st in
+    skip_ws st;
+    (* optional "as T" in quantifier bindings: accepted and checked
+       dynamically via the for-clause type assertion *)
+    let _ = if eat_word st "as" then Some (parse_sequence_type st) else None in
+    expect_word st "in";
+    let source = parse_expr_single st in
+    let acc = (var, source) :: acc in
+    if eat_char st ',' then bindings acc else List.rev acc
+  in
+  let binds = bindings [] in
+  expect_word st "satisfies";
+  let body = parse_expr_single st in
+  Ast.Quantified (quant, binds, body)
+
+and parse_if st =
+  expect_word st "if";
+  expect_char st '(';
+  let cond = parse_expr st in
+  expect_char st ')';
+  expect_word st "then";
+  let then_ = parse_expr_single st in
+  expect_word st "else";
+  let else_ = parse_expr_single st in
+  Ast.If_expr (cond, then_, else_)
+
+and parse_typeswitch st =
+  expect_word st "typeswitch";
+  expect_char st '(';
+  let scrutinee = parse_expr st in
+  expect_char st ')';
+  let rec cases acc =
+    if at_word st "case" then (
+      expect_word st "case";
+      let case_var =
+        if peek st = Some '$' then (
+          advance st 1;
+          let v = read_qname st in
+          skip_ws st;
+          expect_word st "as";
+          Some v)
+        else None
+      in
+      let case_type = parse_sequence_type st in
+      expect_word st "return";
+      let case_body = parse_expr_single st in
+      cases ({ Ast.case_var; case_type; case_body } :: acc))
+    else List.rev acc
+  in
+  let cases = cases [] in
+  expect_word st "default";
+  let default_var =
+    if peek st = Some '$' then (
+      advance st 1;
+      let v = read_qname st in
+      skip_ws st;
+      Some v)
+    else None
+  in
+  expect_word st "return";
+  let default_body = parse_expr_single st in
+  Ast.Typeswitch (scrutinee, cases, (default_var, default_body))
+
+and parse_or_expr st =
+  let lhs = parse_and_expr st in
+  if at_word st "or" && not (next_word_breaks_operand st) then (
+    expect_word st "or";
+    Ast.Or_expr (lhs, parse_or_expr st))
+  else lhs
+
+and next_word_breaks_operand _st = false
+
+and parse_and_expr st =
+  let lhs = parse_comparison st in
+  if at_word st "and" then (
+    expect_word st "and";
+    Ast.And_expr (lhs, parse_and_expr st))
+  else lhs
+
+and parse_comparison st =
+  let lhs = parse_range st in
+  skip_ws st;
+  let mk g = Ast.General_comp (g, lhs, parse_range st) in
+  let mkv v = Ast.Value_comp (v, lhs, parse_range st) in
+  let mkn n = Ast.Node_comp (n, lhs, parse_range st) in
+  if eat_word st "eq" then mkv Ast.Val_eq
+  else if eat_word st "ne" then mkv Ast.Val_ne
+  else if eat_word st "lt" then mkv Ast.Val_lt
+  else if eat_word st "le" then mkv Ast.Val_le
+  else if eat_word st "gt" then mkv Ast.Val_gt
+  else if eat_word st "ge" then mkv Ast.Val_ge
+  else if eat_word st "is" then mkn Ast.Node_is
+  else if eat_sym st "<<" then mkn Ast.Node_before
+  else if eat_sym st ">>" then mkn Ast.Node_after
+  else if eat_sym st "!=" then mk Ast.Gen_ne
+  else if eat_sym st "<=" then mk Ast.Gen_le
+  else if eat_sym st ">=" then mk Ast.Gen_ge
+  else if eat_sym st "=" then mk Ast.Gen_eq
+  else if eat_sym st "<" then mk Ast.Gen_lt
+  else if eat_sym st ">" then mk Ast.Gen_gt
+  else lhs
+
+and parse_range st =
+  let lhs = parse_additive st in
+  if at_word st "to" then (
+    expect_word st "to";
+    Ast.Range (lhs, parse_additive st))
+  else lhs
+
+and parse_additive st =
+  let rec loop lhs =
+    skip_ws st;
+    if eat_sym st "+" then loop (Ast.Arith (Ast.Add, lhs, parse_multiplicative st))
+    else if eat_sym st "-" then loop (Ast.Arith (Ast.Sub, lhs, parse_multiplicative st))
+    else lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    skip_ws st;
+    if eat_sym st "*" then loop (Ast.Arith (Ast.Mul, lhs, parse_union st))
+    else if at_word st "div" then (
+      expect_word st "div";
+      loop (Ast.Arith (Ast.Div, lhs, parse_union st)))
+    else if at_word st "idiv" then (
+      expect_word st "idiv";
+      loop (Ast.Arith (Ast.Idiv, lhs, parse_union st)))
+    else if at_word st "mod" then (
+      expect_word st "mod";
+      loop (Ast.Arith (Ast.Mod, lhs, parse_union st)))
+    else lhs
+  in
+  loop (parse_union st)
+
+and parse_union st =
+  let rec loop lhs =
+    skip_ws st;
+    if at_word st "union" then (
+      expect_word st "union";
+      loop (Ast.Union_expr (lhs, parse_intersect st)))
+    else if peek st = Some '|' && peek2 st <> Some '|' then (
+      advance st 1;
+      skip_ws st;
+      loop (Ast.Union_expr (lhs, parse_intersect st)))
+    else lhs
+  in
+  loop (parse_intersect st)
+
+and parse_intersect st =
+  let rec loop lhs =
+    skip_ws st;
+    if at_word st "intersect" then (
+      expect_word st "intersect";
+      loop (Ast.Intersect_expr (lhs, parse_instanceof st)))
+    else if at_word st "except" then (
+      expect_word st "except";
+      loop (Ast.Except_expr (lhs, parse_instanceof st)))
+    else lhs
+  in
+  loop (parse_instanceof st)
+
+and parse_instanceof st =
+  let lhs = parse_treat st in
+  if at_word st "instance" then (
+    expect_word st "instance";
+    expect_word st "of";
+    Ast.Instance_of (lhs, parse_sequence_type st))
+  else lhs
+
+and parse_treat st =
+  let lhs = parse_castable st in
+  if at_word st "treat" then (
+    expect_word st "treat";
+    expect_word st "as";
+    Ast.Treat_as (lhs, parse_sequence_type st))
+  else lhs
+
+and parse_castable st =
+  let lhs = parse_cast st in
+  if at_word st "castable" then (
+    expect_word st "castable";
+    expect_word st "as";
+    let tn, opt = parse_single_type st in
+    Ast.Castable_as (lhs, tn, opt))
+  else lhs
+
+and parse_cast st =
+  let lhs = parse_unary st in
+  if at_word st "cast" then (
+    expect_word st "cast";
+    expect_word st "as";
+    let tn, opt = parse_single_type st in
+    Ast.Cast_as (lhs, tn, opt))
+  else lhs
+
+and parse_unary st =
+  skip_ws st;
+  if eat_sym st "-" then Ast.Unary_minus (parse_unary st)
+  else if eat_sym st "+" then parse_unary st
+  else parse_value_expr st
+
+and parse_value_expr st =
+  if at_word st "validate" then (
+    expect_word st "validate";
+    let _ = eat_word st "strict" || eat_word st "lax" in
+    expect_char st '{';
+    let e = parse_expr st in
+    expect_char st '}';
+    Ast.Validate_expr e)
+  else parse_path_expr st
+
+and parse_path_expr st =
+  skip_ws st;
+  if looking_at st "//" then (
+    advance st 2;
+    skip_ws st;
+    let steps = parse_relative_steps st in
+    Ast.Path
+      ( Ast.Root,
+        { Ast.axis = Ast.Descendant_or_self; test = Ast.Kind_test Seqtype.It_node; predicates = [] }
+        :: steps ))
+  else if peek st = Some '/' && peek2 st <> Some '/' then (
+    advance st 1;
+    skip_ws st;
+    if starts_step st then Ast.Path (Ast.Root, parse_relative_steps st)
+    else Ast.Root)
+  else
+    let first = parse_step_expr st in
+    if looking_at st "/" then
+      match first with
+      | Ast.Path (origin, steps) ->
+          let more = parse_path_continuation st in
+          Ast.Path (origin, steps @ more)
+      | origin ->
+          let more = parse_path_continuation st in
+          Ast.Path (origin, more)
+    else first
+
+and parse_path_continuation st =
+  let steps = ref [] in
+  let rec go () =
+    if looking_at st "//" then (
+      advance st 2;
+      skip_ws st;
+      steps :=
+        { Ast.axis = Ast.Descendant_or_self; test = Ast.Kind_test Seqtype.It_node; predicates = [] }
+        :: !steps;
+      steps := parse_axis_step st :: !steps;
+      go ())
+    else if peek st = Some '/' then (
+      advance st 1;
+      skip_ws st;
+      steps := parse_axis_step st :: !steps;
+      go ())
+  in
+  go ();
+  List.rev !steps
+
+(* Could the cursor start an axis step? *)
+and starts_step st =
+  match peek st with
+  | Some '@' | Some '*' -> true
+  | Some '.' -> looking_at st ".."
+  | Some c when is_name_start c -> true
+  | Some _ | None -> false
+
+(* One step in a relative path: either an axis step, or (for the first
+   step only, handled by the caller) a primary expression. *)
+and parse_relative_steps st =
+  let first = parse_axis_step st in
+  first :: parse_path_continuation st
+
+and parse_predicates st =
+  let rec go acc =
+    skip_ws st;
+    if peek st = Some '[' then (
+      advance st 1;
+      skip_ws st;
+      let p = parse_expr st in
+      expect_char st ']';
+      go (p :: acc))
+    else List.rev acc
+  in
+  go []
+
+and parse_axis_step st : Ast.step =
+  skip_ws st;
+  if looking_at st ".." then (
+    advance st 2;
+    skip_ws st;
+    let predicates = parse_predicates st in
+    { Ast.axis = Ast.Parent; test = Ast.Kind_test Seqtype.It_node; predicates })
+  else if peek st = Some '@' then (
+    advance st 1;
+    let test =
+      if peek st = Some '*' then (
+        advance st 1;
+        Ast.Name_test "*")
+      else Ast.Name_test (read_qname st)
+    in
+    skip_ws st;
+    let predicates = parse_predicates st in
+    { Ast.axis = Ast.Attribute_axis; test; predicates })
+  else
+    let axis, explicit_axis =
+      let save = st.pos in
+      match peek st with
+      | Some c when is_name_start c -> (
+          let w = read_qname st in
+          match axis_of_word w with
+          | Some a when looking_at st "::" ->
+              advance st 2;
+              (a, true)
+          | Some _ | None ->
+              st.pos <- save;
+              (Ast.Child, false))
+      | Some _ | None -> (Ast.Child, false)
+    in
+    let test = parse_node_test st in
+    skip_ws st;
+    let predicates = parse_predicates st in
+    let axis =
+      (* @foo handled above; attribute::foo via explicit axis; a kind test
+         attribute(...) on the child axis means the attribute axis *)
+      if (not explicit_axis) && test_selects_attributes test then Ast.Attribute_axis
+      else axis
+    in
+    { Ast.axis; test; predicates }
+
+and test_selects_attributes = function
+  | Ast.Kind_test (Seqtype.It_attribute _) -> true
+  | Ast.Kind_test _ | Ast.Name_test _ -> false
+
+and parse_node_test st : Ast.node_test =
+  if peek st = Some '*' then (
+    advance st 1;
+    skip_ws st;
+    Ast.Name_test "*")
+  else
+    let save = st.pos in
+    let name = read_qname st in
+    if List.mem name kind_test_keywords && (skip_ws st; peek st = Some '(') then (
+      st.pos <- save;
+      Ast.Kind_test (parse_item_type st))
+    else Ast.Name_test name
+
+and parse_step_expr st : Ast.expr =
+  skip_ws st;
+  match peek st with
+  | Some '$' | Some '(' | Some '"' | Some '\'' -> parse_filter_expr st
+  | Some '<' -> parse_filter_expr st
+  | Some c when is_digit c -> parse_filter_expr st
+  | Some '.' when not (looking_at st "..") -> parse_filter_expr st
+  | Some '@' -> step_as_expr st
+  | Some '*' -> step_as_expr st
+  | Some '.' (* ".." *) -> step_as_expr st
+  | Some c when is_name_start c ->
+      (* name( => function call or kind test; text{/comment{ => computed
+         constructor; else an axis step *)
+      let save = st.pos in
+      let name = read_qname st in
+      skip_ws st;
+      let after_name_paren = peek st = Some '(' in
+      let after_name_brace = peek st = Some '{' in
+      st.pos <- save;
+      if List.mem name kind_test_keywords && after_name_paren then step_as_expr st
+      else if after_name_paren && not (List.mem name reserved_function_names) then
+        parse_filter_expr st
+      else if after_name_brace && List.mem name [ "text"; "comment"; "document" ] then
+        parse_filter_expr st
+      else if
+        (* computed constructor with a static name: element nm { ... } *)
+        List.mem name [ "element"; "attribute"; "processing-instruction" ]
+        && (not after_name_paren)
+        && computed_constructor_follows st
+      then parse_filter_expr st
+      else step_as_expr st
+  | Some c -> fail st "unexpected character %C in expression" c
+  | None -> fail st "unexpected end of input"
+
+(* Is the cursor at "name qname {"? (a computed constructor with a static
+   name, e.g. "element foo { ... }") *)
+and computed_constructor_follows st =
+  let save = st.pos in
+  let r =
+    match
+      (let _ = read_qname st in
+       skip_ws st;
+       match peek st with
+       | Some c when is_name_start c ->
+           let _ = read_qname st in
+           skip_ws st;
+           peek st = Some '{'
+       | _ -> false)
+    with
+    | b -> b
+    | exception Syntax_error _ -> false
+  in
+  st.pos <- save;
+  r
+
+and step_as_expr st =
+  let step = parse_axis_step st in
+  Ast.Path (Ast.Context_item, [ step ])
+
+and parse_filter_expr st =
+  let primary = parse_primary st in
+  let predicates = parse_predicates st in
+  if predicates = [] then primary else Ast.Filter (primary, predicates)
+
+and parse_primary st : Ast.expr =
+  skip_ws st;
+  match peek st with
+  | Some '$' ->
+      advance st 1;
+      let v = read_qname st in
+      skip_ws st;
+      Ast.Var v
+  | Some '(' ->
+      advance st 1;
+      skip_ws st;
+      if eat_char st ')' then Ast.Sequence_expr []
+      else (
+        let e = parse_expr st in
+        expect_char st ')';
+        e)
+  | Some ('"' | '\'') -> Ast.Literal (Atomic.String (read_string_literal st))
+  | Some c when is_digit c -> Ast.Literal (read_number st)
+  | Some '.' ->
+      advance st 1;
+      skip_ws st;
+      Ast.Context_item
+  | Some '<' -> parse_direct_constructor st
+  | Some c when is_name_start c -> (
+      let save = st.pos in
+      let name = read_qname st in
+      skip_ws st;
+      let enclosed () =
+        expect_char st '{';
+        let e = parse_expr st in
+        expect_char st '}';
+        e
+      in
+      if peek st = Some '{' then (
+        (* computed constructors with implicit content: text { ... } *)
+        match name with
+        | "text" -> Ast.Text_constructor (enclosed ())
+        | "comment" -> Ast.Comment_constructor (enclosed ())
+        | "document" -> Ast.Document_constructor (enclosed ())
+        | _ ->
+            st.pos <- save;
+            fail st "unexpected '{' after name %s" name)
+      else if
+        List.mem name [ "element"; "attribute"; "processing-instruction" ]
+        && (match peek st with Some c when is_name_start c -> true | _ -> false)
+      then (
+        (* computed constructor with a static name: element nm { e } *)
+        let cname = read_qname st in
+        skip_ws st;
+        let body = enclosed () in
+        match name with
+        | "element" -> Ast.Computed_element (cname, body)
+        | "attribute" -> Ast.Computed_attribute (cname, body)
+        | _ -> Ast.Pi_constructor (cname, body))
+      else if peek st = Some '(' then (
+        advance st 1;
+        skip_ws st;
+        let args =
+          if eat_char st ')' then []
+          else (
+            let rec go acc =
+              let a = parse_expr_single st in
+              if eat_char st ',' then go (a :: acc)
+              else (
+                expect_char st ')';
+                List.rev (a :: acc))
+            in
+            go [])
+        in
+        match name with
+        | "element" | "attribute" -> fail st "computed constructors are not supported"
+        | _ -> Ast.Call (name, args))
+      else (
+        st.pos <- save;
+        fail st "unexpected name %s in primary position" name))
+  | Some c -> fail st "unexpected character %C" c
+  | None -> fail st "unexpected end of input"
+
+(* ------------------------------------------------------------------ *)
+(* Direct constructors                                                 *)
+(* ------------------------------------------------------------------ *)
+
+and parse_direct_constructor st : Ast.expr =
+  (* pos is on '<' *)
+  advance st 1;
+  let name = read_qname st in
+  let attrs = parse_constructor_attrs st in
+  skip_ws_in_tag st;
+  if looking_at st "/>" then (
+    advance st 2;
+    skip_ws st;
+    Ast.Elem_constructor (name, attrs, []))
+  else (
+    (match peek st with
+    | Some '>' -> advance st 1
+    | _ -> fail st "malformed start tag <%s" name);
+    let content = parse_constructor_content st name in
+    skip_ws st;
+    Ast.Elem_constructor (name, attrs, content))
+
+and skip_ws_in_tag st =
+  while
+    st.pos < st.len
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    advance st 1
+  done
+
+and parse_constructor_attrs st =
+  let rec go acc =
+    skip_ws_in_tag st;
+    match peek st with
+    | Some c when is_name_start c ->
+        let name = read_qname st in
+        skip_ws_in_tag st;
+        (match peek st with
+        | Some '=' -> advance st 1
+        | _ -> fail st "expected '=' in attribute %s" name);
+        skip_ws_in_tag st;
+        let value = parse_attr_value_template st in
+        go ((name, value) :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  go []
+
+and parse_attr_value_template st : Ast.attr_value =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) -> advance st 1; q
+    | _ -> fail st "expected a quoted attribute value"
+  in
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_text () =
+    if Buffer.length buf > 0 then (
+      parts := Ast.Attr_text (Buffer.contents buf) :: !parts;
+      Buffer.clear buf)
+  in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated attribute value"
+    | Some c when c = quote ->
+        advance st 1;
+        if peek st = Some quote then (Buffer.add_char buf quote; advance st 1; go ())
+    | Some '{' when peek2 st = Some '{' -> Buffer.add_char buf '{'; advance st 2; go ()
+    | Some '}' when peek2 st = Some '}' -> Buffer.add_char buf '}'; advance st 2; go ()
+    | Some '{' ->
+        advance st 1;
+        skip_ws st;
+        flush_text ();
+        let e = parse_expr st in
+        (match peek st with
+        | Some '}' -> advance st 1
+        | _ -> fail st "expected '}' in attribute value template");
+        parts := Ast.Attr_expr e :: !parts;
+        go ()
+    | Some '&' ->
+        let sub = { Xml_parser.src = st.src; pos = st.pos; len = st.len } in
+        (try Buffer.add_string buf (Xml_parser.decode_entity sub)
+         with Xml_parser.Parse_error _ -> fail st "bad entity in attribute value");
+        st.pos <- sub.Xml_parser.pos;
+        go ()
+    | Some c -> Buffer.add_char buf c; advance st 1; go ()
+  in
+  go ();
+  flush_text ();
+  Ast.Attr_parts (List.rev !parts)
+
+and parse_constructor_content st elem_name : Ast.expr list =
+  let items = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_text () =
+    if Buffer.length buf > 0 then (
+      items := Ast.Text_content (Buffer.contents buf) :: !items;
+      Buffer.clear buf)
+  in
+  let rec go () =
+    if st.pos >= st.len then fail st "unterminated element constructor <%s>" elem_name
+    else if looking_at st "</" then (
+      flush_text ();
+      advance st 2;
+      let close = read_qname st in
+      if not (String.equal close elem_name) then
+        fail st "mismatched </%s> for <%s>" close elem_name;
+      skip_ws_in_tag st;
+      match peek st with
+      | Some '>' -> advance st 1
+      | _ -> fail st "malformed end tag </%s>" close)
+    else if looking_at st "<!--" then (
+      advance st 4;
+      let start = st.pos in
+      while not (looking_at st "-->") && st.pos < st.len do
+        advance st 1
+      done;
+      let body = String.sub st.src start (st.pos - start) in
+      if not (looking_at st "-->") then fail st "unterminated comment";
+      advance st 3;
+      flush_text ();
+      items := Ast.Comment_constructor (Ast.Literal (Atomic.String body)) :: !items;
+      go ())
+    else if peek st = Some '<' then (
+      flush_text ();
+      items := parse_direct_constructor st :: !items;
+      go ())
+    else if peek st = Some '{' && peek2 st = Some '{' then (
+      Buffer.add_char buf '{';
+      advance st 2;
+      go ())
+    else if peek st = Some '}' && peek2 st = Some '}' then (
+      Buffer.add_char buf '}';
+      advance st 2;
+      go ())
+    else if peek st = Some '{' then (
+      advance st 1;
+      skip_ws st;
+      flush_text ();
+      let e = parse_expr st in
+      (match peek st with
+      | Some '}' -> advance st 1
+      | _ -> fail st "expected '}' in element content");
+      items := Ast.Enclosed e :: !items;
+      go ())
+    else if peek st = Some '&' then (
+      let sub = { Xml_parser.src = st.src; pos = st.pos; len = st.len } in
+      (try Buffer.add_string buf (Xml_parser.decode_entity sub)
+       with Xml_parser.Parse_error _ -> fail st "bad entity in element content");
+      st.pos <- sub.Xml_parser.pos;
+      go ())
+    else (
+      Buffer.add_char buf (Option.get (peek st));
+      advance st 1;
+      go ())
+  in
+  go ();
+  List.rev !items
+
+(* ------------------------------------------------------------------ *)
+(* Prolog and entry points                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_prolog st =
+  let decls = ref [] in
+  let rec go () =
+    skip_ws st;
+    if at_word st "declare" then (
+      expect_word st "declare";
+      if eat_word st "function" then (
+        let fname = read_qname st in
+        skip_ws st;
+        expect_char st '(';
+        let params =
+          if eat_char st ')' then []
+          else (
+            let rec one acc =
+              expect_char st '$';
+              let v = read_qname st in
+              skip_ws st;
+              let ty = if eat_word st "as" then Some (parse_sequence_type st) else None in
+              let acc = (v, ty) :: acc in
+              if eat_char st ',' then one acc
+              else (
+                expect_char st ')';
+                List.rev acc)
+            in
+            one [])
+        in
+        let return_type = if eat_word st "as" then Some (parse_sequence_type st) else None in
+        expect_char st '{';
+        let body = parse_expr st in
+        expect_char st '}';
+        expect_char st ';';
+        decls := Ast.Function_decl { Ast.fname; params; return_type; body } :: !decls;
+        go ())
+      else if eat_word st "variable" then (
+        expect_char st '$';
+        let v = read_qname st in
+        skip_ws st;
+        let _ = if eat_word st "as" then Some (parse_sequence_type st) else None in
+        if not (eat_sym st ":=") then fail st "expected := in variable declaration";
+        let e = parse_expr_single st in
+        expect_char st ';';
+        decls := Ast.Variable_decl (v, e) :: !decls;
+        go ())
+      else if eat_word st "namespace" then (
+        (* accepted and ignored: we do not resolve namespaces *)
+        let _ = read_qname st in
+        skip_ws st;
+        if not (eat_sym st "=") then fail st "expected = in namespace declaration";
+        let _ = read_string_literal st in
+        expect_char st ';';
+        go ())
+      else fail st "unsupported declaration")
+  in
+  go ();
+  List.rev !decls
+
+let parse_query (src : string) : Ast.query =
+  let st = { src; pos = 0; len = String.length src } in
+  skip_ws st;
+  let prolog = parse_prolog st in
+  let main = parse_expr st in
+  skip_ws st;
+  if st.pos < st.len then fail st "trailing input after query";
+  { Ast.prolog; main }
+
+let parse_expression (src : string) : Ast.expr = (parse_query src).Ast.main

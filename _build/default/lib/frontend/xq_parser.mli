@@ -1,0 +1,17 @@
+(** A scannerless recursive-descent parser for the XQuery subset of
+    ast.ml.
+
+    XQuery lexing is context dependent ("*" is a wildcard in step position
+    and multiplication in operator position; "<" starts a constructor in
+    operand position and a comparison in operator position); a scannerless
+    parser encodes those contexts in its call sites. *)
+
+exception Syntax_error of { position : int; message : string }
+
+val parse_query : string -> Ast.query
+(** Parse a complete query (prolog + main expression).
+    @raise Syntax_error with a byte offset on malformed input. *)
+
+val parse_expression : string -> Ast.expr
+(** Parse a query and return its main expression (convenience for
+    tests). *)

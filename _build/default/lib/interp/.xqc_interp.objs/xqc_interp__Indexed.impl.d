@@ -1,0 +1,1 @@
+lib/interp/indexed.ml: Array Core_ast Hashtbl Interp Item Joins List String Xqc_frontend Xqc_runtime Xqc_xml

@@ -1,0 +1,1 @@
+lib/interp/indexed.mli: Core_ast Dynamic_ctx Interp Item Xqc_frontend Xqc_runtime Xqc_xml

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Ast Atomic Builtins Core_ast Dynamic_ctx Eval Hashtbl Item List Node Promotion Schema Seqtype String Xqc_frontend Xqc_runtime Xqc_types Xqc_xml

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Core_ast Dynamic_ctx Item Xqc_frontend Xqc_runtime Xqc_xml

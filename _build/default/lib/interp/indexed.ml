@@ -1,0 +1,86 @@
+(* The Saxon stand-in: the direct Core interpreter of interp.ml augmented
+   with an automatic hash index over equality where-clauses.
+
+   When a FLWOR prefix has the shape
+
+     for $v in SOURCE where general-eq(L, R) ...
+
+   with SOURCE loop-invariant (its free variables are not bound in the
+   current dynamic environment) and with one comparison side depending on
+   $v alone, the interpreter materializes SOURCE once, indexes it on the
+   $v-side key with the same typed (value, type) scheme as the Section 6
+   hash join, and probes it with the other side — turning the O(n·m)
+   nested loop into O(n+m) without any algebraic compilation.  This gives
+   the engine the property the paper observes of Saxon 8.1.1: "its
+   execution time does not blow up even for the 6-way join", while still
+   paying the interpretive overheads the algebra removes. *)
+
+open Xqc_xml
+open Xqc_frontend
+open Xqc_runtime
+open Core_ast
+
+(* Decompose a where clause into an equality with a side depending only on
+   [v] and a side not mentioning [v]. *)
+let split_equality (v : string) (w : cexpr) : (cexpr * cexpr) option =
+  let w = match w with C_call ("fn:boolean", [ inner ]) -> inner | other -> other in
+  match w with
+  | C_call ("op:general-eq", [ l; r ]) ->
+      let fl = free_vars l and fr = free_vars r in
+      if List.mem v fr && not (List.mem v fl) then Some (l, r)
+      else if List.mem v fl && not (List.mem v fr) then Some (r, l)
+      else None
+  | _ -> None
+
+type index = { ix_items : Item.sequence; ix_hash : Joins.hash_index }
+
+let make_hooks () : Interp.hooks =
+  (* cache of materialized indexes, keyed structurally by (source, key
+     expression); entries are built once per query run because sources are
+     required to be loop-invariant *)
+  let cache : (cexpr * cexpr, index) Hashtbl.t = Hashtbl.create 8 in
+  let try_for_where h ctx (env : Interp.env) clauses k =
+    match clauses with
+    | CC_for { var; at_var = None; astype = None; source }
+      :: CC_where w
+      :: rest -> (
+        match split_equality var w with
+        | None -> None
+        | Some (outer_side, inner_side) ->
+            let bound v = List.mem_assoc v env in
+            let source_invariant = not (List.exists bound (free_vars source)) in
+            let inner_self_contained =
+              List.for_all
+                (fun x -> String.equal x var || not (bound x))
+                (free_vars inner_side)
+            in
+            if not (source_invariant && inner_self_contained) then None
+            else
+              let index =
+                match Hashtbl.find_opt cache (source, inner_side) with
+                | Some ix -> ix
+                | None ->
+                    let items = Interp.eval h ctx env source in
+                    let tuples = List.map (fun it -> [| [ it ] |]) items in
+                    let hash =
+                      Joins.build_hash_index tuples (fun t ->
+                          Interp.eval h ctx [ (var, t.(0)) ] inner_side)
+                    in
+                    let ix = { ix_items = items; ix_hash = hash } in
+                    Hashtbl.replace cache (source, inner_side) ix;
+                    ix
+              in
+              let keys = Item.atomize (Interp.eval h ctx env outer_side) in
+              let matches = Joins.probe_hash_index index.ix_hash keys in
+              Some
+                (List.concat_map
+                   (fun t ->
+                     Interp.run_clauses h ctx ((var, t.(0)) :: env) rest k)
+                   matches))
+    | _ -> None
+  in
+  { Interp.try_for_where = Some try_for_where }
+
+let run ctx (q : cquery) : Item.sequence = Interp.run ~hooks:(make_hooks ()) ctx q
+
+let install_query ctx (q : cquery) = Interp.install_query ~hooks:(make_hooks ()) ctx q

@@ -1,0 +1,27 @@
+(** The Saxon stand-in: the Core interpreter with an automatic hash index
+    over equality where-clauses.
+
+    When a FLWOR prefix has the shape [for $v in SOURCE where
+    general-eq(L, R) ...] with SOURCE loop-invariant and one comparison
+    side depending on [$v] alone, SOURCE is materialized once and indexed
+    with the same typed (value, type) scheme as the Section 6 hash join,
+    turning the nested loop into a probe — the property the paper
+    observes of Saxon 8.1.1 ("its execution time does not blow up even
+    for the 6-way join") without any algebraic compilation. *)
+
+open Xqc_xml
+open Xqc_frontend
+open Xqc_runtime
+
+val split_equality :
+  string -> Core_ast.cexpr -> (Core_ast.cexpr * Core_ast.cexpr) option
+(** [split_equality v where] decomposes an equality where-clause into
+    (outer side, inner side) where the inner side depends on [v] and the
+    outer side does not; [None] when the clause is not such an equality. *)
+
+val make_hooks : unit -> Interp.hooks
+(** Fresh hooks with an empty per-run index cache. *)
+
+val run : Dynamic_ctx.t -> Core_ast.cquery -> Item.sequence
+
+val install_query : Dynamic_ctx.t -> Core_ast.cquery -> Dynamic_ctx.t -> Item.sequence

@@ -1,0 +1,39 @@
+(** Direct interpretation of the XQuery Core AST.
+
+    The paper's "No algebra" baseline (Table 3): the pre-paper Galax
+    evaluated the normalized AST directly with dynamic environments.
+    This interpreter is also the executable specification against which
+    the algebraic engine is property-tested. *)
+
+open Xqc_xml
+open Xqc_frontend
+open Xqc_runtime
+
+type env = (string * Item.sequence) list
+
+(** Extension hook used by the indexed variant ({!Indexed}) to
+    short-circuit joinable for/where clause pairs; [None] in the naive
+    interpreter. *)
+type hooks = {
+  try_for_where :
+    (hooks -> Dynamic_ctx.t -> env -> Core_ast.cclause list ->
+     (env -> Item.sequence) -> Item.sequence option)
+    option;
+}
+
+val naive_hooks : hooks
+
+val eval : hooks -> Dynamic_ctx.t -> env -> Core_ast.cexpr -> Item.sequence
+
+val run_clauses :
+  hooks -> Dynamic_ctx.t -> env -> Core_ast.cclause list ->
+  (env -> Item.sequence) -> Item.sequence
+(** Evaluate FLWOR clauses, calling the continuation once per complete
+    binding, concatenating the results. *)
+
+val install_query :
+  ?hooks:hooks -> Dynamic_ctx.t -> Core_ast.cquery -> Dynamic_ctx.t -> Item.sequence
+(** Register the query's functions in the context and return a runner
+    that evaluates globals then the main expression. *)
+
+val run : ?hooks:hooks -> Dynamic_ctx.t -> Core_ast.cquery -> Item.sequence

@@ -1,0 +1,1 @@
+lib/optimizer/doc_paths.ml: Ast Core_ast Hashtbl List Xqc_frontend

@@ -1,0 +1,1 @@
+lib/optimizer/doc_paths.mli: Ast Core_ast Xqc_frontend

@@ -1,0 +1,1 @@
+lib/optimizer/rewrite.ml: Algebra Hashtbl List Option Printf Promotion Static_type Xqc_algebra Xqc_types Xqc_xml

@@ -1,0 +1,1 @@
+lib/optimizer/rewrite.mli: Algebra Promotion Xqc_algebra Xqc_types

@@ -1,0 +1,1 @@
+lib/optimizer/static_type.ml: Algebra Ast Atomic List Seqtype Xqc_algebra Xqc_frontend Xqc_types Xqc_xml

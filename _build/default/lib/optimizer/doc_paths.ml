@@ -1,0 +1,177 @@
+(* Static path analysis for document projection, in the style of Marian &
+   Siméon (the paper's cited projection technique).
+
+   For every free (external) document variable of a query, compute the
+   set of projection specs — step paths paired with a subtree flag — that
+   cover every access the query can make:
+
+   - navigation extends the paths of the value navigated from;
+   - structural consumption (for-iteration, counting, existence,
+     where-clauses, type matching) marks the reached nodes {e node-only};
+   - value consumption (atomization, construction, string functions,
+     validation, serialization of the result) marks them {e subtree};
+   - reverse or sibling axes applied to tracked nodes, and any construct
+     the analysis cannot see through, mark the source {e unsafe} and
+     projection is skipped for it.
+
+   The result feeds [Projection.project_specs] on the variable's binding
+   before evaluation. *)
+
+open Xqc_frontend
+open Core_ast
+
+type step = Ast.axis * Ast.node_test
+
+type spec = { steps : step list; subtree : bool }
+
+(* A tracked value: node sets reached from sources by known paths. *)
+type tracked = (string * step list) list
+(** (source variable, reversed steps from its root) *)
+
+type acc = {
+  specs : (string, spec list ref) Hashtbl.t;
+  unsafe : (string, unit) Hashtbl.t;
+}
+
+let mark acc ~subtree (rets : tracked) =
+  List.iter
+    (fun (src, rev_steps) ->
+      let cell =
+        match Hashtbl.find_opt acc.specs src with
+        | Some c -> c
+        | None ->
+            let c = ref [] in
+            Hashtbl.add acc.specs src c;
+            c
+      in
+      let sp = { steps = List.rev rev_steps; subtree } in
+      if not (List.mem sp !cell) then cell := sp :: !cell)
+    rets
+
+let mark_unsafe acc (rets : tracked) =
+  List.iter (fun (src, _) -> Hashtbl.replace acc.unsafe src ()) rets
+
+type env = (string * tracked) list
+
+let forward_axis = function
+  | Ast.Child | Ast.Descendant | Ast.Descendant_or_self | Ast.Attribute_axis
+  | Ast.Self ->
+      true
+  | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self | Ast.Following_sibling
+  | Ast.Preceding_sibling ->
+      false
+
+(* Built-ins that only look at the structure/count of their node
+   arguments; the nodes themselves must survive projection but not their
+   contents. *)
+let structural_functions =
+  [ "fn:count"; "fn:empty"; "fn:exists"; "fn:boolean"; "fn:not";
+    "fs:predicate-truth" ]
+
+(* Built-ins through which node identity flows unchanged. *)
+let transparent_functions =
+  [ "fn:reverse"; "fn:subsequence"; "fn:insert-before"; "fn:remove";
+    "fn:zero-or-one"; "fn:one-or-more"; "fn:exactly-one"; "op:union";
+    "op:intersect"; "op:except"; "fn:root" ]
+
+let rec go (acc : acc) (env : env) (e : cexpr) : tracked =
+  match e with
+  | C_empty | C_scalar _ -> []
+  | C_var v -> (
+      match List.assoc_opt v env with
+      | Some t -> t
+      | None -> [ (v, []) ] (* a free variable: a fresh source root *))
+  | C_seq (a, b) -> go acc env a @ go acc env b
+  | C_treejoin (axis, test, input) ->
+      let rets = go acc env input in
+      if forward_axis axis then
+        List.map (fun (src, steps) -> (src, (axis, test) :: steps)) rets
+      else (
+        (* reverse navigation escapes the projected cone *)
+        mark_unsafe acc rets;
+        [])
+  | C_elem (_, c) | C_attr (_, c) | C_text c | C_comment c | C_pi (_, c) ->
+      (* construction copies content wholesale *)
+      mark acc ~subtree:true (go acc env c);
+      []
+  | C_if (c, t, e) ->
+      mark acc ~subtree:false (go acc env c);
+      go acc env t @ go acc env e
+  | C_flwor (clauses, orders, ret) ->
+      let env =
+        List.fold_left
+          (fun env clause ->
+            match clause with
+            | CC_for { var; at_var; source; _ } ->
+                let rets = go acc env source in
+                (* iteration cardinality depends on the nodes existing *)
+                mark acc ~subtree:false rets;
+                let env = (var, rets) :: env in
+                (match at_var with Some a -> (a, []) :: env | None -> env)
+            | CC_let { var; value; _ } -> (var, go acc env value) :: env
+            | CC_where w ->
+                mark acc ~subtree:false (go acc env w);
+                env)
+          env clauses
+      in
+      List.iter (fun o -> mark acc ~subtree:true (go acc env o.ckey)) orders;
+      go acc env ret
+  | C_quant (_, v, source, body) ->
+      let rets = go acc env source in
+      mark acc ~subtree:false rets;
+      mark acc ~subtree:false (go acc ((v, rets) :: env) body);
+      []
+  | C_typeswitch (x, scrut, cases, default) ->
+      let rets = go acc env scrut in
+      mark acc ~subtree:false rets;
+      let env = (x, rets) :: env in
+      List.concat_map (fun (_, b) -> go acc env b) cases @ go acc env default
+  | C_call (f, args) ->
+      let argrets = List.map (go acc env) args in
+      if List.mem f structural_functions then (
+        List.iter (mark acc ~subtree:false) argrets;
+        [])
+      else if List.mem f transparent_functions then List.concat argrets
+      else (
+        (* atomization, aggregation, user functions: value consumption *)
+        List.iter (mark acc ~subtree:true) argrets;
+        [])
+  | C_instance_of (c, _) ->
+      mark acc ~subtree:false (go acc env c);
+      []
+  | C_typeassert (c, _) -> go acc env c
+  | C_cast (c, _, _) | C_castable (c, _, _) ->
+      mark acc ~subtree:true (go acc env c);
+      []
+  | C_validate c ->
+      (* validation copies the whole subtree *)
+      mark acc ~subtree:true (go acc env c);
+      []
+
+(* Analyze a whole query.  Returns, for each free variable that is used
+   as a document source, either its projection specs or [None] when the
+   variable escaped the analysis (projection must be skipped). *)
+let analyze (q : cquery) : (string * spec list option) list =
+  let acc = { specs = Hashtbl.create 8; unsafe = Hashtbl.create 4 } in
+  let env =
+    List.fold_left
+      (fun env (v, e) ->
+        (* globals are aliases of whatever they compute; a global bound to
+           pure navigation from a source keeps the tracking *)
+        (v, go acc env e) :: env)
+      [] q.cq_globals
+  in
+  (* user-function bodies: parameters are opaque; free variables inside
+     still accumulate into the same tables *)
+  List.iter
+    (fun f ->
+      let param_env = List.map (fun (p, _) -> (p, [])) f.cf_params in
+      mark acc ~subtree:true (go acc param_env f.cf_body))
+    q.cq_functions;
+  (* the main result is serialized: full subtrees *)
+  mark acc ~subtree:true (go acc env q.cq_main);
+  Hashtbl.fold
+    (fun src cell out ->
+      if Hashtbl.mem acc.unsafe src then (src, None) :: out
+      else (src, Some !cell) :: out)
+    acc.specs []

@@ -1,0 +1,20 @@
+(** Static path analysis for document projection (Marian & Siméon, the
+    projection technique the paper cites).
+
+    For every free document variable of a query, compute projection specs
+    covering all accesses: navigation extends paths; structural uses
+    (iteration, counting, existence, type tests) mark nodes node-only;
+    value uses (atomization, construction, validation, the serialized
+    result) mark subtrees; reverse/sibling axes or constructs the
+    analysis cannot see through mark the source unsafe. *)
+
+open Xqc_frontend
+
+type step = Ast.axis * Ast.node_test
+
+type spec = { steps : step list; subtree : bool }
+
+val analyze : Core_ast.cquery -> (string * spec list option) list
+(** Per tracked free variable: [Some specs] to project with, or [None]
+    when the variable escaped the analysis and projection must be
+    skipped. *)

@@ -1,0 +1,53 @@
+(** Logical optimization — the rewritings of Figure 5 — plus the physical
+    join selection of Section 6.
+
+    Standard rules: (remove map), (insert product), (insert join).
+    New rules: (insert group-by), (map through group-by),
+    (remove duplicate null), (insert outer-join).
+    Robustness rules beyond the paper's figure (in the spirit of its
+    "more robust to variations" discussion): (hoist nested flwor) for
+    blocks nested inside return-position constructors, hoisting out of
+    GroupBy pre-grouping plans for multi-level nesting, (push product
+    through map-concat), select/MapIndexStep commutation, and a
+    generalized (insert outer-join) that finds the buried [Join(IN, X)]
+    through a chain of row-preserving operators, fusing intervening
+    selections into the join predicate.
+
+    Rules are applied top-down (outer nesting levels first) to a
+    fixpoint; see DESIGN.md for why the order matters. *)
+
+open Xqc_algebra
+open Xqc_types
+
+val fresh_field : string -> Algebra.field
+(** A globally fresh tuple-field name ("base~N"). *)
+
+val rewrite : Algebra.plan -> Algebra.plan
+(** Apply the logical rewritings to a fixpoint. *)
+
+val split_pred :
+  Algebra.join_pred ->
+  Algebra.plan ->
+  Algebra.plan ->
+  (Algebra.join_algorithm * Algebra.join_pred) option
+(** Split a [Pred] into a [Split_pred] when it is a general comparison
+    whose two sides read disjoint halves of the concatenated tuple
+    (mirroring the operator when the sides are swapped), and pick the
+    algorithm: hash for equality, sort for inequalities, nested-loop for
+    [!=]. *)
+
+val choose_join_algorithms : Algebra.plan -> Algebra.plan
+(** The physical pass: apply {!split_pred} to every nested-loop join. *)
+
+val mirror_op : Promotion.cmp_op -> Promotion.cmp_op
+val algorithm_for : Promotion.cmp_op -> Algebra.join_algorithm
+
+type options = {
+  unnest : bool;  (** apply the Figure 5 rewritings *)
+  physical_joins : bool;  (** pick hash/sort join algorithms *)
+  static_types : bool;  (** type-driven simplification (Static_type) *)
+}
+
+val default_options : options
+
+val optimize : ?options:options -> Algebra.plan -> Algebra.plan

@@ -1,0 +1,1 @@
+lib/runtime/builtins.ml: Atomic Buffer Char Dynamic_ctx Float Hashtbl Item List Node Option Printf Promotion Regex String Xqc_types Xqc_xml

@@ -1,0 +1,1 @@
+lib/runtime/builtins.mli: Dynamic_ctx Item Node Xqc_xml

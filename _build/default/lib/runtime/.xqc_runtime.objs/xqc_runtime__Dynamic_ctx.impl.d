@@ -1,0 +1,1 @@
+lib/runtime/dynamic_ctx.ml: Hashtbl Item List Node Printf Schema Xqc_types Xqc_xml

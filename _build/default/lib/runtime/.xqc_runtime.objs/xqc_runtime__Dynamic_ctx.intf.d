@@ -1,0 +1,1 @@
+lib/runtime/dynamic_ctx.mli: Hashtbl Item Node Schema Xqc_types Xqc_xml

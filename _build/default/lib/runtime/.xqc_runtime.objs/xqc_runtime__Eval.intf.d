@@ -1,0 +1,1 @@
+lib/runtime/eval.mli: Algebra Ast Dynamic_ctx Item Node Xqc_algebra Xqc_compiler Xqc_frontend Xqc_types Xqc_xml

@@ -1,0 +1,1 @@
+lib/runtime/joins.ml: Array Atomic Float Hashtbl Item List Promotion String Xqc_types Xqc_xml

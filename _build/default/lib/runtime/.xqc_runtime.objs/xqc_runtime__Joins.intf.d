@@ -1,0 +1,1 @@
+lib/runtime/joins.mli: Atomic Hashtbl Item Promotion Xqc_types Xqc_xml

@@ -1,0 +1,1 @@
+lib/runtime/projection.ml: Ast Item List Node Option Seqtype String Xqc_frontend Xqc_types Xqc_xml

@@ -1,0 +1,1 @@
+lib/runtime/projection.mli: Ast Item Schema Xqc_frontend Xqc_types Xqc_xml

@@ -1,0 +1,1 @@
+lib/runtime/regex.ml: Buffer Char Printf Str String

@@ -1,0 +1,74 @@
+(* The dynamic evaluation context (the paper's implicit "algebra context"):
+   schema in force, global/external variable bindings, compiled user
+   functions, the document cache behind Parse/fn:doc, and the current
+   function-parameter frame. *)
+
+open Xqc_xml
+open Xqc_types
+
+exception Dynamic_error of string
+
+let dynamic_error fmt = Printf.ksprintf (fun s -> raise (Dynamic_error s)) fmt
+
+type xvalue = Item.sequence
+
+type func = {
+  func_params : string list;
+  mutable func_impl : t -> xvalue list -> xvalue;
+      (** patched after all functions are compiled, enabling recursion *)
+}
+
+and t = {
+  schema : Schema.t;
+  globals : (string, xvalue) Hashtbl.t;
+  functions : (string, func) Hashtbl.t;
+  documents : (string, Node.t) Hashtbl.t;
+  resolver : (string -> Node.t) option;
+  mutable params : (string * xvalue) list;  (** current function frame *)
+}
+
+let create ?(schema = Schema.empty) ?resolver () =
+  {
+    schema;
+    globals = Hashtbl.create 16;
+    functions = Hashtbl.create 16;
+    documents = Hashtbl.create 4;
+    resolver;
+    params = [];
+  }
+
+let bind_global ctx name value = Hashtbl.replace ctx.globals name value
+
+let bind_document ctx uri doc = Hashtbl.replace ctx.documents uri doc
+
+let lookup_variable ctx name : xvalue =
+  match List.assoc_opt name ctx.params with
+  | Some v -> v
+  | None -> (
+      match Hashtbl.find_opt ctx.globals name with
+      | Some v -> v
+      | None -> dynamic_error "unbound variable $%s" name)
+
+let resolve_document ctx uri : Node.t =
+  match Hashtbl.find_opt ctx.documents uri with
+  | Some d -> d
+  | None -> (
+      match ctx.resolver with
+      | Some f ->
+          let d = f uri in
+          Hashtbl.replace ctx.documents uri d;
+          d
+      | None -> dynamic_error "cannot resolve document %S" uri)
+
+(* Run [f] with a fresh parameter frame, restoring the caller's frame —
+   needed for recursive user-defined functions. *)
+let with_params ctx frame f =
+  let saved = ctx.params in
+  ctx.params <- frame;
+  match f () with
+  | v ->
+      ctx.params <- saved;
+      v
+  | exception e ->
+      ctx.params <- saved;
+      raise e

@@ -1,0 +1,47 @@
+(** The dynamic evaluation context — the paper's implicit "algebra
+    context": the schema in force, global/external variable bindings,
+    compiled user functions, the document cache behind Parse/fn:doc, and
+    the current function-parameter frame. *)
+
+open Xqc_xml
+open Xqc_types
+
+exception Dynamic_error of string
+
+val dynamic_error : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Dynamic_error} with a formatted message. *)
+
+type xvalue = Item.sequence
+
+(** A user-defined function; [func_impl] is patched after all functions
+    of a query are compiled, enabling (mutual) recursion. *)
+type func = {
+  func_params : string list;
+  mutable func_impl : t -> xvalue list -> xvalue;
+}
+
+and t = {
+  schema : Schema.t;
+  globals : (string, xvalue) Hashtbl.t;
+  functions : (string, func) Hashtbl.t;
+  documents : (string, Node.t) Hashtbl.t;
+  resolver : (string -> Node.t) option;
+  mutable params : (string * xvalue) list;  (** current function frame *)
+}
+
+val create : ?schema:Schema.t -> ?resolver:(string -> Node.t) -> unit -> t
+
+val bind_global : t -> string -> xvalue -> unit
+val bind_document : t -> string -> Node.t -> unit
+
+val lookup_variable : t -> string -> xvalue
+(** Parameter frame first, then globals.
+    @raise Dynamic_error when unbound. *)
+
+val resolve_document : t -> string -> Node.t
+(** Cache lookup, falling back to the resolver (which is then cached).
+    @raise Dynamic_error when the URI cannot be resolved. *)
+
+val with_params : t -> (string * xvalue) list -> (unit -> 'a) -> 'a
+(** Run with a parameter frame, restoring the caller's frame on exit
+    (including on exceptions). *)

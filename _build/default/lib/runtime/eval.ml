@@ -1,0 +1,722 @@
+(* Physical evaluation of algebraic plans.
+
+   Plans are compiled to OCaml closures.  Tuples are value arrays and every
+   IN#q access is resolved to an integer slot at compile time — the paper
+   attributes much of the algebra's speedup over the old AST interpreter to
+   this "replacement of dynamic lookups in the dynamic context by direct
+   compiled memory access".
+
+   Evaluation convention for the dependent-input plumbing: every compiled
+   plan receives the current dependent input [inp]; operators pass it
+   through unchanged to their *independent* children and rebind it for
+   their *dependent* children (per-tuple predicates, map bodies, group-by
+   pre/post plans, join predicates, sort keys). *)
+
+open Xqc_xml
+open Xqc_types
+open Xqc_frontend
+open Xqc_algebra
+open Algebra
+open Dynamic_ctx
+
+exception Compile_error of string
+
+let compile_error fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+type tuple = Item.sequence array
+
+type dval = Xml of Item.sequence | Tab of tuple list
+
+type inp = ITuple of tuple | IItems of Item.sequence | INone
+
+type comp = Dynamic_ctx.t -> inp -> dval
+
+let as_items = function
+  | Xml s -> s
+  | Tab _ -> dynamic_error "expected an XML value, found a table"
+
+let as_table = function
+  | Tab t -> t
+  | Xml _ -> dynamic_error "expected a table, found an XML value"
+
+let ebv (v : dval) : bool = Item.effective_boolean_value (as_items v)
+
+let true_flag : Item.sequence = [ Item.Atom (Atomic.Boolean true) ]
+let false_flag : Item.sequence = [ Item.Atom (Atomic.Boolean false) ]
+
+(* ------------------------------------------------------------------ *)
+(* Layout management                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type layout = string list
+
+let field_index (l : layout) (q : string) : int option =
+  let rec go i = function
+    | [] -> None
+    | f :: _ when String.equal f q -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 l
+
+(* Tuple concatenation spec: output layout merges [l2] into [l1] (fields
+   already present on the left are overwritten in place — the two sides
+   can only disagree transiently during rewriting, when they are aliases
+   of the same value).  Returns the output layout, its width, and the
+   compile-time move table for the right tuple. *)
+let concat_spec (l1 : layout) (l2 : layout) : layout * int * (int * int) array =
+  let extra = List.filter (fun f -> field_index l1 f = None) l2 in
+  let out = l1 @ extra in
+  let moves =
+    List.mapi
+      (fun j f ->
+        match field_index out f with
+        | Some k -> (j, k)
+        | None -> assert false)
+      l2
+  in
+  (out, List.length out, Array.of_list moves)
+
+let apply_concat (n1 : int) (width : int) (moves : (int * int) array) (t1 : tuple)
+    (t2 : tuple) : tuple =
+  let out = Array.make width [] in
+  Array.blit t1 0 out 0 n1;
+  Array.iter (fun (j, k) -> out.(k) <- t2.(j)) moves;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Axes and node tests                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let apply_axis (axis : Ast.axis) (n : Node.t) : Node.t list =
+  match axis with
+  | Ast.Child -> Node.children n
+  | Ast.Descendant -> Node.descendants n
+  | Ast.Descendant_or_self -> Node.descendant_or_self n
+  | Ast.Attribute_axis -> Node.attributes n
+  | Ast.Self -> [ n ]
+  | Ast.Parent -> Option.to_list (Node.parent n)
+  | Ast.Ancestor -> Node.ancestors n
+  | Ast.Ancestor_or_self -> n :: Node.ancestors n
+  | Ast.Following_sibling -> Node.following_siblings n
+  | Ast.Preceding_sibling -> Node.preceding_siblings n
+
+let test_matches schema (axis : Ast.axis) (test : Ast.node_test) (n : Node.t) :
+    bool =
+  match test with
+  | Ast.Kind_test it -> Seqtype.item_matches schema (Item.Node n) it
+  | Ast.Name_test name ->
+      (* the principal node kind of the attribute axis is attribute *)
+      let kind_ok =
+        match axis with
+        | Ast.Attribute_axis -> Node.kind n = Node.Kattribute
+        | _ -> Node.kind n = Node.Kelement
+      in
+      kind_ok && (String.equal name "*" || Node.name n = Some name)
+
+let tree_join schema axis test (input : Item.sequence) : Item.sequence =
+  let out = ref [] in
+  List.iter
+    (fun it ->
+      match it with
+      | Item.Node n ->
+          List.iter
+            (fun m -> if test_matches schema axis test m then out := m :: !out)
+            (apply_axis axis n)
+      | Item.Atom _ -> dynamic_error "path step applied to an atomic value")
+    input;
+  List.map (fun n -> Item.Node n) (Node.sort_doc_order !out)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Element content assembly: attribute nodes become attributes, atomic
+   values merge into space-separated text, nodes are deep-copied (XQuery
+   constructor copy semantics), document nodes contribute their children. *)
+let assemble_content (items : Item.sequence) : Node.t list * Node.t list =
+  let attrs = ref [] and content = ref [] and atom_buf = ref [] in
+  let flush () =
+    if !atom_buf <> [] then (
+      let s = String.concat " " (List.rev_map Atomic.to_string !atom_buf) in
+      atom_buf := [];
+      content := Node.text s :: !content)
+  in
+  List.iter
+    (fun it ->
+      match it with
+      | Item.Atom a -> atom_buf := a :: !atom_buf
+      | Item.Node n -> (
+          flush ();
+          match Node.kind n with
+          | Node.Kattribute -> attrs := Node.copy n :: !attrs
+          | Node.Kdocument ->
+              List.iter (fun c -> content := Node.copy c :: !content) (Node.children n)
+          | Node.Kelement | Node.Ktext | Node.Kcomment | Node.Kpi ->
+              content := Node.copy n :: !content))
+    items;
+  flush ();
+  (List.rev !attrs, List.rev !content)
+
+let construct_element name (items : Item.sequence) : Item.t =
+  let attrs, children = assemble_content items in
+  let e = Node.element name ~attrs ~children in
+  Node.renumber e;
+  Item.Node e
+
+let construct_attribute name (items : Item.sequence) : Item.t =
+  let s = String.concat " " (List.map Item.string_value items) in
+  Item.Node (Node.attribute name s)
+
+(* ------------------------------------------------------------------ *)
+(* Plan compilation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type cenv = { layout : layout }
+
+(* Ablation knob: when set, IN#q accesses scan the tuple layout by name at
+   every evaluation instead of using the index resolved at compile time —
+   simulating the dynamic-context lookups of the pre-paper engine that
+   Table 3 credits part of the algebra speedup to.  Affects plans compiled
+   while the flag is set. *)
+let dynamic_field_lookup = ref false
+
+let rec compile (env : cenv) (p : plan) : comp * layout =
+  match p with
+  | Input ->
+      ( (fun _ctx inp ->
+          match inp with
+          | ITuple t -> Tab [ t ]
+          | IItems s -> Xml s
+          | INone -> dynamic_error "IN used outside a dependent context"),
+        env.layout )
+  | Empty -> ((fun _ _ -> Xml []), [])
+  | Scalar a ->
+      let v = Xml [ Item.Atom a ] in
+      ((fun _ _ -> v), [])
+  | Seq (a, b) ->
+      let ca, _ = compile env a and cb, _ = compile env b in
+      ((fun ctx inp -> Xml (as_items (ca ctx inp) @ as_items (cb ctx inp))), [])
+  | Element (name, content) ->
+      let cc, _ = compile env content in
+      ((fun ctx inp -> Xml [ construct_element name (as_items (cc ctx inp)) ]), [])
+  | Attribute (name, content) ->
+      let cc, _ = compile env content in
+      ((fun ctx inp -> Xml [ construct_attribute name (as_items (cc ctx inp)) ]), [])
+  | Text content ->
+      let cc, _ = compile env content in
+      ( (fun ctx inp ->
+          match as_items (cc ctx inp) with
+          | [] -> Xml []
+          | items ->
+              Xml [ Item.Node (Node.text (String.concat " " (List.map Item.string_value items))) ]),
+        [] )
+  | Comment content ->
+      let cc, _ = compile env content in
+      ( (fun ctx inp ->
+          Xml [ Item.Node (Node.comment (String.concat " " (List.map Item.string_value (as_items (cc ctx inp))))) ]),
+        [] )
+  | Pi (target, content) ->
+      let cc, _ = compile env content in
+      ( (fun ctx inp ->
+          Xml [ Item.Node (Node.pi target (String.concat " " (List.map Item.string_value (as_items (cc ctx inp))))) ]),
+        [] )
+  | TreeJoin (axis, test, input) ->
+      let ci, _ = compile env input in
+      ((fun ctx inp -> Xml (tree_join ctx.schema axis test (as_items (ci ctx inp)))), [])
+  | TreeProject (paths, input) ->
+      let ci, _ = compile env input in
+      ((fun ctx inp -> Xml (Projection.project ctx.schema paths (as_items (ci ctx inp)))), [])
+  | Castable (tn, optional, input) ->
+      let ci, _ = compile env input in
+      ( (fun ctx inp ->
+          let ok =
+            match Item.atomize (as_items (ci ctx inp)) with
+            | [] -> optional
+            | [ a ] -> Atomic.castable tn a
+            | _ -> false
+          in
+          Xml [ Item.Atom (Atomic.Boolean ok) ]),
+        [] )
+  | Cast (tn, optional, input) ->
+      let ci, _ = compile env input in
+      ( (fun ctx inp ->
+          match Item.atomize (as_items (ci ctx inp)) with
+          | [] ->
+              if optional then Xml []
+              else dynamic_error "cast of an empty sequence to a non-optional type"
+          | [ a ] -> Xml [ Item.Atom (Atomic.cast tn a) ]
+          | _ -> dynamic_error "cast applied to a sequence of more than one item"),
+        [] )
+  | Validate input ->
+      let ci, _ = compile env input in
+      ( (fun ctx inp ->
+          match as_items (ci ctx inp) with
+          | [ Item.Node n ] -> Xml [ Item.Node (Schema.validate ctx.schema n) ]
+          | _ -> dynamic_error "validate requires a single element or document node"),
+        [] )
+  | TypeMatches (ty, input) ->
+      let ci, _ = compile env input in
+      ( (fun ctx inp ->
+          Xml [ Item.Atom (Atomic.Boolean (Seqtype.matches ctx.schema (as_items (ci ctx inp)) ty)) ]),
+        [] )
+  | TypeAssert (ty, input) ->
+      let ci, _ = compile env input in
+      ((fun ctx inp -> Xml (Seqtype.assert_matches ctx.schema (as_items (ci ctx inp)) ty)), [])
+  | Var q -> ((fun ctx _ -> Xml (lookup_variable ctx q)), [])
+  | Call (name, args) -> compile_call env name args
+  | Cond (c, t, e) ->
+      let cc, _ = compile env c in
+      let ct, lt = compile env t in
+      let ce, _ = compile env e in
+      ((fun ctx inp -> if ebv (cc ctx inp) then ct ctx inp else ce ctx inp), lt)
+  | Quantified (q, v, source, body) ->
+      let cs, _ = compile env source in
+      let cb, _ = compile env body in
+      ( (fun ctx inp ->
+          let test it =
+            with_params ctx ((v, [ it ]) :: ctx.params) (fun () -> ebv (cb ctx inp))
+          in
+          let items = as_items (cs ctx inp) in
+          let result =
+            match q with
+            | Ast.Some_quant -> List.exists test items
+            | Ast.Every_quant -> List.for_all test items
+          in
+          Xml [ Item.Atom (Atomic.Boolean result) ]),
+        [] )
+  | Parse uri_plan ->
+      let cu, _ = compile env uri_plan in
+      ( (fun ctx inp ->
+          match as_items (cu ctx inp) with
+          | [ it ] -> Xml [ Item.Node (resolve_document ctx (Item.string_value it)) ]
+          | _ -> dynamic_error "fn:doc requires a single URI"),
+        [] )
+  | Serialize (uri, input) ->
+      let ci, _ = compile env input in
+      ( (fun ctx inp ->
+          Serializer.sequence_to_file uri (as_items (ci ctx inp));
+          Xml []),
+        [] )
+  | TupleConstruct fields ->
+      let compiled = List.map (fun (q, p) -> (q, fst (compile env p))) fields in
+      let n = List.length compiled in
+      let comps = Array.of_list (List.map snd compiled) in
+      ( (fun ctx inp ->
+          let t = Array.make n [] in
+          Array.iteri (fun i c -> t.(i) <- as_items (c ctx inp)) comps;
+          Tab [ t ]),
+        List.map fst compiled )
+  | FieldAccess q -> (
+      match field_index env.layout q with
+      | Some i ->
+          if !dynamic_field_lookup then
+            let layout = env.layout in
+            ( (fun _ctx inp ->
+                match inp with
+                | ITuple t -> (
+                    match field_index layout q with
+                    | Some j -> Xml t.(j)
+                    | None -> dynamic_error "IN#%s not found" q)
+                | IItems _ | INone -> dynamic_error "IN#%s outside a tuple context" q),
+              [] )
+          else
+            ( (fun _ctx inp ->
+                match inp with
+                | ITuple t -> Xml t.(i)
+                | IItems _ | INone -> dynamic_error "IN#%s outside a tuple context" q),
+              [] )
+      | None -> compile_error "unknown tuple field #%s (layout: %s)" q (String.concat "," env.layout))
+  | Select (pred, input) ->
+      let ci, li = compile env input in
+      let cp, _ = compile { layout = li } pred in
+      ( (fun ctx inp ->
+          let tuples = as_table (ci ctx inp) in
+          Tab (List.filter (fun t -> ebv (cp ctx (ITuple t))) tuples)),
+        li )
+  | Product (a, b) ->
+      let ca, la = compile env a and cb, lb = compile env b in
+      let _, width, moves = concat_spec la lb in
+      let n1 = List.length la in
+      ( (fun ctx inp ->
+          let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
+          Tab
+            (List.concat_map
+               (fun l -> List.map (fun r -> apply_concat n1 width moves l r) right)
+               left)),
+        (let out, _, _ = concat_spec la lb in
+         out) )
+  | Join (alg, pred, a, b) -> compile_join env ~outer:false alg "" pred a b
+  | LOuterJoin (alg, q, pred, a, b) -> compile_join env ~outer:true alg q pred a b
+  | Map (dep, input) ->
+      let ci, li = compile env input in
+      let cd, ld = compile { layout = li } dep in
+      ( (fun ctx inp ->
+          let tuples = as_table (ci ctx inp) in
+          Tab (List.concat_map (fun t -> as_table (cd ctx (ITuple t))) tuples)),
+        ld )
+  | OMap (q, input) ->
+      let ci, li = compile env input in
+      let width = 1 + List.length li in
+      ( (fun ctx inp ->
+          match as_table (ci ctx inp) with
+          | [] ->
+              let t = Array.make width [] in
+              t.(0) <- true_flag;
+              Tab [ t ]
+          | tuples ->
+              Tab
+                (List.map
+                   (fun t ->
+                     let out = Array.make width [] in
+                     out.(0) <- false_flag;
+                     Array.blit t 0 out 1 (Array.length t);
+                     out)
+                   tuples)),
+        q :: li )
+  | MapConcat (dep, input) ->
+      let ci, li = compile env input in
+      let cd, ld = compile { layout = li } dep in
+      let out, width, moves = concat_spec li ld in
+      let n1 = List.length li in
+      ( (fun ctx inp ->
+          let tuples = as_table (ci ctx inp) in
+          Tab
+            (List.concat_map
+               (fun t ->
+                 List.map
+                   (fun d -> apply_concat n1 width moves t d)
+                   (as_table (cd ctx (ITuple t))))
+               tuples)),
+        out )
+  | OMapConcat (q, dep, input) ->
+      let ci, li = compile env input in
+      let cd, ld = compile { layout = li } dep in
+      let merged, mwidth, moves = concat_spec li ld in
+      let out = q :: merged in
+      let width = 1 + mwidth in
+      let n1 = List.length li in
+      ( (fun ctx inp ->
+          let tuples = as_table (ci ctx inp) in
+          Tab
+            (List.concat_map
+               (fun t ->
+                 match as_table (cd ctx (ITuple t)) with
+                 | [] ->
+                     let o = Array.make width [] in
+                     o.(0) <- true_flag;
+                     Array.blit t 0 o 1 n1;
+                     [ o ]
+                 | deps ->
+                     List.map
+                       (fun d ->
+                         let m = apply_concat n1 mwidth moves t d in
+                         let o = Array.make width [] in
+                         o.(0) <- false_flag;
+                         Array.blit m 0 o 1 mwidth;
+                         o)
+                       deps)
+               tuples)),
+        out )
+  | MapIndex (q, input) | MapIndexStep (q, input) ->
+      let ci, li = compile env input in
+      ( (fun ctx inp ->
+          let tuples = as_table (ci ctx inp) in
+          Tab
+            (List.mapi
+               (fun i t ->
+                 let out = Array.make (1 + Array.length t) [] in
+                 out.(0) <- [ Item.Atom (Atomic.Integer (i + 1)) ];
+                 Array.blit t 0 out 1 (Array.length t);
+                 out)
+               tuples)),
+        q :: li )
+  | OrderBy (specs, input) ->
+      let ci, li = compile env input in
+      let cspecs =
+        List.map (fun s -> (fst (compile { layout = li } s.skey), s.sdir, s.sempty)) specs
+      in
+      ( (fun ctx inp ->
+          let tuples = as_table (ci ctx inp) in
+          Tab (order_by ctx cspecs tuples)),
+        li )
+  | GroupBy (g, input) -> compile_groupby env g input
+  | MapFromItem (dep, input) ->
+      let ci, _ = compile env input in
+      let cd, ld = compile { layout = [] } dep in
+      ( (fun ctx inp ->
+          let items = as_items (ci ctx inp) in
+          Tab (List.concat_map (fun it -> as_table (cd ctx (IItems [ it ]))) items)),
+        ld )
+  | MapToItem (dep, input) ->
+      let ci, li = compile env input in
+      let cd, _ = compile { layout = li } dep in
+      ( (fun ctx inp ->
+          let tuples = as_table (ci ctx inp) in
+          Xml (List.concat_map (fun t -> as_items (cd ctx (ITuple t))) tuples)),
+        [] )
+  | MapSome (dep, input) ->
+      let ci, li = compile env input in
+      let cd, _ = compile { layout = li } dep in
+      ( (fun ctx inp ->
+          let tuples = as_table (ci ctx inp) in
+          Xml [ Item.Atom (Atomic.Boolean (List.exists (fun t -> ebv (cd ctx (ITuple t))) tuples)) ]),
+        [] )
+  | MapEvery (dep, input) ->
+      let ci, li = compile env input in
+      let cd, _ = compile { layout = li } dep in
+      ( (fun ctx inp ->
+          let tuples = as_table (ci ctx inp) in
+          Xml [ Item.Atom (Atomic.Boolean (List.for_all (fun t -> ebv (cd ctx (ITuple t))) tuples)) ]),
+        [] )
+
+and compile_call env name args =
+  let cargs = List.map (fun a -> fst (compile env a)) args in
+  let builtin = Builtins.find name in
+  ( (fun ctx inp ->
+      let vals = List.map (fun c -> as_items (c ctx inp)) cargs in
+      match Hashtbl.find_opt ctx.functions name with
+      | Some f ->
+          if List.length f.func_params <> List.length vals then
+            dynamic_error "%s called with %d arguments, expected %d" name
+              (List.length vals) (List.length f.func_params);
+          Xml (f.func_impl ctx vals)
+      | None -> (
+          match builtin with
+          | Some f -> Xml (f ctx vals)
+          | None -> dynamic_error "unknown function %s" name)),
+    [] )
+
+and order_by ctx cspecs tuples =
+  (* evaluate all keys once, then stable-sort *)
+  let keyed =
+    List.map
+      (fun t ->
+        let keys =
+          List.map
+            (fun (ck, _, _) ->
+              match Item.atomize (as_items (ck ctx (ITuple t))) with
+              | [] -> None
+              | [ a ] -> Some a
+              | _ -> dynamic_error "order by key is not a singleton")
+            cspecs
+        in
+        (keys, t))
+      tuples
+  in
+  let dirs = List.map (fun (_, d, e) -> (d, e)) cspecs in
+  let compare_keys ks1 ks2 =
+    let rec go ks1 ks2 dirs =
+      match (ks1, ks2, dirs) with
+      | [], [], [] -> 0
+      | k1 :: r1, k2 :: r2, (dir, empty) :: rd ->
+          let c =
+            match (k1, k2) with
+            | None, None -> 0
+            | None, Some _ -> ( match empty with Ast.Empty_least -> -1 | Ast.Empty_greatest -> 1)
+            | Some _, None -> ( match empty with Ast.Empty_least -> 1 | Ast.Empty_greatest -> -1)
+            | Some a, Some b -> (
+                try
+                  let a' = Promotion.convert_operand a b
+                  and b' = Promotion.convert_operand b a in
+                  Atomic.compare_same_type a' b'
+                with Promotion.Type_mismatch _ | Atomic.Cast_error _ ->
+                  dynamic_error "order by: incomparable values")
+          in
+          let c = match dir with Ast.Ascending -> c | Ast.Descending -> -c in
+          if c <> 0 then c else go r1 r2 rd
+      | _ -> 0
+    in
+    go ks1 ks2 dirs
+  in
+  List.map snd (List.stable_sort (fun (k1, _) (k2, _) -> compare_keys k1 k2) keyed)
+
+and compile_groupby env g input =
+  let ci, li = compile env input in
+  let cpre, _ = compile { layout = li } g.g_pre in
+  let cpost, _ = compile { layout = [] } g.g_post in
+  let index_slots =
+    List.map
+      (fun q ->
+        match field_index li q with
+        | Some i -> i
+        | None -> compile_error "GroupBy index field #%s not in layout" q)
+      g.g_indices
+  in
+  let null_slots =
+    List.map
+      (fun q ->
+        match field_index li q with
+        | Some i -> i
+        | None -> compile_error "GroupBy null field #%s not in layout" q)
+      g.g_nulls
+  in
+  let width = List.length li + 1 in
+  let out_layout = li @ [ g.g_agg ] in
+  ( (fun ctx inp ->
+      let tuples = as_table (ci ctx inp) in
+      let is_null t =
+        List.exists (fun i -> Item.effective_boolean_value t.(i)) null_slots
+      in
+      let pre_of t = if is_null t then [] else as_items (cpre ctx (ITuple t)) in
+      let emit first items =
+        let out = Array.make width [] in
+        Array.blit first 0 out 0 (Array.length first);
+        out.(width - 1) <- as_items (cpost ctx (IItems items));
+        out
+      in
+      match index_slots with
+      | [] -> (
+          (* no grouping criteria: the whole input is one partition — this
+             is what makes the (insert group-by) rewriting an identity *)
+          match tuples with
+          | [] -> Tab []
+          | first :: _ ->
+              Tab [ emit first (List.concat_map pre_of tuples) ])
+      | slots ->
+          let key_of t =
+            String.concat "\x00"
+              (List.map
+                 (fun i -> String.concat "," (List.map Item.string_value t.(i)))
+                 slots)
+          in
+          let partitions : (string, tuple * Item.sequence list ref) Hashtbl.t =
+            Hashtbl.create 64
+          in
+          let order = ref [] in
+          List.iter
+            (fun t ->
+              let k = key_of t in
+              match Hashtbl.find_opt partitions k with
+              | Some (_, items) -> items := pre_of t :: !items
+              | None ->
+                  Hashtbl.add partitions k (t, ref [ pre_of t ]);
+                  order := k :: !order)
+            tuples;
+          Tab
+            (List.rev_map
+               (fun k ->
+                 let first, items = Hashtbl.find partitions k in
+                 emit first (List.concat (List.rev !items)))
+               !order)),
+    out_layout )
+
+and compile_join env ~outer alg null_field pred a b =
+  let ca, la = compile env a and cb, lb = compile env b in
+  let merged, mwidth, moves = concat_spec la lb in
+  let n1 = List.length la in
+  let out_layout = if outer then null_field :: merged else merged in
+  let emit_match l r =
+    let m = apply_concat n1 mwidth moves l r in
+    if outer then (
+      let o = Array.make (1 + mwidth) [] in
+      o.(0) <- false_flag;
+      Array.blit m 0 o 1 mwidth;
+      o)
+    else m
+  in
+  let emit_unmatched l =
+    let o = Array.make (1 + mwidth) [] in
+    o.(0) <- true_flag;
+    Array.blit l 0 o 1 n1;
+    o
+  in
+  let run_with_matches left matches_of =
+    Tab
+      (List.concat_map
+         (fun l ->
+           match matches_of l with
+           | [] -> if outer then [ emit_unmatched l ] else []
+           | ms -> List.map (emit_match l) ms)
+         left)
+  in
+  match (alg, pred) with
+  | (Nested_loop, Pred p) | (Hash, Pred p) | (Sort, Pred p) ->
+      (* arbitrary predicates always run as an order-preserving NL join *)
+      let cp, _ = compile { layout = merged } p in
+      ( (fun ctx inp ->
+          let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
+          run_with_matches left (fun l ->
+              List.filter_map
+                (fun r ->
+                  let m = apply_concat n1 mwidth moves l r in
+                  if ebv (cp ctx (ITuple m)) then Some r else None)
+                right)),
+        out_layout )
+  | Nested_loop, Split_pred { op; left_key; right_key } ->
+      let cl, _ = compile { layout = la } left_key in
+      let cr, _ = compile { layout = lb } right_key in
+      ( (fun ctx inp ->
+          let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
+          run_with_matches left (fun l ->
+              let lk = as_items (cl ctx (ITuple l)) in
+              List.filter
+                (fun r -> Promotion.general_compare op lk (as_items (cr ctx (ITuple r))))
+                right)),
+        out_layout )
+  | Hash, Split_pred { op = Promotion.Eq; left_key; right_key } ->
+      let cl, _ = compile { layout = la } left_key in
+      let cr, _ = compile { layout = lb } right_key in
+      ( (fun ctx inp ->
+          let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
+          let index =
+            Joins.build_hash_index right (fun r -> as_items (cr ctx (ITuple r)))
+          in
+          run_with_matches left (fun l ->
+              Joins.probe_hash_index index (Item.atomize (as_items (cl ctx (ITuple l)))))),
+        out_layout )
+  | Sort, Split_pred { op = (Promotion.Lt | Promotion.Le | Promotion.Gt | Promotion.Ge) as op; left_key; right_key } ->
+      let cl, _ = compile { layout = la } left_key in
+      let cr, _ = compile { layout = lb } right_key in
+      ( (fun ctx inp ->
+          let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
+          let index =
+            Joins.build_sort_index right (fun r -> as_items (cr ctx (ITuple r)))
+          in
+          run_with_matches left (fun l ->
+              Joins.probe_sort_index op index (Item.atomize (as_items (cl ctx (ITuple l)))))),
+        out_layout )
+  | (Hash | Sort), Split_pred { op; left_key; right_key } ->
+      (* mismatched algorithm/operator: fall back to the NL split form *)
+      let cl, _ = compile { layout = la } left_key in
+      let cr, _ = compile { layout = lb } right_key in
+      ( (fun ctx inp ->
+          let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
+          run_with_matches left (fun l ->
+              let lk = as_items (cl ctx (ITuple l)) in
+              List.filter
+                (fun r -> Promotion.general_compare op lk (as_items (cr ctx (ITuple r))))
+                right)),
+        out_layout )
+
+(* ------------------------------------------------------------------ *)
+(* Whole-query evaluation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Install compiled user functions into the context, then evaluate the
+   globals in declaration order, then run the main plan. *)
+let install_query (ctx : Dynamic_ctx.t) (q : Xqc_compiler.Compile.compiled_query) :
+    Dynamic_ctx.t -> Item.sequence =
+  List.iter
+    (fun (f : Xqc_compiler.Compile.compiled_function) ->
+      Hashtbl.replace ctx.functions f.fn_name
+        { func_params = f.fn_params; func_impl = (fun _ _ -> dynamic_error "uncompiled function") })
+    q.cfunctions;
+  List.iter
+    (fun (f : Xqc_compiler.Compile.compiled_function) ->
+      let body, _ = compile { layout = [] } f.fn_body in
+      let impl ctx args =
+        let frame = List.combine f.fn_params args in
+        with_params ctx frame (fun () -> as_items (body ctx INone))
+      in
+      (Hashtbl.find ctx.functions f.fn_name).func_impl <- impl)
+    q.cfunctions;
+  let globals =
+    List.map (fun (v, p) -> (v, fst (compile { layout = [] } p))) q.cglobals
+  in
+  let main, _ = compile { layout = [] } q.cmain in
+  fun ctx ->
+    List.iter (fun (v, c) -> bind_global ctx v (as_items (c ctx INone))) globals;
+    as_items (main ctx INone)
+
+let run ctx (q : Xqc_compiler.Compile.compiled_query) : Item.sequence =
+  (install_query ctx q) ctx

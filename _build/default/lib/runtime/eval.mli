@@ -1,0 +1,76 @@
+(** Physical evaluation of algebraic plans.
+
+    Plans compile to OCaml closures.  Tuples are value arrays and every
+    IN#q access resolves to an integer slot at compile time — the paper
+    attributes part of the algebra speedup to this "replacement of
+    dynamic lookups in the dynamic context by direct compiled memory
+    access".
+
+    Dependent-input plumbing: every compiled plan receives the current
+    dependent input [inp]; operators pass it through to their independent
+    children unchanged and rebind it for their dependent children
+    (per-tuple predicates, map bodies, group-by pre/post plans, join
+    predicate legs, sort keys). *)
+
+open Xqc_xml
+open Xqc_frontend
+open Xqc_algebra
+
+exception Compile_error of string
+
+val compile_error : ('a, unit, string, 'b) format4 -> 'a
+
+type tuple = Item.sequence array
+
+type dval = Xml of Item.sequence | Tab of tuple list
+
+type inp = ITuple of tuple | IItems of Item.sequence | INone
+
+type comp = Dynamic_ctx.t -> inp -> dval
+
+val as_items : dval -> Item.sequence
+val as_table : dval -> tuple list
+val ebv : dval -> bool
+
+(** {1 Layouts} *)
+
+type layout = string list
+
+val field_index : layout -> string -> int option
+
+val concat_spec : layout -> layout -> layout * int * (int * int) array
+(** Tuple-concatenation spec: merged output layout (left fields keep
+    their slots, overlapping right fields overwrite in place), its width,
+    and the compile-time move table for the right tuple. *)
+
+val apply_concat : int -> int -> (int * int) array -> tuple -> tuple -> tuple
+
+(** {1 Axes and construction (shared with the interpreter)} *)
+
+val apply_axis : Ast.axis -> Node.t -> Node.t list
+val test_matches : Xqc_types.Schema.t -> Ast.axis -> Ast.node_test -> Node.t -> bool
+val tree_join : Xqc_types.Schema.t -> Ast.axis -> Ast.node_test -> Item.sequence -> Item.sequence
+val construct_element : string -> Item.sequence -> Item.t
+val construct_attribute : string -> Item.sequence -> Item.t
+
+(** {1 Compilation and execution} *)
+
+type cenv = { layout : layout }
+
+val dynamic_field_lookup : bool ref
+(** Ablation knob: when set during compilation, IN#q accesses scan the
+    layout by name at every evaluation instead of using the resolved slot
+    (simulating the pre-paper dynamic-context lookups). *)
+
+val compile : cenv -> Algebra.plan -> comp * layout
+(** Compile a plan under the layout IN will have when it is a tuple;
+    returns the closure and the output layout (meaningful for
+    table-producing plans).
+    @raise Compile_error on unknown tuple fields. *)
+
+val install_query :
+  Dynamic_ctx.t -> Xqc_compiler.Compile.compiled_query -> Dynamic_ctx.t -> Item.sequence
+(** Register the query's functions (recursion-safe two-phase patching)
+    and return a runner evaluating globals then the main plan. *)
+
+val run : Dynamic_ctx.t -> Xqc_compiler.Compile.compiled_query -> Item.sequence

@@ -1,0 +1,27 @@
+(** Document projection in the style of Marian & Siméon — the TreeProject
+    operator of Table 1 and the engine's optional pre-evaluation pruning
+    of document variables. *)
+
+open Xqc_xml
+open Xqc_types
+open Xqc_frontend
+
+type path = (Ast.axis * Ast.node_test) list
+
+(** A projection spec: the nodes reached by [steps]; with [subtree] their
+    whole subtrees are kept, otherwise only node shells (plus whatever
+    other specs keep below).  Node-only specs serve counting/existence
+    uses, subtree specs serve atomization and construction. *)
+type spec = { steps : path; subtree : bool }
+
+val normalize_path : path -> path
+(** Collapse the XPath encoding of ["//t"] (descendant-or-self::node()
+    then child::t) into one descendant step. *)
+
+val project_specs : Schema.t -> spec list -> Item.sequence -> Item.sequence
+(** Prune each node item to the union of the specs; atomic items pass
+    through.  Reverse and sibling axes in specs keep nothing (the static
+    analysis marks such sources unsafe instead). *)
+
+val project : Schema.t -> path list -> Item.sequence -> Item.sequence
+(** Subtree-mode wrapper: every path keeps the full subtrees it reaches. *)

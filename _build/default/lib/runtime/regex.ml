@@ -1,0 +1,169 @@
+(* A translator from the XQuery/XML Schema regular expression dialect to
+   OCaml's Str syntax, covering the constructs the F&O regex functions
+   (fn:matches, fn:replace, fn:tokenize) commonly use: literals,
+   character classes, [.], [*], [+], [?], alternation, grouping, anchors,
+   the \d \s \w escapes and their negations, and {n,m} quantifiers.
+
+   Str uses "basic" syntax where grouping, alternation and braces are
+   backslash-escaped, and has no class shorthands — both are translated
+   here.  Unsupported constructs (back-references, lookaround, unicode
+   categories) raise. *)
+
+exception Unsupported of string
+
+type t = { re : Str.regexp; source : string }
+
+let class_of = function
+  | 'd' -> "[0-9]"
+  | 'D' -> "[^0-9]"
+  | 's' -> "[ \t\n\r]"
+  | 'S' -> "[^ \t\n\r]"
+  | 'w' -> "[A-Za-z0-9_]"
+  | 'W' -> "[^A-Za-z0-9_]"
+  | _ -> raise Not_found
+
+let translate (pat : string) : string =
+  let buf = Buffer.create (String.length pat + 8) in
+  let n = String.length pat in
+  let i = ref 0 in
+  let in_class = ref false in
+  (* start offset (in buf) of the last complete atom, for {n,m} expansion:
+     Str has no brace quantifiers, so a{2,4} becomes aaa?a? *)
+  let atom_start = ref None in
+  let mark_atom () = atom_start := Some (Buffer.length buf) in
+  let group_start = ref [] in
+  let expand_braces () =
+    (* cursor is on '{'; parse {n}, {n,}, {n,m} *)
+    let j = ref (!i + 1) in
+    let digits k =
+      let s = ref 0 and seen = ref false in
+      while !k < n && pat.[!k] >= '0' && pat.[!k] <= '9' do
+        s := (10 * !s) + (Char.code pat.[!k] - 48);
+        seen := true;
+        incr k
+      done;
+      if !seen then Some !s else None
+    in
+    match digits j with
+    | None -> raise (Unsupported "malformed {n,m} quantifier")
+    | Some lo ->
+        let hi =
+          if !j < n && pat.[!j] = ',' then (
+            incr j;
+            digits j)
+          else Some lo
+        in
+        if !j >= n || pat.[!j] <> '}' then raise (Unsupported "malformed {n,m} quantifier");
+        i := !j;
+        let start =
+          match !atom_start with
+          | Some s -> s
+          | None -> raise (Unsupported "{n,m} with no preceding atom")
+        in
+        let atom = Buffer.sub buf start (Buffer.length buf - start) in
+        Buffer.truncate buf start;
+        for _ = 1 to lo do
+          Buffer.add_string buf atom
+        done;
+        (match hi with
+        | Some hi ->
+            if hi < lo then raise (Unsupported "{n,m} with m < n");
+            for _ = 1 to hi - lo do
+              Buffer.add_string buf atom;
+              Buffer.add_char buf '?'
+            done
+        | None ->
+            Buffer.add_string buf atom;
+            Buffer.add_char buf '*');
+        atom_start := None
+  in
+  while !i < n do
+    let c = pat.[!i] in
+    (if !in_class then (
+       (* inside [...]: pass through, handle escapes and closing *)
+       match c with
+       | '\\' when !i + 1 < n -> (
+           let e = pat.[!i + 1] in
+           incr i;
+           match e with
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'r' -> Buffer.add_char buf '\r'
+           | '\\' | ']' | '[' | '-' | '^' -> Buffer.add_char buf e
+           | 'd' -> Buffer.add_string buf "0-9"
+           | 's' -> Buffer.add_string buf " \t\n\r"
+           | 'w' -> Buffer.add_string buf "A-Za-z0-9_"
+           | other -> raise (Unsupported (Printf.sprintf "\\%c in character class" other)))
+       | ']' ->
+           in_class := false;
+           Buffer.add_char buf ']'
+       | other -> Buffer.add_char buf other)
+     else
+       match c with
+       | '\\' when !i + 1 < n -> (
+           let e = pat.[!i + 1] in
+           incr i;
+           mark_atom ();
+           match e with
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 'd' | 'D' | 's' | 'S' | 'w' | 'W' -> Buffer.add_string buf (class_of e)
+           | '\\' | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}'
+           | '|' | '^' | '$' | '-' ->
+               (* literal metacharacter: Str only treats a few specially *)
+               (match e with
+               | '.' | '*' | '+' | '?' | '^' | '$' | '[' | ']' | '\\' ->
+                   Buffer.add_char buf '\\';
+                   Buffer.add_char buf e
+               | other -> Buffer.add_char buf other)
+           | other -> raise (Unsupported (Printf.sprintf "escape \\%c" other)))
+       | '(' ->
+           group_start := Buffer.length buf :: !group_start;
+           Buffer.add_string buf "\\("
+       | ')' ->
+           (match !group_start with
+           | g :: rest ->
+               group_start := rest;
+               atom_start := Some g
+           | [] -> ());
+           Buffer.add_string buf "\\)"
+       | '|' -> Buffer.add_string buf "\\|"
+       | '{' -> expand_braces ()
+       | '}' -> Buffer.add_string buf "\\}"
+       | '[' ->
+           in_class := true;
+           mark_atom ();
+           Buffer.add_char buf '[';
+           (* a leading ^ or ] passes through verbatim *)
+           if !i + 1 < n && pat.[!i + 1] = '^' then (
+             Buffer.add_char buf '^';
+             incr i)
+       | '*' | '+' | '?' | '.' | '^' | '$' ->
+           if c = '.' then mark_atom ();
+           Buffer.add_char buf c
+       | other ->
+           mark_atom ();
+           Buffer.add_char buf other);
+    incr i
+  done;
+  if !in_class then raise (Unsupported "unterminated character class");
+  Buffer.contents buf
+
+let compile (pat : string) : t = { re = Str.regexp (translate pat); source = pat }
+
+(* fn:matches: true if the pattern matches a substring (not anchored). *)
+let matches (t : t) (s : string) : bool =
+  try
+    ignore (Str.search_forward t.re s 0);
+    true
+  with Not_found -> false
+
+(* fn:replace: replace every non-overlapping match. *)
+let replace (t : t) ~(by : string) (s : string) : string =
+  Str.global_replace t.re by s
+
+(* fn:tokenize: split on matches; a leading empty token is kept when the
+   string starts with a separator, per F&O. *)
+let split (t : t) (s : string) : string list =
+  if String.equal s "" then [ "" ] else Str.split_delim t.re s

@@ -1,0 +1,1 @@
+lib/types/promotion.ml: Atomic Item List Option Xqc_xml

@@ -1,0 +1,1 @@
+lib/types/promotion.mli: Atomic Item Xqc_xml

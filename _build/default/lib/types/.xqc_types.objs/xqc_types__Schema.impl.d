@@ -1,0 +1,1 @@
+lib/types/schema.ml: Atomic List Node String Xqc_xml

@@ -1,0 +1,1 @@
+lib/types/schema.mli: Atomic Node Xqc_xml

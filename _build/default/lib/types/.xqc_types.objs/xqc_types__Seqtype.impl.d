@@ -1,0 +1,1 @@
+lib/types/seqtype.ml: Atomic Item List Node Option Printf Schema String Xqc_xml

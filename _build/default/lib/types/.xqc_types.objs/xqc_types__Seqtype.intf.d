@@ -1,0 +1,1 @@
+lib/types/seqtype.mli: Atomic Item Schema Xqc_xml

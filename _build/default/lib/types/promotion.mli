@@ -1,0 +1,55 @@
+(** Type promotion and fs:convert-operand — Section 6 / Table 2 of the
+    paper.
+
+    The observation exploited by the XQuery hash join is that
+    [fs:convert-operand (x, y)] depends only on the {e type} of [y], never
+    its value, so the two join inputs can be materialized independently:
+    each key is stored under every (value, type) pair it can be promoted
+    to, and a probe match is accepted only when the pair of original types
+    prescribes that comparison type. *)
+
+open Xqc_xml
+
+val numeric_rank : Atomic.type_name -> int option
+(** Position in the numeric tower integer(0) < decimal < float < double(3),
+    [None] for non-numeric types. *)
+
+val promotion_targets : Atomic.type_name -> Atomic.type_name list
+(** All types a value of the given type can be promoted to, itself
+    included, in increasing order.  Untyped promotes to string and double;
+    anyURI to string. *)
+
+val promote_to_simple_types : Atomic.t -> (Atomic.t * Atomic.type_name) list
+(** [promoteToSimpleTypes] of Figure 6: the (value, type) pairs under
+    which a join key is materialized.  Promotions whose cast fails (an
+    untyped value that is not numeric has no double entry) are dropped. *)
+
+val comparison_type :
+  Atomic.type_name -> Atomic.type_name -> Atomic.type_name option
+(** The comparison type Table 2 prescribes for two original operand
+    types, or [None] when they are incomparable (err:XPTY0004). *)
+
+exception Type_mismatch of Atomic.type_name * Atomic.type_name
+
+val convert_operand : Atomic.t -> Atomic.t -> Atomic.t
+(** [convert_operand x other] is fs:convert-operand: cast [x] to the
+    comparison type prescribed by the type of [other].
+    @raise Type_mismatch when the types are incomparable. *)
+
+(** The six comparison operators. *)
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+val cmp_op_name : cmp_op -> string
+
+val atomic_compare : cmp_op -> Atomic.t -> Atomic.t -> bool
+(** op:equal / op:less-than etc. between two atomics, after applying
+    {!convert_operand} to both sides.
+    @raise Type_mismatch or Atomic.Cast_error on bad pairs. *)
+
+val general_compare : cmp_op -> Item.sequence -> Item.sequence -> bool
+(** General comparison: existentially quantified over the atomized
+    operands (the normalization shown in Section 2 of the paper). *)
+
+val value_compare : cmp_op -> Item.sequence -> Item.sequence -> bool option
+(** Value comparison (eq/lt/...): [None] if either operand is empty.
+    @raise Atomic.Cast_error on non-singleton operands. *)

@@ -1,0 +1,117 @@
+(* Sequence types and the dynamic type-matching judgment used by the
+   TypeMatches / TypeAssert / Castable / Cast operators (Table 1) and by
+   typeswitch compilation (Figure 3). *)
+
+open Xqc_xml
+
+type occurrence = Exactly_one | Zero_or_one | Zero_or_more | One_or_more
+
+type item_type =
+  | It_atomic of Atomic.type_name
+  | It_element of string option * string option
+      (** element(name?, type?) — None is a wildcard *)
+  | It_attribute of string option * string option
+  | It_document
+  | It_text
+  | It_comment
+  | It_pi
+  | It_node
+  | It_item
+
+type t = Empty_sequence | Occ of item_type * occurrence
+
+let item it = Occ (it, Exactly_one)
+let optional it = Occ (it, Zero_or_one)
+let star it = Occ (it, Zero_or_more)
+let plus it = Occ (it, One_or_more)
+
+let occurrence_to_string = function
+  | Exactly_one -> ""
+  | Zero_or_one -> "?"
+  | Zero_or_more -> "*"
+  | One_or_more -> "+"
+
+let item_type_to_string = function
+  | It_atomic tn -> Atomic.type_name_to_string tn
+  | It_element (n, t) ->
+      Printf.sprintf "element(%s%s)"
+        (Option.value n ~default:"*")
+        (match t with None -> "" | Some t -> "," ^ t)
+  | It_attribute (n, t) ->
+      Printf.sprintf "attribute(%s%s)"
+        (Option.value n ~default:"*")
+        (match t with None -> "" | Some t -> "," ^ t)
+  | It_document -> "document-node()"
+  | It_text -> "text()"
+  | It_comment -> "comment()"
+  | It_pi -> "processing-instruction()"
+  | It_node -> "node()"
+  | It_item -> "item()"
+
+let to_string = function
+  | Empty_sequence -> "empty-sequence()"
+  | Occ (it, occ) -> item_type_to_string it ^ occurrence_to_string occ
+
+(* Atomic subtyping: does a value of atomic type [sub] match an expected
+   atomic type [base]?  Untyped data does *not* match xs:string; integer
+   matches xs:decimal. *)
+let atomic_matches ~(sub : Atomic.type_name) ~(base : Atomic.type_name) =
+  sub = base || (sub = Atomic.T_integer && base = Atomic.T_decimal)
+
+let node_type_matches schema node expected =
+  match expected with
+  | None -> true
+  | Some base -> (
+      match Node.type_annotation node with
+      | None ->
+          (* Unvalidated nodes have type xdt:untyped / untypedAtomic, which
+             only matches the wildcard or those very names. *)
+          String.equal base "xdt:untyped" || String.equal base "xdt:untypedAtomic"
+      | Some sub -> Schema.derives_from schema ~sub ~base)
+
+let name_matches node expected =
+  match expected with
+  | None -> true
+  | Some n -> ( match Node.name node with Some m -> String.equal m n | None -> false)
+
+let item_matches schema (it : Item.t) (ity : item_type) : bool =
+  match (it, ity) with
+  | _, It_item -> true
+  | Item.Node _, It_node -> true
+  | Item.Atom _, It_node -> false
+  | Item.Atom a, It_atomic tn -> atomic_matches ~sub:(Atomic.type_of a) ~base:tn
+  | Item.Node _, It_atomic _ -> false
+  | Item.Node n, It_element (name, ty) ->
+      Node.kind n = Node.Kelement && name_matches n name
+      && node_type_matches schema n ty
+  | Item.Node n, It_attribute (name, ty) ->
+      Node.kind n = Node.Kattribute && name_matches n name
+      && node_type_matches schema n ty
+  | Item.Node n, It_document -> Node.kind n = Node.Kdocument
+  | Item.Node n, It_text -> Node.kind n = Node.Ktext
+  | Item.Node n, It_comment -> Node.kind n = Node.Kcomment
+  | Item.Node n, It_pi -> Node.kind n = Node.Kpi
+  | Item.Atom _, (It_element _ | It_attribute _ | It_document | It_text | It_comment | It_pi)
+    -> false
+
+let matches schema (s : Item.sequence) (ty : t) : bool =
+  match ty with
+  | Empty_sequence -> s = []
+  | Occ (ity, occ) -> (
+      let all () = List.for_all (fun it -> item_matches schema it ity) s in
+      match occ with
+      | Exactly_one -> ( match s with [ it ] -> item_matches schema it ity | _ -> false)
+      | Zero_or_one -> (
+          match s with [] -> true | [ it ] -> item_matches schema it ity | _ -> false)
+      | Zero_or_more -> all ()
+      | One_or_more -> s <> [] && all ())
+
+exception Type_assertion_failure of string
+
+(* TypeAssert: identity when the sequence matches, dynamic error otherwise. *)
+let assert_matches schema s ty =
+  if matches schema s ty then s
+  else
+    raise
+      (Type_assertion_failure
+         (Printf.sprintf "sequence does not match required type %s" (to_string ty)))

@@ -1,0 +1,52 @@
+(** Sequence types and the dynamic type-matching judgment used by
+    TypeMatches / TypeAssert (Table 1) and typeswitch (Figure 3). *)
+
+open Xqc_xml
+
+type occurrence = Exactly_one | Zero_or_one | Zero_or_more | One_or_more
+
+type item_type =
+  | It_atomic of Atomic.type_name
+  | It_element of string option * string option
+      (** [element(name?, type?)] — [None] is a wildcard; the type is
+          checked with {!Schema.derives_from} against the annotation *)
+  | It_attribute of string option * string option
+  | It_document
+  | It_text
+  | It_comment
+  | It_pi
+  | It_node
+  | It_item
+
+type t = Empty_sequence | Occ of item_type * occurrence
+
+(** {1 Constructors} *)
+
+val item : item_type -> t
+(** Exactly one. *)
+
+val optional : item_type -> t
+val star : item_type -> t
+val plus : item_type -> t
+
+(** {1 Printing} *)
+
+val occurrence_to_string : occurrence -> string
+val item_type_to_string : item_type -> string
+val to_string : t -> string
+
+(** {1 Matching} *)
+
+val atomic_matches : sub:Atomic.type_name -> base:Atomic.type_name -> bool
+(** Atomic subtyping: reflexive, plus integer-matches-decimal.  Untyped
+    data does {e not} match xs:string. *)
+
+val item_matches : Schema.t -> Item.t -> item_type -> bool
+
+val matches : Schema.t -> Item.sequence -> t -> bool
+
+exception Type_assertion_failure of string
+
+val assert_matches : Schema.t -> Item.sequence -> t -> Item.sequence
+(** TypeAssert: identity when the sequence matches.
+    @raise Type_assertion_failure otherwise. *)

@@ -1,0 +1,1 @@
+lib/workload/clio.ml: List Node Printf Prng Serializer String Xmark Xqc_xml

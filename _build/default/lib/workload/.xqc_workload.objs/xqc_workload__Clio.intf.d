@@ -1,0 +1,1 @@
+lib/workload/clio.mli: Node Xqc_xml

@@ -1,0 +1,1 @@
+lib/workload/xmark.ml: List Node Printf Prng Serializer String Xqc_xml

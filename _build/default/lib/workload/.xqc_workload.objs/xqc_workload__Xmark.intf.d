@@ -1,0 +1,1 @@
+lib/workload/xmark.mli: Node Xqc_xml

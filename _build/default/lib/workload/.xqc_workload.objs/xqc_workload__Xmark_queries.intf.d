@@ -1,0 +1,1 @@
+lib/workload/xmark_queries.mli:

@@ -1,0 +1,164 @@
+(* The Clio workload: a DBLP-shaped bibliography document and the three
+   nested mapping queries of Table 5.
+
+   The paper describes N2/N3/N4 only by their structure — N2 is a doubly
+   nested FLWOR with a single join, N3 a triple-nested FLWOR with a 3-way
+   join, N4 a quadruple-nested FLWOR with a 6-way join — run on a 250KB
+   document.  The queries below are modelled on the Clio-generated query
+   of the paper's Figure 1 (schema mapping from DBLP to an author-centric
+   database): each nesting level performs an author/year equality join
+   back into the paper collections. *)
+
+open Xqc_xml
+
+let elem name ?(attrs = []) children =
+  Node.element name
+    ~attrs:(List.map (fun (n, v) -> Node.attribute n v) attrs)
+    ~children
+
+let text_elem name s = elem name [ Node.text s ]
+
+(* Author pool sized so that each author has a realistic publication
+   fan-out (~4 papers), which is what gives the self-joins their cost. *)
+let author_name i = Printf.sprintf "Author %03d" i
+
+let paper rng kind ~n_authors i =
+  let authors =
+    List.init
+      (1 + Prng.int rng 2)
+      (fun _ -> text_elem "author" (author_name (Prng.int rng n_authors)))
+  in
+  let year = 1986 + Prng.int rng 20 in
+  elem kind
+    ~attrs:[ ("key", Printf.sprintf "%s/%d" kind i) ]
+    (authors
+    @ [
+        text_elem "title"
+          (String.concat " "
+             (List.init (3 + Prng.int rng 5) (fun _ -> Prng.pick rng Xmark.words)));
+        text_elem "pages" (Printf.sprintf "%d-%d" (Prng.int rng 400) (Prng.int rng 400 + 400));
+        text_elem "year" (string_of_int year);
+        text_elem (if kind = "inproceedings" then "booktitle" else "journal")
+          (Prng.pick rng [| "VLDB"; "SIGMOD"; "ICDE"; "TODS"; "VLDBJ"; "PODS" |]);
+        text_elem "url" (Printf.sprintf "db/%s/%d.html" kind i);
+      ])
+
+(* A DBLP-style document of roughly [target_bytes] bytes. *)
+let generate ?(seed = 7) ~target_bytes () : Node.t =
+  let rng = Prng.create ~seed () in
+  (* one paper record serializes to ~260 bytes *)
+  let n_papers = max 4 (target_bytes / 260) in
+  let n_inproc = n_papers * 3 / 4 in
+  let n_articles = n_papers - n_inproc in
+  let n_authors = max 2 (n_papers / 4) in
+  let doc =
+    Node.document ~uri:"dblp.xml"
+      [
+        elem "dblp"
+          (List.init n_inproc (paper rng "inproceedings" ~n_authors)
+          @ List.init n_articles (paper rng "article" ~n_authors));
+      ]
+  in
+  Node.renumber doc;
+  doc
+
+let generate_string ?seed ~target_bytes () : string =
+  Serializer.node_to_string (generate ?seed ~target_bytes ())
+
+(* N2: doubly nested FLWOR, one author-equality self-join. *)
+let n2 =
+  {|<authorDB>{
+      for $p in $doc/dblp/inproceedings, $a in $p/author return
+      <author>
+        <name>{$a/text()}</name>
+        <pubs>{
+          for $p2 in $doc/dblp/inproceedings
+          where $a/text() = $p2/author/text()
+          return <pub><title>{$p2/title/text()}</title><year>{$p2/year/text()}</year></pub>
+        }</pubs>
+      </author>
+    }</authorDB>|}
+
+(* N3: triple-nested FLWOR, 3-way join (authors x conference papers x
+   journal articles of the same year). *)
+let n3 =
+  {|<authorDB>{
+      for $p in $doc/dblp/inproceedings, $a in $p/author return
+      <author>
+        <name>{$a/text()}</name>
+        <confs>{
+          for $p2 in $doc/dblp/inproceedings
+          where $a/text() = $p2/author/text()
+          return <conf>
+            <title>{$p2/title/text()}</title>
+            <sameyear>{
+              for $j in $doc/dblp/article
+              where $j/year/text() = $p2/year/text()
+              return <jtitle>{$j/title/text()}</jtitle>
+            }</sameyear>
+          </conf>
+        }</confs>
+      </author>
+    }</authorDB>|}
+
+(* N4: quadruple-nested FLWOR, 6-way join (as N3, plus for each same-year
+   article the other articles of its first author). *)
+let n4 =
+  {|<authorDB>{
+      for $p in $doc/dblp/inproceedings, $a in $p/author return
+      <author>
+        <name>{$a/text()}</name>
+        <confs>{
+          for $p2 in $doc/dblp/inproceedings
+          where $a/text() = $p2/author/text()
+          return <conf>
+            <title>{$p2/title/text()}</title>
+            <sameyear>{
+              for $j in $doc/dblp/article
+              where $j/year/text() = $p2/year/text()
+              return <jrec>
+                <jtitle>{$j/title/text()}</jtitle>
+                <more>{
+                  for $j2 in $doc/dblp/article
+                  where $j2/author/text() = $j/author[1]/text()
+                  return <co>{$j2/title/text()}</co>
+                }</more>
+              </jrec>
+            }</sameyear>
+          </conf>
+        }</confs>
+      </author>
+    }</authorDB>|}
+
+(* The paper's Figure 1 query (Clio's generated DBLP -> authorDB mapping),
+   adapted to this generator's element names: an authorDB of deep-distinct
+   authors, each with their publications grouped per conference/year. *)
+let figure1 =
+  {|<authorDB>{
+      clio:deep-distinct(
+        for $x0 in $doc/dblp/inproceedings, $x1 in $x0/author return
+        <author>
+          <name>{$x1/text()}</name>
+          <conf_jour>
+            <name>{concat("SK700(", $x1/text(), ")")}</name>
+            <year>
+              <yr/>
+              {clio:deep-distinct(
+                for $x0L1 in $doc/dblp/inproceedings
+                where $x1/text() = $x0L1/author/text()
+                return
+                <pub>
+                  <pub_id>{concat("SK694(", string($x0L1/@key), ")")}</pub_id>
+                  <title>{$x0L1/title/text()}</title>
+                  <pages>{$x0L1/pages/text()}</pages>
+                  <url>{$x0L1/url/text()}</url>
+                </pub>)}
+            </year>
+          </conf_jour>
+        </author>)
+    }<dateCreated/></authorDB>|}
+
+let all : (string * string) list =
+  [ ("N2", n2); ("N3", n3); ("N4", n4); ("Figure1", figure1) ]
+
+let find (name : string) : string = List.assoc name all

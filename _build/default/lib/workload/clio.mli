@@ -1,0 +1,29 @@
+(** The Clio workload of Table 5: a DBLP-shaped bibliography generator
+    and the three nested mapping queries N2/N3/N4 (double/triple/
+    quadruple-nested FLWOR with author/year equality joins of increasing
+    width), modelled on the paper's Figure 1 mapping query. *)
+
+open Xqc_xml
+
+val generate : ?seed:int -> target_bytes:int -> unit -> Node.t
+val generate_string : ?seed:int -> target_bytes:int -> unit -> string
+
+val author_name : int -> string
+
+val n2 : string
+(** Doubly nested FLWOR, one author-equality self-join. *)
+
+val n3 : string
+(** Triple-nested FLWOR, 3-way join (+ same-year journal articles). *)
+
+val n4 : string
+(** Quadruple-nested FLWOR, adding each same-year article's first
+    author's other articles. *)
+
+val figure1 : string
+(** The paper's Figure 1 query (the Clio-generated DBLP -> authorDB
+    mapping), including the clio:deep-distinct calls, adapted to this
+    generator's element names. *)
+
+val all : (string * string) list
+val find : string -> string

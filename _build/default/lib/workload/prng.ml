@@ -1,0 +1,28 @@
+(* A small deterministic PRNG (xorshift64 star) so that generated workload
+   documents are reproducible across runs and platforms — the equivalent
+   of xmlgen's fixed-seed behaviour. *)
+
+type t = { mutable state : int64 }
+
+let create ?(seed = 88172645463325252) () = { state = Int64.of_int seed }
+
+let next (t : t) : int64 =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.state <- x;
+  x
+
+(* Uniform integer in [0, n). *)
+let int (t : t) (n : int) : int =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 2) (Int64.of_int n))
+
+let pick (t : t) (arr : 'a array) : 'a = arr.(int t (Array.length arr))
+
+(* True with probability [p]. *)
+let prob (t : t) (p : float) : bool = float_of_int (int t 10_000) < p *. 10_000.0
+
+let float_range (t : t) (lo : float) (hi : float) : float =
+  lo +. (float_of_int (int t 1_000_000) /. 1_000_000.0 *. (hi -. lo))

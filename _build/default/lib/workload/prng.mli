@@ -1,0 +1,18 @@
+(** A small deterministic PRNG (xorshift64), so generated workload
+    documents are reproducible across runs and platforms. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+
+val next : t -> int64
+
+val int : t -> int -> int
+(** Uniform integer in [\[0, n)].  @raise Invalid_argument if [n <= 0]. *)
+
+val pick : t -> 'a array -> 'a
+
+val prob : t -> float -> bool
+(** True with the given probability. *)
+
+val float_range : t -> float -> float -> float

@@ -1,0 +1,343 @@
+(* A synthetic XMark auction-site document generator.
+
+   The element structure follows the XMark benchmark schema (site /
+   regions / categories / catgraph / people / open_auctions /
+   closed_auctions) closely enough that the twenty benchmark queries
+   exercise the same paths, joins and cardinalities as the original
+   xmlgen documents.  Entity counts scale linearly with the requested
+   byte budget; cross-references (buyer/seller person ids, item refs,
+   category refs) are drawn uniformly, giving the same join fan-outs the
+   paper's experiments rely on (e.g. ~0.4 closed auctions per person for
+   Q8).  Generation is deterministic for a given seed. *)
+
+open Xqc_xml
+
+let words =
+  [|
+    "officer"; "embrace"; "such"; "fears"; "gold"; "brave"; "dispatch";
+    "shortly"; "against"; "sovereign"; "mutual"; "presence"; "river";
+    "convey"; "mortal"; "ponder"; "wonder"; "special"; "sense"; "shame";
+    "length"; "wealth"; "figure"; "sleeps"; "guest"; "hither"; "mingle";
+    "blood"; "breath"; "crown"; "virtue"; "gentle"; "riches"; "humble";
+    "proceed"; "duties"; "serpent"; "tongue"; "plague"; "spirits";
+    "malice"; "bosom"; "throne"; "feast"; "noble"; "sword"; "honest";
+    "slender"; "patience"; "purse"; "scorn"; "garden"; "desire";
+    "fortune"; "mistress"; "promise"; "wisdom"; "shadow"; "danger";
+    "silver"; "market"; "justice"; "labour"; "command"; "kingdom";
+    "counsel"; "service"; "messenger"; "welcome"; "quarrel"; "fashion";
+  |]
+
+let first_names =
+  [|
+    "Jaak"; "Mehrdad"; "Sinisa"; "Aloys"; "Moshe"; "Ewing"; "Benedikte";
+    "Kawon"; "Dariusz"; "Jovan"; "Malous"; "Torben"; "Shooichi"; "Hercules";
+    "Amarnath"; "Reinhard"; "Takahira"; "Wolfgang"; "Umesh"; "Remzi";
+    "Dominique"; "Virgile"; "Griselda"; "Ileana"; "Margit"; "Federica";
+  |]
+
+let last_names =
+  [|
+    "Merk"; "Takano"; "Vance"; "Dittrich"; "Gyorkos"; "Huij"; "Braunmuller";
+    "Siek"; "Emde"; "Sevcikova"; "Vivier"; "Oerlemans"; "Kuehne"; "Litecky";
+    "Srikanth"; "Wijshoff"; "Cesarini"; "Pfeifer"; "Maurer"; "Tsukuda";
+  |]
+
+let countries =
+  [| "United States"; "Germany"; "France"; "Japan"; "Netherlands"; "Canada" |]
+
+let cities =
+  [| "Abilene"; "Tampa"; "Dresden"; "Lyon"; "Osaka"; "Utrecht"; "Windsor"; "Omaha" |]
+
+type counts = {
+  n_categories : int;
+  n_items : (string * int) list;  (** per region *)
+  n_persons : int;
+  n_open : int;
+  n_closed : int;
+}
+
+(* Entity counts for a byte budget; the per-100MB baseline follows the
+   XMark scaling tables.  The fudge factor was calibrated against the
+   serialized output of this generator. *)
+let counts_for_bytes (target : int) : counts =
+  let f = float_of_int target /. 100_000_000.0 *. 2.34 in
+  let n base = max 1 (int_of_float (float_of_int base *. f)) in
+  {
+    n_categories = n 1000;
+    n_items =
+      [
+        ("africa", n 550); ("asia", n 2000); ("australia", n 2200);
+        ("europe", n 6000); ("namerica", n 10000); ("samerica", n 1000);
+      ];
+    n_persons = n 25500;
+    n_open = n 12000;
+    n_closed = n 9750;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let elem name ?(attrs = []) children =
+  Node.element name
+    ~attrs:(List.map (fun (n, v) -> Node.attribute n v) attrs)
+    ~children
+
+let text_elem name s = elem name [ Node.text s ]
+
+let sentence rng n =
+  String.concat " " (List.init n (fun _ -> Prng.pick rng words))
+
+let money rng lo hi = Printf.sprintf "%.2f" (Prng.float_range rng lo hi)
+
+let date rng =
+  Printf.sprintf "%02d/%02d/%04d" (1 + Prng.int rng 12) (1 + Prng.int rng 28)
+    (1998 + Prng.int rng 4)
+
+let time rng =
+  Printf.sprintf "%02d:%02d:%02d" (Prng.int rng 24) (Prng.int rng 60) (Prng.int rng 60)
+
+let person_ref rng n_persons = Printf.sprintf "person%d" (Prng.int rng n_persons)
+
+(* Rich text with keyword/bold/emph markup, as in item descriptions. *)
+let rich_text rng =
+  let pieces = ref [] in
+  let n = 2 + Prng.int rng 4 in
+  for _ = 1 to n do
+    pieces := Node.text (" " ^ sentence rng (3 + Prng.int rng 8) ^ " ") :: !pieces;
+    if Prng.prob rng 0.4 then
+      let wrapped = text_elem (Prng.pick rng [| "keyword"; "bold"; "emph" |]) (Prng.pick rng words) in
+      pieces := wrapped :: !pieces
+  done;
+  elem "text" (List.rev !pieces)
+
+(* A description: either direct text or a parlist; annotation descriptions
+   nest a second parlist level so the Q15/Q16 paths
+   (.../parlist/listitem/parlist/listitem/text/emph/keyword/text()) have
+   matches. *)
+let description rng ~allow_nested =
+  let listitem () =
+    if allow_nested && Prng.prob rng 0.35 then
+      elem "listitem"
+        [
+          elem "parlist"
+            [
+              elem "listitem"
+                [
+                  elem "text"
+                    [
+                      Node.text (sentence rng 4 ^ " ");
+                      elem "emph" [ text_elem "keyword" (Prng.pick rng words) ];
+                      Node.text (" " ^ sentence rng 3);
+                    ];
+                ];
+            ];
+        ]
+    else elem "listitem" [ rich_text rng ]
+  in
+  if Prng.prob rng 0.5 then
+    elem "description" [ elem "parlist" (List.init (1 + Prng.int rng 2) (fun _ -> listitem ())) ]
+  else elem "description" [ rich_text rng ]
+
+let category rng i =
+  elem "category"
+    ~attrs:[ ("id", Printf.sprintf "category%d" i) ]
+    [ text_elem "name" (sentence rng 2); description rng ~allow_nested:false ]
+
+let item rng ~n_categories i =
+  let mail () =
+    elem "mail"
+      [
+        text_elem "from" (Prng.pick rng first_names ^ " " ^ Prng.pick rng last_names);
+        text_elem "to" (Prng.pick rng first_names ^ " " ^ Prng.pick rng last_names);
+        text_elem "date" (date rng);
+        rich_text rng;
+      ]
+  in
+  let incategories =
+    List.init (1 + Prng.int rng 2) (fun _ ->
+        elem "incategory"
+          ~attrs:[ ("category", Printf.sprintf "category%d" (Prng.int rng n_categories)) ]
+          [])
+  in
+  elem "item"
+    ~attrs:[ ("id", Printf.sprintf "item%d" i) ]
+    ([
+       text_elem "location" (Prng.pick rng countries);
+       text_elem "quantity" (string_of_int (1 + Prng.int rng 5));
+       text_elem "name" (sentence rng 2);
+       text_elem "payment" "Creditcard";
+       description rng ~allow_nested:false;
+       text_elem "shipping" "Will ship internationally";
+     ]
+    @ incategories
+    @ [ elem "mailbox" (List.init (Prng.int rng 2) (fun _ -> mail ())) ])
+
+let person rng ~n_categories ~n_open i =
+  let name = Prng.pick rng first_names ^ " " ^ Prng.pick rng last_names in
+  let base =
+    [
+      text_elem "name" name;
+      text_elem "emailaddress"
+        (Printf.sprintf "mailto:%s@%s.com"
+           (String.map (function ' ' -> '.' | c -> c) name)
+           (Prng.pick rng words));
+    ]
+  in
+  let phone = if Prng.prob rng 0.4 then [ text_elem "phone" (Printf.sprintf "+%d (%d) %d" (Prng.int rng 99) (Prng.int rng 999) (Prng.int rng 10_000_000)) ] else [] in
+  let address =
+    if Prng.prob rng 0.6 then
+      [
+        elem "address"
+          [
+            text_elem "street" (Printf.sprintf "%d %s St" (1 + Prng.int rng 99) (Prng.pick rng words));
+            text_elem "city" (Prng.pick rng cities);
+            text_elem "country" (Prng.pick rng countries);
+            text_elem "zipcode" (string_of_int (10000 + Prng.int rng 89999));
+          ];
+      ]
+    else []
+  in
+  let homepage =
+    if Prng.prob rng 0.5 then
+      [ text_elem "homepage" (Printf.sprintf "http://www.%s.com/~%s" (Prng.pick rng words) (Prng.pick rng first_names)) ]
+    else []
+  in
+  let creditcard =
+    if Prng.prob rng 0.5 then
+      [ text_elem "creditcard" (Printf.sprintf "%d %d %d %d" (1000 + Prng.int rng 9000) (1000 + Prng.int rng 9000) (1000 + Prng.int rng 9000) (1000 + Prng.int rng 9000)) ]
+    else []
+  in
+  let profile =
+    if Prng.prob rng 0.8 then
+      let interests =
+        List.init (Prng.int rng 4) (fun _ ->
+            elem "interest"
+              ~attrs:[ ("category", Printf.sprintf "category%d" (Prng.int rng n_categories)) ]
+              [])
+      in
+      [
+        elem "profile"
+          ~attrs:[ ("income", money rng 9876.0 150000.0) ]
+          (interests
+          @ [
+              text_elem "education" "Graduate School";
+              text_elem "business" (if Prng.prob rng 0.5 then "Yes" else "No");
+            ])
+      ]
+    else []
+  in
+  let watches =
+    if Prng.prob rng 0.4 then
+      [
+        elem "watches"
+          (List.init (1 + Prng.int rng 3) (fun _ ->
+               elem "watch"
+                 ~attrs:[ ("open_auction", Printf.sprintf "open_auction%d" (Prng.int rng n_open)) ]
+                 []));
+      ]
+    else []
+  in
+  elem "person"
+    ~attrs:[ ("id", Printf.sprintf "person%d" i) ]
+    (base @ phone @ address @ homepage @ creditcard @ profile @ watches)
+
+let annotation rng ~n_persons =
+  elem "annotation"
+    [
+      elem "author" ~attrs:[ ("person", person_ref rng n_persons) ] [];
+      description rng ~allow_nested:true;
+      text_elem "happiness" (string_of_int (1 + Prng.int rng 10));
+    ]
+
+let open_auction rng ~n_persons ~n_items i =
+  let initial = money rng 1.0 300.0 in
+  let bidders =
+    List.init (Prng.int rng 6) (fun k ->
+        elem "bidder"
+          [
+            text_elem "date" (date rng);
+            text_elem "time" (time rng);
+            elem "personref" ~attrs:[ ("person", person_ref rng n_persons) ] [];
+            text_elem "increase" (money rng 1.5 (3.0 +. (float_of_int k *. 6.0)));
+          ])
+  in
+  let reserve = if Prng.prob rng 0.4 then [ text_elem "reserve" (money rng 50.0 400.0) ] else [] in
+  elem "open_auction"
+    ~attrs:[ ("id", Printf.sprintf "open_auction%d" i) ]
+    ([ text_elem "initial" initial ] @ reserve @ bidders
+    @ [
+        text_elem "current" (money rng 1.0 600.0);
+        elem "itemref" ~attrs:[ ("item", Printf.sprintf "item%d" (Prng.int rng n_items)) ] [];
+        elem "seller" ~attrs:[ ("person", person_ref rng n_persons) ] [];
+        annotation rng ~n_persons;
+        text_elem "quantity" (string_of_int (1 + Prng.int rng 5));
+        text_elem "type" (if Prng.prob rng 0.5 then "Regular" else "Featured");
+        elem "interval" [ text_elem "start" (date rng); text_elem "end" (date rng) ];
+      ])
+
+let closed_auction rng ~n_persons ~n_items =
+  elem "closed_auction"
+    [
+      elem "seller" ~attrs:[ ("person", person_ref rng n_persons) ] [];
+      elem "buyer" ~attrs:[ ("person", person_ref rng n_persons) ] [];
+      elem "itemref" ~attrs:[ ("item", Printf.sprintf "item%d" (Prng.int rng n_items)) ] [];
+      text_elem "price" (money rng 1.0 600.0);
+      text_elem "date" (date rng);
+      text_elem "quantity" (string_of_int (1 + Prng.int rng 5));
+      text_elem "type" (if Prng.prob rng 0.5 then "Regular" else "Featured");
+      annotation rng ~n_persons;
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let generate ?(seed = 42) ~target_bytes () : Node.t =
+  let rng = Prng.create ~seed () in
+  let c = counts_for_bytes target_bytes in
+  let n_items_total = List.fold_left (fun acc (_, n) -> acc + n) 0 c.n_items in
+  let next_item = ref 0 in
+  let regions =
+    elem "regions"
+      (List.map
+         (fun (region, n) ->
+           elem region
+             (List.init n (fun _ ->
+                  let i = !next_item in
+                  incr next_item;
+                  item rng ~n_categories:c.n_categories i)))
+         c.n_items)
+  in
+  let categories =
+    elem "categories" (List.init c.n_categories (category rng))
+  in
+  let catgraph =
+    elem "catgraph"
+      (List.init (c.n_categories / 2) (fun _ ->
+           elem "edge"
+             ~attrs:
+               [
+                 ("from", Printf.sprintf "category%d" (Prng.int rng c.n_categories));
+                 ("to", Printf.sprintf "category%d" (Prng.int rng c.n_categories));
+               ]
+             []))
+  in
+  let people =
+    elem "people"
+      (List.init c.n_persons (person rng ~n_categories:c.n_categories ~n_open:c.n_open))
+  in
+  let open_auctions =
+    elem "open_auctions"
+      (List.init c.n_open (open_auction rng ~n_persons:c.n_persons ~n_items:n_items_total))
+  in
+  let closed_auctions =
+    elem "closed_auctions"
+      (List.init c.n_closed (fun _ ->
+           closed_auction rng ~n_persons:c.n_persons ~n_items:n_items_total))
+  in
+  let doc =
+    Node.document ~uri:"xmark.xml"
+      [ elem "site" [ regions; categories; catgraph; people; open_auctions; closed_auctions ] ]
+  in
+  Node.renumber doc;
+  doc
+
+let generate_string ?seed ~target_bytes () : string =
+  Serializer.node_to_string (generate ?seed ~target_bytes ())

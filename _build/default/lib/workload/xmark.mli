@@ -1,0 +1,30 @@
+(** A synthetic XMark auction-site document generator.
+
+    Follows the XMark benchmark schema (site / regions / categories /
+    catgraph / people / open_auctions / closed_auctions) closely enough
+    that the twenty benchmark queries exercise the same paths, joins and
+    cardinalities as the original xmlgen documents; entity counts scale
+    linearly with the byte budget, and cross-references are drawn
+    uniformly, preserving the join fan-outs the paper's experiments rely
+    on.  Deterministic for a given seed. *)
+
+open Xqc_xml
+
+val generate : ?seed:int -> target_bytes:int -> unit -> Node.t
+(** An in-memory document of approximately [target_bytes] serialized
+    bytes (calibrated within roughly ±20%). *)
+
+val generate_string : ?seed:int -> target_bytes:int -> unit -> string
+
+val words : string array
+(** The text vocabulary (shared with the Clio generator). *)
+
+type counts = {
+  n_categories : int;
+  n_items : (string * int) list;  (** per region *)
+  n_persons : int;
+  n_open : int;
+  n_closed : int;
+}
+
+val counts_for_bytes : int -> counts

@@ -1,0 +1,38 @@
+(** The twenty XMark benchmark queries (Schmidt et al., VLDB 2002),
+    written against an externally bound [$auction] document variable, as
+    in the paper's plans.  Small adaptations to this engine's XQuery
+    subset are commented in the implementation. *)
+
+val q1 : string
+val q2 : string
+val q3 : string
+val q4 : string
+val q5 : string
+val q6 : string
+val q7 : string
+val q8 : string
+
+val q9 : string
+(** The paper's Section 2 running example family: Q8/Q9 are the nested
+    FLWOR + join queries that the GroupBy unnesting serves. *)
+
+val q10 : string
+val q11 : string
+
+val q12 : string
+(** Inequality join — served by the sort join at the physical level. *)
+
+val q13 : string
+val q14 : string
+val q15 : string
+val q16 : string
+val q17 : string
+val q18 : string
+val q19 : string
+val q20 : string
+
+val all : (string * string) list
+(** [("Q1", q1); ...; ("Q20", q20)]. *)
+
+val find : string -> string
+(** @raise Not_found for unknown names. *)

@@ -1,0 +1,1 @@
+lib/xml/atomic.ml: Float Format Printf String

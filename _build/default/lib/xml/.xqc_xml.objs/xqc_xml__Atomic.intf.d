@@ -1,0 +1,1 @@
+lib/xml/atomic.mli: Format

@@ -1,0 +1,1 @@
+lib/xml/item.ml: Atomic Float Format List Node String

@@ -1,0 +1,1 @@
+lib/xml/item.mli: Atomic Format Node

@@ -1,0 +1,1 @@
+lib/xml/serializer.ml: Atomic Buffer Item List Node String

@@ -1,0 +1,1 @@
+lib/xml/xml_parser.ml: Buffer Char List Node Printf String

@@ -1,0 +1,60 @@
+(* Items and item sequences — the XML half of the paper's data model.
+
+   A value in the logical data model is an ordered sequence of items; an
+   item is an atomic value or a node.  Sequences are ordinary OCaml lists:
+   the algebra treats them as holistic values (the paper's key departure
+   from tuple-of-singleton encodings). *)
+
+type t = Atom of Atomic.t | Node of Node.t
+
+type sequence = t list
+
+let atom a = Atom a
+let node n = Node n
+
+let of_int i = Atom (Atomic.Integer i)
+let of_string s = Atom (Atomic.String s)
+let of_bool b = Atom (Atomic.Boolean b)
+let of_double f = Atom (Atomic.Double f)
+
+let is_node = function Node _ -> true | Atom _ -> false
+let is_atom = function Atom _ -> true | Node _ -> false
+
+(* fn:data on one item. *)
+let data = function Atom a -> a | Node n -> Node.typed_value n
+
+(* fn:string on one item. *)
+let string_value = function
+  | Atom a -> Atomic.to_string a
+  | Node n -> Node.string_value n
+
+(* Effective boolean value of a sequence (fn:boolean), per XPath 2.0:
+   empty -> false; first item a node -> true; singleton atomic -> by type;
+   anything else is a type error, reported as [Atomic.Cast_error]. *)
+let effective_boolean_value (s : sequence) : bool =
+  match s with
+  | [] -> false
+  | Node _ :: _ -> true
+  | [ Atom (Atomic.Boolean b) ] -> b
+  | [ Atom (Atomic.String v) ] | [ Atom (Atomic.Untyped v) ] | [ Atom (Atomic.Any_uri v) ]
+    -> String.length v > 0
+  | [ Atom (Atomic.Integer i) ] -> i <> 0
+  | [ Atom (Atomic.Decimal f) ] | [ Atom (Atomic.Float f) ] | [ Atom (Atomic.Double f) ]
+    -> f <> 0.0 && not (Float.is_nan f)
+  | [ Atom (Atomic.Qname _) ] | [ Atom (Atomic.Other _) ] ->
+      Atomic.cast_error "invalid argument to fn:boolean"
+  | Atom _ :: _ :: _ ->
+      Atomic.cast_error "fn:boolean on a sequence of more than one atomic value"
+
+(* fn:data over a sequence: atomization. *)
+let atomize (s : sequence) : Atomic.t list = List.map data s
+
+let pp ppf = function
+  | Atom a -> Atomic.pp ppf a
+  | Node n ->
+      Format.fprintf ppf "%s(%s)"
+        (Node.kind_name (Node.kind n))
+        (match Node.name n with Some q -> q | None -> "")
+
+let pp_sequence ppf s =
+  Format.fprintf ppf "(%a)" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp) s

@@ -1,0 +1,42 @@
+(** Items and item sequences — the XML half of the paper's data model.
+
+    A value in the logical data model is an ordered sequence of items; an
+    item is an atomic value or a node.  The algebra treats sequences as
+    holistic values (the paper's key departure from encodings that break
+    sequences into singleton tuples). *)
+
+type t = Atom of Atomic.t | Node of Node.t
+
+type sequence = t list
+
+(** {1 Constructors} *)
+
+val atom : Atomic.t -> t
+val node : Node.t -> t
+val of_int : int -> t
+val of_string : string -> t
+val of_bool : bool -> t
+val of_double : float -> t
+
+(** {1 Observation} *)
+
+val is_node : t -> bool
+val is_atom : t -> bool
+
+val data : t -> Atomic.t
+(** fn:data on one item: identity on atoms, typed value on nodes. *)
+
+val string_value : t -> string
+(** fn:string on one item. *)
+
+val atomize : sequence -> Atomic.t list
+(** fn:data over a sequence. *)
+
+val effective_boolean_value : sequence -> bool
+(** fn:boolean per XPath 2.0: empty is false, a sequence starting with a
+    node is true, a singleton atomic by its type.
+    @raise Atomic.Cast_error on sequences with no effective boolean
+    value. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_sequence : Format.formatter -> sequence -> unit

@@ -1,0 +1,229 @@
+(* XML node trees with global document order.
+
+   Node identity is physical; each node carries a globally unique [nid]
+   assigned in construction (pre-)order, so document order between any two
+   nodes — including nodes of different documents — is a comparison of ids,
+   and sorting-by-document-order after a TreeJoin is a sort on ints.
+
+   Element and attribute nodes carry an optional type annotation, the name
+   of the schema type assigned by validation.  Unvalidated elements have no
+   annotation and their typed value is xdt:untypedAtomic, per the XQuery
+   data model. *)
+
+type qname = string
+
+type t = {
+  mutable nid : int;
+  mutable parent : t option;
+  mutable desc : desc;
+}
+
+and desc =
+  | Document of { mutable dchildren : t list; duri : string option }
+  | Element of {
+      ename : qname;
+      mutable attrs : t list;
+      mutable children : t list;
+      mutable eannot : string option;
+    }
+  | Attribute of { aname : qname; avalue : string; mutable aannot : string option }
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; pdata : string }
+
+let counter = ref 0
+
+let fresh_id () =
+  incr counter;
+  !counter
+
+let mk desc = { nid = fresh_id (); parent = None; desc }
+
+let document ?uri children =
+  let d = mk (Document { dchildren = children; duri = uri }) in
+  List.iter (fun c -> c.parent <- Some d) children;
+  d
+
+let element ?annot name ~attrs ~children =
+  let e = mk (Element { ename = name; attrs; children; eannot = annot }) in
+  List.iter (fun a -> a.parent <- Some e) attrs;
+  List.iter (fun c -> c.parent <- Some e) children;
+  e
+
+let attribute ?annot name value =
+  mk (Attribute { aname = name; avalue = value; aannot = annot })
+
+let text s = mk (Text s)
+let comment s = mk (Comment s)
+let pi target pdata = mk (Pi { target; pdata })
+
+type kind = Kdocument | Kelement | Kattribute | Ktext | Kcomment | Kpi
+
+let kind n =
+  match n.desc with
+  | Document _ -> Kdocument
+  | Element _ -> Kelement
+  | Attribute _ -> Kattribute
+  | Text _ -> Ktext
+  | Comment _ -> Kcomment
+  | Pi _ -> Kpi
+
+let kind_name = function
+  | Kdocument -> "document"
+  | Kelement -> "element"
+  | Kattribute -> "attribute"
+  | Ktext -> "text"
+  | Kcomment -> "comment"
+  | Kpi -> "processing-instruction"
+
+let name n =
+  match n.desc with
+  | Element e -> Some e.ename
+  | Attribute a -> Some a.aname
+  | Pi p -> Some p.target
+  | Document _ | Text _ | Comment _ -> None
+
+let children n =
+  match n.desc with
+  | Document d -> d.dchildren
+  | Element e -> e.children
+  | Attribute _ | Text _ | Comment _ | Pi _ -> []
+
+let attributes n =
+  match n.desc with
+  | Element e -> e.attrs
+  | Document _ | Attribute _ | Text _ | Comment _ | Pi _ -> []
+
+let parent n = n.parent
+
+let type_annotation n =
+  match n.desc with
+  | Element e -> e.eannot
+  | Attribute a -> a.aannot
+  | Document _ | Text _ | Comment _ | Pi _ -> None
+
+let set_type_annotation n annot =
+  match n.desc with
+  | Element e -> e.eannot <- annot
+  | Attribute a -> a.aannot <- annot
+  | Document _ | Text _ | Comment _ | Pi _ -> ()
+
+(* String value: concatenation of all descendant text, per the data model. *)
+let string_value n =
+  match n.desc with
+  | Text s -> s
+  | Comment s -> s
+  | Pi p -> p.pdata
+  | Attribute a -> a.avalue
+  | Document _ | Element _ ->
+      let buf = Buffer.create 16 in
+      let rec go n =
+        match n.desc with
+        | Text s -> Buffer.add_string buf s
+        | Element _ | Document _ -> List.iter go (children n)
+        | Attribute _ | Comment _ | Pi _ -> ()
+      in
+      go n;
+      Buffer.contents buf
+
+(* Typed value (fn:data on a node).  Elements/attributes without a type
+   annotation atomize to untypedAtomic; annotated nodes atomize to the
+   atomic type recorded by validation when that type names an atomic type,
+   and to untypedAtomic otherwise (we do not model complex typed values). *)
+let typed_value n : Atomic.t =
+  let sv = string_value n in
+  match type_annotation n with
+  | None -> (
+      match n.desc with
+      | Comment _ | Pi _ -> Atomic.String sv
+      | Document _ | Element _ | Attribute _ | Text _ -> Atomic.Untyped sv)
+  | Some ty -> (
+      match Atomic.type_name_of_string ty with
+      | Some tn -> ( try Atomic.cast tn (Atomic.Untyped sv) with Atomic.Cast_error _ -> Atomic.Untyped sv)
+      | None -> Atomic.Untyped sv)
+
+(* Deep copy with fresh node ids: XQuery element constructors copy their
+   content, which is why construction shows up in the paper's profiles. *)
+let rec copy n =
+  match n.desc with
+  | Document d -> document ?uri:d.duri (List.map copy d.dchildren)
+  | Element e ->
+      element ?annot:e.eannot e.ename ~attrs:(List.map copy e.attrs)
+        ~children:(List.map copy e.children)
+  | Attribute a -> attribute ?annot:a.aannot a.aname a.avalue
+  | Text s -> text s
+  | Comment s -> comment s
+  | Pi p -> pi p.target p.pdata
+
+(* Re-assign node ids in document order (preorder; attributes between the
+   element and its children).  Trees are built bottom-up by the parser,
+   the constructors and the generators, so each construction boundary
+   renumbers the finished subtree to restore the preorder invariant. *)
+let renumber (root : t) : unit =
+  let rec go n =
+    n.nid <- fresh_id ();
+    List.iter go (attributes n);
+    List.iter go (children n)
+  in
+  go root
+
+let doc_order_compare a b = compare a.nid b.nid
+
+(* Sort a node list into document order and remove duplicate nodes
+   (by identity).  This is the closure every axis step must maintain. *)
+let sort_doc_order nodes =
+  let sorted = List.sort_uniq (fun a b -> compare a.nid b.nid) nodes in
+  sorted
+
+let is_ancestor_of ~anc n =
+  let rec up = function
+    | None -> false
+    | Some p -> p == anc || up p.parent
+  in
+  up n.parent
+
+let root n =
+  let rec up n = match n.parent with None -> n | Some p -> up p in
+  up n
+
+(* Descendants in document order (self excluded). *)
+let descendants n =
+  let acc = ref [] in
+  let rec go n =
+    List.iter
+      (fun c ->
+        acc := c :: !acc;
+        go c)
+      (children n)
+  in
+  go n;
+  List.rev !acc
+
+let descendant_or_self n = n :: descendants n
+
+let ancestors n =
+  let rec up acc = function None -> List.rev acc | Some p -> up (p :: acc) p.parent in
+  up [] n.parent
+
+let following_siblings n =
+  match n.parent with
+  | None -> []
+  | Some p ->
+      let rec after = function
+        | [] -> []
+        | c :: rest -> if c == n then rest else after rest
+      in
+      after (children p)
+
+let preceding_siblings n =
+  match n.parent with
+  | None -> []
+  | Some p ->
+      let rec before acc = function
+        | [] -> []
+        | c :: rest -> if c == n then List.rev acc else before (c :: acc) rest
+      in
+      before [] (children p)
+
+(* Count of nodes in the subtree, used by tests and the workload report. *)
+let rec size n = 1 + List.length (attributes n) + List.fold_left (fun acc c -> acc + size c) 0 (children n)

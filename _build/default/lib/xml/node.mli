@@ -1,0 +1,87 @@
+(** XML node trees with global document order.
+
+    Node identity is physical.  Every node carries a globally unique
+    integer id [nid] maintained in document (pre-)order, so document-order
+    comparison — including between different documents — is an integer
+    comparison.  Trees are built bottom-up, so each construction boundary
+    (parser, constructors, generators) calls {!renumber} on the finished
+    subtree to restore the preorder invariant. *)
+
+type qname = string
+
+type t = { mutable nid : int; mutable parent : t option; mutable desc : desc }
+
+and desc =
+  | Document of { mutable dchildren : t list; duri : string option }
+  | Element of {
+      ename : qname;
+      mutable attrs : t list;
+      mutable children : t list;
+      mutable eannot : string option;  (** type annotation from validation *)
+    }
+  | Attribute of { aname : qname; avalue : string; mutable aannot : string option }
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; pdata : string }
+
+(** {1 Construction} *)
+
+val document : ?uri:string -> t list -> t
+(** A document node owning the given children (parent pointers are set). *)
+
+val element : ?annot:string -> qname -> attrs:t list -> children:t list -> t
+val attribute : ?annot:string -> qname -> string -> t
+val text : string -> t
+val comment : string -> t
+val pi : string -> string -> t
+
+val copy : t -> t
+(** Deep copy with fresh node ids — the copy performed by XQuery element
+    constructors.  Call {!renumber} on the surrounding tree afterwards if
+    preorder ids are required. *)
+
+val renumber : t -> unit
+(** Re-assign ids across the subtree in document order (node, then its
+    attributes, then its children). *)
+
+(** {1 Observation} *)
+
+type kind = Kdocument | Kelement | Kattribute | Ktext | Kcomment | Kpi
+
+val kind : t -> kind
+val kind_name : kind -> string
+
+val name : t -> qname option
+(** Element/attribute name, or PI target; [None] for other kinds. *)
+
+val children : t -> t list
+val attributes : t -> t list
+val parent : t -> t option
+val type_annotation : t -> string option
+val set_type_annotation : t -> string option -> unit
+
+val string_value : t -> string
+(** The data-model string value (concatenated descendant text). *)
+
+val typed_value : t -> Atomic.t
+(** fn:data on a node: untypedAtomic for unvalidated nodes, the annotated
+    atomic type for validated ones. *)
+
+(** {1 Document order and axes} *)
+
+val doc_order_compare : t -> t -> int
+
+val sort_doc_order : t list -> t list
+(** Sort into document order and drop duplicates — the closure every axis
+    step maintains. *)
+
+val is_ancestor_of : anc:t -> t -> bool
+val root : t -> t
+val descendants : t -> t list
+val descendant_or_self : t -> t list
+val ancestors : t -> t list
+val following_siblings : t -> t list
+val preceding_siblings : t -> t list
+
+val size : t -> int
+(** Number of nodes in the subtree (attributes included). *)

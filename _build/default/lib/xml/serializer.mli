@@ -1,0 +1,21 @@
+(** XML serialization (the Serialize operator of Table 1).
+
+    Sequences serialize per the XQuery serialization rules: adjacent
+    atomic values are separated by a single space, nodes become markup,
+    text and attribute content is escaped. *)
+
+val node_to_string : Node.t -> string
+
+val sequence_to_string : Item.sequence -> string
+
+val sequence_to_file : string -> Item.sequence -> unit
+
+val node_to_string_indented : Node.t -> string
+(** Two-space indented rendering; elements with text children stay on one
+    line so the value is unchanged modulo ignorable whitespace. *)
+
+val sequence_to_string_indented : Item.sequence -> string
+
+val escape_text : Buffer.t -> string -> unit
+val escape_attr : Buffer.t -> string -> unit
+val add_node : Buffer.t -> Node.t -> unit

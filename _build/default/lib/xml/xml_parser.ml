@@ -1,0 +1,232 @@
+(* A small, fast, non-validating XML parser sufficient for the paper's
+   workloads (XMark and DBLP-style documents): elements, attributes,
+   character data with the five predefined entities, numeric character
+   references, comments, processing instructions, CDATA sections, and an
+   optional XML declaration.  Namespace declarations are kept as plain
+   attributes; DTDs are skipped.
+
+   The parser is a single left-to-right pass over the input string with an
+   explicit element stack, so parsing is O(n) and allocation is dominated
+   by the node tree itself — document loading dominates optimized query
+   time in the paper (Section 7), and the same holds here. *)
+
+exception Parse_error of { position : int; message : string }
+
+let error pos fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { position = pos; message })) fmt
+
+type state = { src : string; mutable pos : int; len : int }
+
+let peek st = if st.pos < st.len then Some st.src.[st.pos] else None
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= st.len && String.sub st.src st.pos n = s
+
+let advance st n = st.pos <- st.pos + n
+
+let skip_ws st =
+  while
+    st.pos < st.len
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st 1
+  | Some c -> error st.pos "expected a name, found %C" c
+  | None -> error st.pos "expected a name, found end of input");
+  while st.pos < st.len && is_name_char st.src.[st.pos] do
+    advance st 1
+  done;
+  String.sub st.src start (st.pos - start)
+
+let decode_entity st =
+  (* called with pos on the '&' *)
+  let start = st.pos in
+  advance st 1;
+  match String.index_from_opt st.src st.pos ';' with
+  | None -> error start "unterminated entity reference"
+  | Some semi ->
+      let name = String.sub st.src st.pos (semi - st.pos) in
+      st.pos <- semi + 1;
+      if String.length name > 1 && name.[0] = '#' then
+        let code =
+          if name.[1] = 'x' || name.[1] = 'X' then
+            int_of_string_opt ("0x" ^ String.sub name 2 (String.length name - 2))
+          else int_of_string_opt (String.sub name 1 (String.length name - 1))
+        in
+        match code with
+        | Some c when c < 128 -> String.make 1 (Char.chr c)
+        | Some c ->
+            (* minimal UTF-8 encoding for the BMP *)
+            let b = Buffer.create 4 in
+            if c < 0x800 then (
+              Buffer.add_char b (Char.chr (0xC0 lor (c lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (c land 0x3F))))
+            else (
+              Buffer.add_char b (Char.chr (0xE0 lor (c lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (c land 0x3F))));
+            Buffer.contents b
+        | None -> error start "malformed character reference &%s;" name
+      else
+        match name with
+        | "lt" -> "<"
+        | "gt" -> ">"
+        | "amp" -> "&"
+        | "quot" -> "\""
+        | "apos" -> "'"
+        | other -> error start "unknown entity &%s;" other
+
+let parse_attr_value st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) -> advance st 1; q
+    | Some c -> error st.pos "expected quoted attribute value, found %C" c
+    | None -> error st.pos "unexpected end of input in attribute value"
+  in
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st.pos "unterminated attribute value"
+    | Some c when c = quote -> advance st 1
+    | Some '&' -> Buffer.add_string buf (decode_entity st); go ()
+    | Some c -> Buffer.add_char buf c; advance st 1; go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_attributes st =
+  let rec go acc =
+    skip_ws st;
+    match peek st with
+    | Some c when is_name_start c ->
+        let name = parse_name st in
+        skip_ws st;
+        (match peek st with
+        | Some '=' -> advance st 1
+        | _ -> error st.pos "expected '=' after attribute name %s" name);
+        skip_ws st;
+        let value = parse_attr_value st in
+        go (Node.attribute name value :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  go []
+
+let parse_text st =
+  let buf = Buffer.create 32 in
+  let rec go () =
+    match peek st with
+    | None | Some '<' -> ()
+    | Some '&' -> Buffer.add_string buf (decode_entity st); go ()
+    | Some c -> Buffer.add_char buf c; advance st 1; go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let skip_until st marker =
+  let rec go () =
+    if st.pos >= st.len then error st.pos "unterminated construct (expected %S)" marker
+    else if looking_at st marker then advance st (String.length marker)
+    else (advance st 1; go ())
+  in
+  go ()
+
+let read_until st marker =
+  let start = st.pos in
+  let rec go () =
+    if st.pos >= st.len then error st.pos "unterminated construct (expected %S)" marker
+    else if looking_at st marker then (
+      let s = String.sub st.src start (st.pos - start) in
+      advance st (String.length marker);
+      s)
+    else (advance st 1; go ())
+  in
+  go ()
+
+(* Parse one element assuming pos is just past "<name".  Returns the node. *)
+let rec parse_element st name =
+  let attrs = parse_attributes st in
+  skip_ws st;
+  if looking_at st "/>" then (
+    advance st 2;
+    Node.element name ~attrs ~children:[])
+  else (
+    (match peek st with
+    | Some '>' -> advance st 1
+    | _ -> error st.pos "malformed start tag for <%s>" name);
+    let children = parse_content st in
+    (* parse_content stops at "</" *)
+    advance st 2;
+    let close = parse_name st in
+    if not (String.equal close name) then
+      error st.pos "mismatched end tag </%s> for <%s>" close name;
+    skip_ws st;
+    (match peek st with
+    | Some '>' -> advance st 1
+    | _ -> error st.pos "malformed end tag </%s>" close);
+    Node.element name ~attrs ~children)
+
+and parse_content st =
+  let rec go acc =
+    if st.pos >= st.len then List.rev acc
+    else if looking_at st "</" then List.rev acc
+    else if looking_at st "<!--" then (
+      advance st 4;
+      let body = read_until st "-->" in
+      go (Node.comment body :: acc))
+    else if looking_at st "<![CDATA[" then (
+      advance st 9;
+      let body = read_until st "]]>" in
+      go (Node.text body :: acc))
+    else if looking_at st "<?" then (
+      advance st 2;
+      let target = parse_name st in
+      skip_ws st;
+      let body = read_until st "?>" in
+      go (Node.pi target body :: acc))
+    else if looking_at st "<!" then (
+      (* DOCTYPE or other declaration: skip to the matching '>' *)
+      skip_until st ">";
+      go acc)
+    else if looking_at st "<" then (
+      advance st 1;
+      let name = parse_name st in
+      go (parse_element st name :: acc))
+    else
+      let txt = parse_text st in
+      if String.length txt = 0 then go acc else go (Node.text txt :: acc)
+  in
+  go []
+
+let parse_string ?uri (src : string) : Node.t =
+  let st = { src; pos = 0; len = String.length src } in
+  skip_ws st;
+  if looking_at st "<?xml" then skip_until st "?>";
+  let children = parse_content st in
+  if st.pos < st.len then error st.pos "trailing content after document element";
+  let elements = List.filter (fun n -> Node.kind n = Node.Kelement) children in
+  (match elements with
+  | [] -> error 0 "document has no root element"
+  | [ _ ] -> ()
+  | _ -> error 0 "document has more than one root element");
+  let doc = Node.document ?uri children in
+  Node.renumber doc;
+  doc
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string ~uri:path s

@@ -1,0 +1,27 @@
+(** A small, fast, non-validating XML parser.
+
+    Supports elements, attributes, character data with the five predefined
+    entities and numeric character references, comments, processing
+    instructions, CDATA sections and an optional XML declaration.
+    Namespace declarations are kept as plain attributes; DTD internal
+    subsets are skipped.  One pass, O(n). *)
+
+exception Parse_error of { position : int; message : string }
+
+val parse_string : ?uri:string -> string -> Node.t
+(** Parse a complete document.  The returned document node has ids in
+    document order.
+    @raise Parse_error on malformed input (position is a byte offset). *)
+
+val parse_file : string -> Node.t
+
+(** {1 Internals used by the XQuery lexer}
+
+    The XQuery parser reuses the entity decoder for string literals and
+    constructor content. *)
+
+type state = { src : string; mutable pos : int; len : int }
+
+val decode_entity : state -> string
+(** Decode one entity or character reference at the cursor (positioned on
+    ['&']), advancing past the [';']. *)

@@ -1,0 +1,1 @@
+test/test_atomic.ml: Alcotest Float List QCheck QCheck_alcotest Xqc

@@ -1,0 +1,1 @@
+test/test_builtins.ml: Alcotest List Xqc

@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Algebra Ast Atomic Compile List Pretty String Xqc

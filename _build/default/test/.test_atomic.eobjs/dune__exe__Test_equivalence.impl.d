@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Array List Printf QCheck QCheck_alcotest String Xqc Xqc_workload

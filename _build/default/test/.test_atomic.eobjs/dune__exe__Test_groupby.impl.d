@@ -1,0 +1,1 @@
+test/test_groupby.ml: Alcotest Algebra Array Ast Atomic Dynamic_ctx Eval Item List Node String Xqc

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Core_ast Indexed Interp Item List Normalize Xqc

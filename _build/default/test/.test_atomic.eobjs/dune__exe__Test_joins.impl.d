@@ -1,0 +1,1 @@
+test/test_joins.ml: Alcotest Array Atomic Float Item Joins List Promotion QCheck QCheck_alcotest Xqc

@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest Ast Atomic Core_ast List Normalize Option QCheck QCheck_alcotest Xqc

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Algebra Compile List Pretty Promotion Rewrite String Xqc Xqc_workload

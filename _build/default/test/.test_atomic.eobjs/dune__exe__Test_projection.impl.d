@@ -1,0 +1,1 @@
+test/test_projection.ml: Alcotest Ast Doc_paths Item List Node Normalize Projection Schema Seqtype Serializer Xqc Xqc_workload

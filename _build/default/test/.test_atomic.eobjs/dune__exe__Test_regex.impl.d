@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest String Xqc

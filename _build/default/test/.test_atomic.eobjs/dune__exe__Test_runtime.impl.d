@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Algebra Array Ast Atomic Dynamic_ctx Eval Filename Item List Node Seqtype Serializer Sys Xqc

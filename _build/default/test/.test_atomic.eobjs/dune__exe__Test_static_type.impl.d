@@ -1,0 +1,1 @@
+test/test_static_type.ml: Alcotest Algebra Ast Atomic List Pretty Seqtype String Xqc Xqc_optimizer

@@ -1,0 +1,1 @@
+test/test_static_type.mli:

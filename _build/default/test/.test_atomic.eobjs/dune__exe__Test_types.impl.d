@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest List Option QCheck QCheck_alcotest String Xqc

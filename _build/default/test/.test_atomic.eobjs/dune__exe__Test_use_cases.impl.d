@@ -1,0 +1,1 @@
+test/test_use_cases.ml: Alcotest List String Xqc

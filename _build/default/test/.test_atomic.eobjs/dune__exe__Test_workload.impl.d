@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Digest List String Xqc Xqc_workload

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest List Option QCheck QCheck_alcotest String Xqc

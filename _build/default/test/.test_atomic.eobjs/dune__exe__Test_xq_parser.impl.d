@@ -1,0 +1,1 @@
+test/test_xq_parser.ml: Alcotest Ast Atomic List Printf Seqtype Xq_parser Xqc

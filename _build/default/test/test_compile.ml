@@ -1,0 +1,165 @@
+(* Algebraic compilation (Section 4): plan shapes for the Figure 2 FLWOR
+   rules, typeswitch (Figure 3), and the structural helpers the optimizer
+   relies on. *)
+
+open Xqc
+open Algebra
+
+let compile s = (Compile.compile_string s).Compile.cmain
+let check_bool = Alcotest.(check bool)
+let names p = Pretty.operator_names p
+let count n p = List.length (List.filter (String.equal n) (names p))
+
+let test_for_clause () =
+  (* (FOR): MapToItem{ret}(MapConcat{MapFromItem{[x:IN]}(src)}([])) *)
+  match compile "for $x in $s return $x" with
+  | MapToItem
+      ( FieldAccess _,
+        MapConcat (MapFromItem (TupleConstruct [ (_, Input) ], Var "s"), TupleConstruct [])
+      ) ->
+      ()
+  | p -> Alcotest.failf "for shape:\n%s" (Pretty.to_string p)
+
+let test_for_with_at () =
+  match compile "for $x at $i in $s return $i" with
+  | MapToItem (FieldAccess _, MapIndex (_, MapConcat _)) -> ()
+  | p -> Alcotest.failf "at shape:\n%s" (Pretty.to_string p)
+
+let test_for_with_astype () =
+  match compile "for $x as xs:integer in $s return $x" with
+  | MapToItem (_, MapConcat (MapFromItem (TupleConstruct [ (_, TypeAssert _) ], _), _)) -> ()
+  | p -> Alcotest.failf "as-type shape:\n%s" (Pretty.to_string p)
+
+let test_let_clause () =
+  (* (LET): the tuple constructor is the dependent of MapConcat directly *)
+  match compile "let $a := $s return $a" with
+  | MapToItem (FieldAccess _, MapConcat (TupleConstruct [ (_, Var "s") ], TupleConstruct []))
+    ->
+      ()
+  | p -> Alcotest.failf "let shape:\n%s" (Pretty.to_string p)
+
+let test_where_clause () =
+  match compile "for $x in $s where $x > 1 return $x" with
+  | MapToItem (_, Select (Call ("fn:boolean", _), MapConcat _)) -> ()
+  | p -> Alcotest.failf "where shape:\n%s" (Pretty.to_string p)
+
+let test_order_by () =
+  match compile "for $x in $s order by $x descending return $x" with
+  | MapToItem (_, OrderBy ([ { sdir = Ast.Descending; _ } ], _)) -> ()
+  | p -> Alcotest.failf "order shape:\n%s" (Pretty.to_string p)
+
+let test_nested_flwor_starts_from_input () =
+  (* a FLWOR in a dependent context starts from IN, not the unit table *)
+  let p = compile "for $x in $s return (for $y in $t return ($x, $y))" in
+  let rec has_inner_mapconcat_over_input = function
+    | MapConcat (_, Input) -> true
+    | other -> List.exists has_inner_mapconcat_over_input (children_of other)
+  in
+  check_bool "inner block chains from IN" true (has_inner_mapconcat_over_input p)
+
+let test_typeswitch () =
+  match compile "typeswitch ($v) case xs:integer return 1 default return 2" with
+  | MapToItem
+      ( Cond (TypeMatches (_, FieldAccess _), Scalar _, Scalar _),
+        MapConcat (TupleConstruct [ _ ], TupleConstruct []) ) ->
+      ()
+  | p -> Alcotest.failf "typeswitch shape:\n%s" (Pretty.to_string p)
+
+let test_quantifier () =
+  match compile "some $x in $s satisfies $x = 1" with
+  | MapSome (_, MapConcat (MapFromItem _, TupleConstruct [])) -> ()
+  | p -> Alcotest.failf "quantifier shape:\n%s" (Pretty.to_string p)
+
+let test_doc_becomes_parse () =
+  check_bool "fn:doc compiles to Parse" true (count "Parse" (compile "doc(\"x.xml\")") = 1)
+
+let test_functions_compile () =
+  let q = Compile.compile_string "declare function local:f($x) { $x + 1 }; local:f(2)" in
+  (match q.Compile.cfunctions with
+  | [ f ] ->
+      check_bool "param is a Var leaf" true (count "Var" f.Compile.fn_body = 1);
+      check_bool "body adds" true (count "Call" f.Compile.fn_body >= 1)
+  | _ -> Alcotest.fail "one function");
+  match q.Compile.cmain with
+  | Call ("local:f", [ Scalar _ ]) -> ()
+  | p -> Alcotest.failf "main: %s" (Pretty.to_string p)
+
+let test_globals_compile () =
+  let q = Compile.compile_string "declare variable $g := 1 + 1; $g + 1" in
+  check_bool "one global" true (List.length q.Compile.cglobals = 1);
+  match q.Compile.cmain with
+  | Call ("op:add", [ Var "g"; Scalar _ ]) -> ()
+  | p -> Alcotest.failf "main: %s" (Pretty.to_string p)
+
+(* ---------------- structural helpers ---------------- *)
+
+let test_output_fields () =
+  Alcotest.(check (list string)) "tuple construct" [ "a"; "b" ]
+    (output_fields (TupleConstruct [ ("a", Empty); ("b", Empty) ]));
+  Alcotest.(check (list string)) "map concat appends" [ "a"; "b" ]
+    (output_fields
+       (MapConcat (TupleConstruct [ ("b", Empty) ], TupleConstruct [ ("a", Empty) ])));
+  Alcotest.(check (list string)) "louterjoin prepends flag" [ "n"; "a"; "b" ]
+    (output_fields
+       (LOuterJoin
+          ( Nested_loop, "n",
+            Pred Empty,
+            TupleConstruct [ ("a", Empty) ],
+            TupleConstruct [ ("b", Empty) ] )));
+  Alcotest.(check (list string)) "groupby appends agg" [ "a"; "g" ]
+    (output_fields
+       (GroupBy
+          ( { g_agg = "g"; g_indices = []; g_nulls = []; g_post = Input; g_pre = Input },
+            TupleConstruct [ ("a", Empty) ] )))
+
+let test_uses_input () =
+  check_bool "field access" true (uses_input (FieldAccess "x"));
+  check_bool "bare input" true (uses_input Input);
+  check_bool "constant" false (uses_input (Scalar (Atomic.Integer 1)));
+  check_bool "rebinding hides dependent" false
+    (uses_input (Select (FieldAccess "x", TupleConstruct [])));
+  check_bool "independent input still traversed" true
+    (uses_input (Select (Scalar (Atomic.Boolean true), Input)))
+
+let test_uses_bare_input () =
+  check_bool "bare" true (uses_bare_input Input);
+  check_bool "field access is not bare" false (uses_bare_input (FieldAccess "x"));
+  check_bool "rebound dep hidden" false
+    (uses_bare_input (MapToItem (Input, TupleConstruct [])))
+
+let test_input_fields () =
+  Alcotest.(check (list string)) "collects field reads" [ "x"; "y" ]
+    (List.sort_uniq compare
+       (input_fields (Call ("f", [ FieldAccess "x"; FieldAccess "y"; FieldAccess "x" ]))));
+  Alcotest.(check (list string)) "dependent positions skipped" [ "z" ]
+    (input_fields (Select (FieldAccess "hidden", MapConcat (FieldAccess "hidden2", Join (Nested_loop, Pred Empty, Input, FieldAccess "z")))))
+
+let () =
+  Alcotest.run "compile"
+    [
+      ( "flwor rules",
+        [
+          Alcotest.test_case "for" `Quick test_for_clause;
+          Alcotest.test_case "for at" `Quick test_for_with_at;
+          Alcotest.test_case "for as-type" `Quick test_for_with_astype;
+          Alcotest.test_case "let" `Quick test_let_clause;
+          Alcotest.test_case "where" `Quick test_where_clause;
+          Alcotest.test_case "order by" `Quick test_order_by;
+          Alcotest.test_case "nested from IN" `Quick test_nested_flwor_starts_from_input;
+        ] );
+      ( "other rules",
+        [
+          Alcotest.test_case "typeswitch" `Quick test_typeswitch;
+          Alcotest.test_case "quantifier" `Quick test_quantifier;
+          Alcotest.test_case "doc -> Parse" `Quick test_doc_becomes_parse;
+          Alcotest.test_case "functions" `Quick test_functions_compile;
+          Alcotest.test_case "globals" `Quick test_globals_compile;
+        ] );
+      ( "helpers",
+        [
+          Alcotest.test_case "output_fields" `Quick test_output_fields;
+          Alcotest.test_case "uses_input" `Quick test_uses_input;
+          Alcotest.test_case "uses_bare_input" `Quick test_uses_bare_input;
+          Alcotest.test_case "input_fields" `Quick test_input_fields;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* Cross-strategy equivalence: randomized queries over randomized small
+   documents must produce byte-identical serialized results under every
+   engine configuration.  This is the repository's main correctness
+   property: the interpreter is the executable specification and the
+   optimized algebraic plans must agree with it. *)
+
+let strategies = Xqc.all_strategies
+
+(* -------- random document generator -------- *)
+
+let doc_gen : Xqc.Node.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  (* numeric-only data values: the Section 6 join algorithms deliberately
+     turn "untyped value does not cast" errors into non-matches (the
+     paper's semantics), so non-numeric ages/amounts would make the
+     interpreter error where the hash join returns no match *)
+  let value = oneofl [ "1"; "2"; "3"; "10"; "1.5"; "0" ] in
+  let person i =
+    value >>= fun age ->
+    oneofl [ "a"; "b"; "c" ] >>= fun name ->
+    int_bound 2 >>= fun pets ->
+    return
+      (Printf.sprintf
+         {|<person id="p%d" age="%s"><name>%s</name>%s</person>|} i age name
+         (String.concat "" (List.init pets (fun p -> Printf.sprintf "<pet>x%d</pet>" p))))
+  in
+  let order _i =
+    value >>= fun amount ->
+    int_bound 4 >>= fun who ->
+    return (Printf.sprintf {|<order buyer="p%d"><amount>%s</amount></order>|} who amount)
+  in
+  int_range 0 5 >>= fun np ->
+  int_range 0 6 >>= fun no ->
+  let rec seq f n acc =
+    if n = 0 then return (List.rev acc)
+    else f n >>= fun x -> seq f (n - 1) (x :: acc)
+  in
+  seq person np [] >>= fun persons ->
+  seq order no [] >>= fun orders ->
+  return
+    (Xqc.parse_document
+       (Printf.sprintf "<db><people>%s</people><orders>%s</orders></db>"
+          (String.concat "" persons) (String.concat "" orders)))
+
+(* -------- query pool -------- *)
+
+let queries =
+  [|
+    "count($d//person)";
+    "for $p in $d//person return $p/name/text()";
+    "for $p in $d//person where $p/@age > 2 return $p/@id";
+    "for $p in $d//person, $o in $d//order where $o/@buyer = $p/@id return <hit>{$p/name/text()}</hit>";
+    "for $p in $d//person let $os := (for $o in $d//order where $o/@buyer = $p/@id return $o) return <p n=\"{$p/name/text()}\">{count($os)}</p>";
+    "for $p in $d//person let $os := (for $o in $d//order where $o/amount < $p/@age return $o) return count($os)";
+    "for $p in $d//person return <r>{for $o in $d//order where $o/@buyer = $p/@id return $o/amount/text()}</r>";
+    "for $p in $d//person order by $p/@age descending return $p/name/text()";
+    "for $p in $d//person[@age >= 2] return count($p/pet)";
+    "sum(for $o in $d//order return $o/amount[. castable as xs:double] cast as xs:double?)";
+    "for $x in $d//pet[1] return $x";
+    "some $p in $d//person satisfies $p/@age = 10";
+    "every $p in $d//person satisfies exists($p/name)";
+    "distinct-values($d//order/@buyer)";
+    "for $p in $d//person return (typeswitch ($p/pet) case element(pet)+ return \"has pets\" default return \"none\")";
+    "$d//person[2]/name/text()";
+    "$d//person[last()]/@id";
+    "for $p in $d//person return ($p/@age + 1, string-length($p/name))";
+    "<summary people=\"{count($d//people/person)}\">{$d//order[amount > 2]}</summary>";
+    "for $a in $d//person, $b in $d//person where $a/@age = $b/@age return 1";
+    "for $p in $d//person order by $p/name/text(), $p/@age descending return $p/@id";
+    "for $x in ($d//person union $d//order) return name($x)";
+    "count($d//person/pet intersect $d//pet)";
+    "for $x in ($d//* except $d//pet) return name($x)";
+    "for $p in $d//person return element rec { attribute age { $p/@age }, $p/name/text() }";
+    "for $p in $d//person[position() > 1] return $p/@id";
+    "$d//person[last()]/name/text()";
+    "for $p in $d//person return (if ($p/pet) then count($p/pet) else -1)";
+    "some $p in $d//person, $o in $d//order satisfies $o/@buyer = $p/@id";
+    "every $o in $d//order satisfies $o/amount > 0";
+    {|for $p in $d//person return string-join(for $q in $p/pet return string($q), "+")|};
+    "sum(for $p in $d//person return count($p/pet) * 2)";
+    "for $p in $d//person let $n := normalize-space(string($p/name)) where string-length($n) > 0 return $n";
+    "for $o in $d//order order by number($o/amount) descending, $o/@buyer return $o/amount/text()";
+    "deep-equal($d//person[1], $d//person[1])";
+    {|for $p in $d//person return (typeswitch ($p/@age) case $a as attribute() return "attr" default return "none")|};
+    {|count(clio:deep-distinct(for $o in $d//order return <o b="{$o/@buyer}"/>))|};
+    "for $p in reverse($d//person) return $p/@id";
+    "for $i in 1 to count($d//person) return $d//person[$i]/name/text()";
+    {|for $p in $d//person where matches(string($p/name), "[ab]") return $p/name/text()|};
+    "for $p in $d//person return <w>{$p/pet[1]}{$p/pet[2]}</w>";
+    "(for $p in $d//person return $p/@age) = (for $o in $d//order return $o/amount)";
+    {|for $p in $d//person let $c := count(for $o in $d//order where $o/@buyer = $p/@id return $o) order by $c descending, $p/@id return <r id="{$p/@id}">{$c}</r>|};
+  |]
+
+let arb =
+  QCheck.make
+    ~print:(fun (qi, _) -> queries.(qi))
+    QCheck.Gen.(pair (int_bound (Array.length queries - 1)) doc_gen)
+
+let run_one strategy doc q =
+  match
+    Xqc.eval_string ~strategy ~variables:[ ("d", [ Xqc.Item.Node doc ]) ] q
+  with
+  | items -> "OK:" ^ Xqc.serialize items
+  | exception Xqc.Error _ -> "ERROR"
+
+let prop_all_strategies_agree =
+  QCheck.Test.make ~name:"all strategies agree on random query/doc pairs"
+    ~count:500 arb (fun (qi, doc) ->
+      let q = queries.(qi) in
+      let results = List.map (fun s -> run_one s doc q) strategies in
+      List.for_all (String.equal (List.hd results)) results)
+
+let () =
+  let xmark_doc () = Xqc_workload.Xmark.generate ~target_bytes:40_000 () in
+  let clio_doc () = Xqc_workload.Clio.generate ~target_bytes:15_000 () in
+  let xmark_queries = Xqc_workload.Xmark_queries.all in
+  Alcotest.run "equivalence"
+    [
+      ( "random",
+        [ QCheck_alcotest.to_alcotest prop_all_strategies_agree ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "xmark all queries" `Slow (fun () ->
+              let doc = xmark_doc () in
+              List.iter
+                (fun (name, q) ->
+                  let results =
+                    List.map
+                      (fun s ->
+                        match
+                          Xqc.eval_string ~strategy:s
+                            ~variables:[ ("auction", [ Xqc.Item.Node doc ]) ] q
+                        with
+                        | items -> "OK:" ^ Xqc.serialize items
+                        | exception Xqc.Error m -> "ERROR:" ^ m
+                      )
+                      strategies
+                  in
+                  if not (List.for_all (String.equal (List.hd results)) results)
+                  then Alcotest.failf "XMark %s: strategies disagree" name)
+                xmark_queries);
+          Alcotest.test_case "clio all queries" `Slow (fun () ->
+              let doc = clio_doc () in
+              List.iter
+                (fun (name, q) ->
+                  let results =
+                    List.map
+                      (fun s ->
+                        match
+                          Xqc.eval_string ~strategy:s
+                            ~variables:[ ("doc", [ Xqc.Item.Node doc ]) ] q
+                        with
+                        | items -> "OK:" ^ Xqc.serialize items
+                        | exception Xqc.Error m -> "ERROR:" ^ m)
+                      strategies
+                  in
+                  if not (List.for_all (String.equal (List.hd results)) results)
+                  then Alcotest.failf "Clio %s: strategies disagree" name)
+                Xqc_workload.Clio.all);
+        ] );
+    ]

@@ -1,0 +1,291 @@
+(* End-to-end evaluation: a table of queries and expected serialized
+   results, run through the fully optimized engine (cross-strategy
+   agreement is covered separately in test_equivalence.ml). *)
+
+let doc =
+  Xqc.parse_document ~uri:"d.xml"
+    {|<root><people><person id="p1" age="30"><name>Alice</name><pet>cat</pet><pet>dog</pet></person><person id="p2" age="25"><name>Bob</name></person></people><nums><n>1</n><n>2</n><n>3</n></nums></root>|}
+
+let eval ?(strategy = Xqc.Optimized) q =
+  Xqc.serialize
+    (Xqc.eval_string ~strategy ~variables:[ ("d", [ Xqc.Item.Node doc ]) ] q)
+
+let expect (name, q, expected) =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name expected (eval q))
+
+let arithmetic =
+  [
+    ("add", "1 + 2", "3");
+    ("precedence", "2 + 3 * 4", "14");
+    ("division is decimal", "7 div 2", "3.5");
+    ("integer division", "7 idiv 2", "3");
+    ("mod", "7 mod 2", "1");
+    ("unary minus", "-(3) + 1", "-2");
+    ("double arithmetic", "1.5e1 * 2", "30");
+    ("empty propagates", "() + 1", "");
+    ("untyped data in arithmetic", "$d//person[@id = \"p1\"]/@age + 1", "31");
+    ("range", "1 to 4", "1 2 3 4");
+    ("empty range", "3 to 1", "");
+  ]
+
+let comparisons =
+  [
+    ("general eq true", "(1,2,3) = 2", "true");
+    ("general eq false", "(1,2,3) = 5", "false");
+    ("general with untyped", "$d//person/@age > 28", "true");
+    ("value comparison", "2 eq 2", "true");
+    ("value comparison empty", "() eq 2", "");
+    ("string comparison", "\"abc\" < \"abd\"", "true");
+    ("untyped untyped string semantics", "$d//n[1]/text() = \"1\"", "true");
+    ("node is", "($d//person)[1] is ($d//person)[1]", "true");
+    ("node before", "($d//person)[1] << ($d//person)[2]", "true");
+    ("and", "1 = 1 and 2 = 2", "true");
+    ("or short circuit-ish", "1 = 1 or 1 div 1 = 0", "true");
+    ("not", "not(1 = 2)", "true");
+  ]
+
+let paths =
+  [
+    ("child path", "$d/root/people/person/name/text()", "AliceBob");
+    ("descendant", "count($d//person)", "2");
+    ("attribute", "$d//person[1]/@id", "id=\"p1\"");
+    ("attribute string", "string($d//person[1]/@id)", "p1");
+    ("wildcard", "count($d/root/*)", "2");
+    ("parent", "name($d//name[1]/..)", "person");
+    ("ancestor", "count($d//name[1]/ancestor::*)", "3");
+    ("self", "count($d//person/self::person)", "2");
+    ("following-sibling", "name($d//people/following-sibling::*)", "nums");
+    ("preceding-sibling", "name($d//nums/preceding-sibling::*)", "people");
+    ("positional predicate", "$d//pet[2]/text()", "dog");
+    ("last()", "$d//pet[last()]/text()", "dog");
+    ("position()", "$d//n[position() > 1]/text()", "23");
+    ("boolean predicate", "$d//person[@id = \"p2\"]/name/text()", "Bob");
+    ("predicate keeps order", "$d//n[. > 1]/text()", "23");
+    ("text kind test", "count($d//person[1]/pet/text())", "2");
+    ("node kind test", "count($d//people/node())", "2");
+    ( "doc order after union",
+      "for $x in ($d//nums | $d//people) return name($x)", "people nums" );
+  ]
+
+let flwor =
+  [
+    ("simple for", "for $x in (1,2,3) return $x * 2", "2 4 6");
+    ("for at", "for $x at $i in (\"a\",\"b\") return ($i, $x)", "1 a 2 b");
+    ("let", "let $x := (1,2) return count($x)", "2");
+    ("where", "for $x in 1 to 10 where $x mod 3 = 0 return $x", "3 6 9");
+    ("two fors", "for $x in (1,2), $y in (10,20) return $x + $y", "11 21 12 22");
+    ( "order by",
+      "for $x in (3,1,2) order by $x return $x", "1 2 3" );
+    ( "order by descending",
+      "for $x in (3,1,2) order by $x descending return $x", "3 2 1" );
+    ( "order by empty greatest",
+      "for $p in $d//person order by $p/pet[1]/text() empty greatest return $p/name/text()",
+      "AliceBob" );
+    ( "order by empty least",
+      "for $p in $d//person order by $p/pet[1]/text() empty least return $p/name/text()",
+      "BobAlice" );
+    ( "order by string keys",
+      "for $p in $d//person order by $p/name/text() descending return $p/name/text()",
+      "BobAlice" );
+    ( "nested flwor",
+      "for $x in (1,2) return (for $y in (1,2) return $x * $y)", "1 2 2 4" );
+    ( "join with group semantics",
+      "for $p in $d//person let $c := (for $q in $d//pet where $q/.. is $p return $q) return count($c)",
+      "2 0" );
+    ("stable order", "for $x in (2,1,2,1) order by $x return $x", "1 1 2 2");
+  ]
+
+let constructors =
+  [
+    ("element", "<a>{1 + 1}</a>", "<a>2</a>");
+    ("nested", "<a><b>x</b></a>", "<a><b>x</b></a>");
+    ("avt", "let $v := 5 return <a b=\"v={$v}!\"/>", "<a b=\"v=5!\"/>");
+    ("attribute from node", "<a>{$d//person[1]/@id}</a>", "<a id=\"p1\"/>");
+    ("sequence content spacing", "<a>{1,2,3}</a>", "<a>1 2 3</a>");
+    ("copied nodes", "<a>{$d//name}</a>", "<a><name>Alice</name><name>Bob</name></a>");
+    ("text constructor", "text { \"hi\" }", "hi");
+    ("empty text constructor", "text { () }", ""); 
+    ("comment constructor", "comment { \"c\" }", "<!--c-->");
+    ("mixed literal and enclosed", "<a>x{1}y</a>", "<a>x1y</a>");
+  ]
+
+let functions =
+  [
+    ("count", "count((1,2,3))", "3");
+    ("sum", "sum((1,2,3))", "6");
+    ("sum empty", "sum(())", "0");
+    ("avg", "avg((1,2,3))", "2");
+    ("avg empty", "avg(())", "");
+    ("min max", "(min((3,1,2)), max((3,1,2)))", "1 3");
+    ("min promotes", "min((2, 1.5))", "1.5");
+    ("empty exists", "(empty(()), exists(()))", "true false");
+    ("string of node", "string($d//name[1])", "Alice");
+    ("string-length", "string-length(\"abcd\")", "4");
+    ("concat", "concat(\"a\", \"b\", \"c\")", "abc");
+    ("string-join", "string-join((\"a\",\"b\"), \"-\")", "a-b");
+    ("contains", "contains(\"hello world\", \"lo w\")", "true");
+    ("starts ends", "(starts-with(\"abc\",\"ab\"), ends-with(\"abc\",\"bc\"))", "true true");
+    ("substring", "substring(\"hello\", 2, 3)", "ell");
+    ("upper lower", "(upper-case(\"aB\"), lower-case(\"aB\"))", "AB ab");
+    ("normalize-space", "normalize-space(\"  a   b \")", "a b");
+    ("translate", "translate(\"abcab\", \"ab\", \"AB\")", "ABcAB");
+    ("number", "number(\"3.5\") + 0.5", "4");
+    ("number nan", "string(number(\"abc\"))", "NaN");
+    ("round floor ceiling", "(round(2.5), floor(2.7), ceiling(2.1))", "3 2 3");
+    ("abs", "abs(-4)", "4");
+    ("distinct-values", "distinct-values((1, 2, 1, \"1\", 2.0))", "1 2");
+    ("reverse", "reverse((1,2,3))", "3 2 1");
+    ("subsequence", "subsequence((1,2,3,4,5), 2, 3)", "2 3 4");
+    ("insert-before", "insert-before((1,2,3), 2, 99)", "1 99 2 3");
+    ("remove", "remove((1,2,3), 2)", "1 3");
+    ("exactly-one", "exactly-one((42))", "42");
+    ("zero-or-one empty", "zero-or-one(())", "");
+    ("one-or-more", "one-or-more((1,2))", "1 2");
+    ("name local-name", "(name($d//person[1]), local-name($d//person[1]))", "person person");
+    ("root", "count(root($d//name[1])//person)", "2");
+    ("boolean of nodes", "boolean($d//person)", "true");
+    ("data", "data($d//n)", "1 2 3");
+    ("string-join over path", "string-join($d//pet/text(), \",\")", "cat,dog");
+  ]
+
+let node_set_ops =
+  [
+    ("intersect", "count($d//person intersect $d//*)", "2");
+    ("except", "for $x in ($d/root/* except $d//people) return name($x)", "nums");
+    ("intersect empty", "count($d//person intersect $d//n)", "0");
+    ("except keeps doc order", "for $x in ($d//* except $d//pet) return name($x)",
+     "root people person name person name nums n n n");
+  ]
+
+let computed_constructors =
+  [
+    ("computed element", "element box { 1 + 1 }", "<box>2</box>");
+    ("computed attribute", "<e>{attribute k { 6 * 7 }}</e>", {|<e k="42"/>|});
+    ("computed pi", {|processing-instruction target { "data" }|}, "<?target data?>");
+    ("document node", "count(document { <r><a/></r> }/r/a)", "1");
+    ("element wrapping nodes", "element all { $d//pet }", "<all><pet>cat</pet><pet>dog</pet></all>");
+  ]
+
+let extra_functions =
+  [
+    ("deep-equal true", {|deep-equal(<a x="1"><b/></a>, <a x="1"><b/></a>)|}, "true");
+    ("deep-equal attr order", {|deep-equal(<a x="1" y="2"/>, <a y="2" x="1"/>)|}, "true");
+    ("deep-equal false", "deep-equal(<a/>, <b/>)", "false");
+    ("deep-equal atoms", "deep-equal((1, 2), (1.0, 2.0))", "true");
+    ("index-of", {|index-of(("a","b","a"), "a")|}, "1 3");
+    ("index-of untyped", {|index-of($d//n/text(), "2")|}, "2");
+    ("compare", {|(compare("a","b"), compare("b","b"), compare("c","b"))|}, "-1 0 1");
+    ("substring-before", {|substring-before("key=value", "=")|}, "key");
+    ("substring-after", {|substring-after("key=value", "=")|}, "value");
+    ("substring-before missing", {|substring-before("abc", "z")|}, "");
+    ("matches", {|matches("abc123", "[a-c]+\d")|}, "true");
+    ("matches anchors", {|matches("abc", "^a.c$")|}, "true");
+    ("matches alternation", {|matches("xbc", "(a|x)bc")|}, "true");
+    ("replace", {|replace("2006-07-06", "-", "/")|}, "2006/07/06");
+    ("replace class", {|replace("a1b2", "\d", "#")|}, "a#b#");
+    ("tokenize", {|count(tokenize("a b c", "\s"))|}, "3");
+    ("string-to-codepoints", {|string-to-codepoints("AB")|}, "65 66");
+    ("codepoints-to-string", "codepoints-to-string((72, 105))", "Hi");
+  ]
+
+let control =
+  [
+    ("if then", "if (1 = 1) then \"y\" else \"n\"", "y");
+    ("if else", "if (1 = 2) then \"y\" else \"n\"", "n");
+    ("if on node sequence", "if ($d//person) then \"some\" else \"none\"", "some");
+    ("some", "some $x in (1,2,3) satisfies $x > 2", "true");
+    ("every", "every $x in (1,2,3) satisfies $x > 2", "false");
+    ("some multiple binders", "some $x in (1,2), $y in (2,3) satisfies $x = $y", "true");
+    ("quantifier over empty", "(some $x in () satisfies true(), every $x in () satisfies false())", "false true");
+    ( "typeswitch integer",
+      "typeswitch (42) case $i as xs:integer return \"int\" case $s as xs:string return \"str\" default return \"other\"",
+      "int" );
+    ( "typeswitch node",
+      "typeswitch ($d//name[1]) case element(name) return \"name elem\" default return \"other\"",
+      "name elem" );
+    ( "typeswitch default",
+      "typeswitch (3.14) case $i as xs:integer return \"int\" default $o return string($o)",
+      "3.14" );
+    ("instance of", "(1,2) instance of xs:integer+", "true");
+    ("instance of fails", "(1, \"x\") instance of xs:integer*", "false");
+    ("treat as", "(1,2) treat as xs:integer*", "1 2");
+    ("castable", "(\"12\" castable as xs:integer, \"x\" castable as xs:integer)", "true false");
+    ("cast", "\"12\" cast as xs:integer", "12"); 
+    ("cast optional empty", "() cast as xs:integer?", "");
+    ("union dedups and orders", "count(($d//person | $d//person))", "2");
+  ]
+
+let predicate_edge_cases =
+  [
+    ("nested predicate with last", "$d//person[pet[last()]]/name/text()", "Alice");
+    ("predicate on predicate result", "($d//pet[1])[1]/text()", "cat");
+    ("position in inner not outer", "$d//person[pet[2]]/@id", {|id="p1"|});
+    ("numeric predicate via expression", "$d//n[1 + 1]/text()", "2");
+    ("boolean-typed function predicate", "$d//person[empty(pet)]/name/text()", "Bob");
+    ("predicate over atomic sequence", "(10, 20, 30)[. > 15]", "20 30");
+    ("chained predicates", "$d//n[. > 1][1]/text()", "2");
+    ("last on empty", "$d//zz[last()]", "");
+    ("predicate false for all", "$d//n[. > 99]", "");
+    ("attribute kind test step", "count($d//person/attribute(id))", "2");
+    ("element kind test step", "count($d//people/element(person))", "2");
+    ("wildcard attribute", "count($d//person[1]/@*)", "2");
+  ]
+
+let user_functions =
+  [
+    ( "simple function",
+      "declare function local:double($x) { $x * 2 }; local:double(21)", "42" );
+    ( "recursion",
+      "declare function local:fib($n) { if ($n <= 1) then $n else local:fib($n - 1) + local:fib($n - 2) }; local:fib(10)",
+      "55" );
+    ( "mutual composition",
+      "declare function local:inc($x) { $x + 1 }; declare function local:twice($x) { local:inc(local:inc($x)) }; local:twice(1)",
+      "3" );
+    ( "function over nodes",
+      "declare function local:names($p) { $p/name/text() }; local:names($d//person)",
+      "AliceBob" );
+    ( "typed params",
+      "declare function local:f($x as xs:integer) as xs:integer { $x }; local:f(3)",
+      "3" );
+    ( "global variable",
+      "declare variable $g := 10; declare function local:f($x) { $x + $g }; local:f(5)",
+      "15" );
+  ]
+
+let errors =
+  [
+    ("unknown function", "nosuchfn(1)");
+    ("unknown variable", "$nosuchvar");
+    ("treat as failure", "(1, \"x\") treat as xs:integer*");
+    ("cast failure", "\"abc\" cast as xs:integer");
+    ("exactly-one failure", "exactly-one((1,2))");
+    ("arith on nodes", "$d//person + 1");
+  ]
+
+let error_tests =
+  List.map
+    (fun (name, q) ->
+      Alcotest.test_case name `Quick (fun () ->
+          match eval q with
+          | exception Xqc.Error _ -> ()
+          | r -> Alcotest.failf "expected an error, got %S" r))
+    errors
+
+let () =
+  Alcotest.run "eval"
+    [
+      ("arithmetic", List.map expect arithmetic);
+      ("comparisons", List.map expect comparisons);
+      ("paths", List.map expect paths);
+      ("flwor", List.map expect flwor);
+      ("constructors", List.map expect constructors);
+      ("functions", List.map expect functions);
+      ("control", List.map expect control);
+      ("node set ops", List.map expect node_set_ops);
+      ("computed constructors", List.map expect computed_constructors);
+      ("extra functions", List.map expect extra_functions);
+      ("user functions", List.map expect user_functions);
+      ("predicate edge cases", List.map expect predicate_edge_cases);
+      ("errors", error_tests);
+    ]

@@ -1,0 +1,204 @@
+(* The Figure 5 rewritings: the P1 -> P2 pipeline on the paper's examples,
+   the robustness rules, and the physical join selection of Section 6. *)
+
+open Xqc
+open Algebra
+
+let optimize ?options s =
+  Rewrite.optimize ?options (Compile.compile_string s).Compile.cmain
+
+let count n p =
+  List.length (List.filter (String.equal n) (Pretty.operator_names p))
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* the paper's Section 5 example (Figure 4 query) *)
+let figure4_query =
+  "for $x in (1,1,3) let $a := avg(for $y in (1,2) where $x <= $y return $y * 10) return ($x, $a)"
+
+(* the Q8-shaped query of Section 2 *)
+let q8_query =
+  "for $p in $auction//person let $a := (for $t in $auction//closed_auction \
+   where $t/buyer/@person = $p/@id return $t) return count($a)"
+
+let test_figure4_plan () =
+  let p = optimize figure4_query in
+  check_int "one GroupBy" 1 (count "GroupBy" p);
+  check_int "one LOuterJoin" 1 (count "LOuterJoin" p);
+  check_int "one MapIndexStep" 1 (count "MapIndexStep" p);
+  check_int "no Select left" 0 (count "Select" p);
+  check_int "no OMapConcat left" 0 (count "OMapConcat" p);
+  check_int "no OMap left" 0 (count "OMap" p);
+  (* the <= predicate selects the sort join *)
+  let rec find_join = function
+    | LOuterJoin (alg, _, pred, _, _) -> Some (alg, pred)
+    | p -> List.find_map find_join (children_of p)
+  in
+  match find_join p with
+  | Some (Sort, Split_pred { op = Promotion.Le; _ }) -> ()
+  | Some _ -> Alcotest.fail "expected a Sort split join for <="
+  | None -> Alcotest.fail "no join found"
+
+let test_q8_plan () =
+  let p = optimize q8_query in
+  check_int "one GroupBy" 1 (count "GroupBy" p);
+  check_int "one LOuterJoin" 1 (count "LOuterJoin" p);
+  check_int "no residual MapConcat" 0 (count "MapConcat" p);
+  let rec find_join = function
+    | LOuterJoin (alg, _, pred, _, _) -> Some (alg, pred)
+    | p -> List.find_map find_join (children_of p)
+  in
+  match find_join p with
+  | Some (Hash, Split_pred { op = Promotion.Eq; left_key; right_key }) ->
+      check_bool "left key reads fields" true (input_fields left_key <> []);
+      check_bool "right key reads fields" true (input_fields right_key <> [])
+  | Some _ -> Alcotest.fail "expected a Hash split join"
+  | None -> Alcotest.fail "no join found"
+
+let test_groupby_params_match_paper () =
+  (* P2: GroupBy[a, index, null] with a single index and a single null *)
+  let p = optimize q8_query in
+  let rec find_groupby = function
+    | GroupBy (g, i) -> Some (g, i)
+    | p -> List.find_map find_groupby (children_of p)
+  in
+  match find_groupby p with
+  | Some (g, LOuterJoin _) ->
+      check_int "one index" 1 (List.length g.g_indices);
+      check_int "one null" 1 (List.length g.g_nulls)
+  | Some _ -> Alcotest.fail "GroupBy input is not the outer join"
+  | None -> Alcotest.fail "no GroupBy"
+
+let test_remove_map () =
+  let p = optimize "for $x in (1,2,3) return $x" in
+  check_int "no MapConcat" 0 (count "MapConcat" p)
+
+let test_insert_product_and_join () =
+  let p = optimize "for $x in $s, $y in $t where $x = $y return 1" in
+  check_int "a join" 1 (count "Join" p);
+  check_int "no product left" 0 (count "Product" p);
+  check_int "no select left" 0 (count "Select" p)
+
+let test_uncorrelated_inner_becomes_product () =
+  (* a let whose value is independent of IN becomes a product *)
+  let p = optimize "for $x in $s let $a := count($t) return ($x, $a)" in
+  check_int "no GroupBy" 0 (count "GroupBy" p);
+  check_int "product for the constant value" 1 (count "Product" p);
+  (* an uncorrelated nested FLWOR still unnests into join machinery that
+     evaluates the inner block once (trivially-true join predicate) *)
+  let p2 = optimize "for $x in $s let $a := (for $y in $t return $y) return ($x, count($a))" in
+  check_int "unnested" 0 (count "OMapConcat" p2);
+  check_int "outer join" 1 (count "LOuterJoin" p2)
+
+let test_return_position_hoisting () =
+  let p =
+    optimize
+      "for $x in $s return <r>{for $y in $t where $y/@k = $x/@k return $y}</r>"
+  in
+  check_int "GroupBy introduced" 1 (count "GroupBy" p);
+  check_int "outer join introduced" 1 (count "LOuterJoin" p)
+
+let test_multiway () =
+  let p = optimize Xqc_workload.Clio.n4 in
+  check_int "three GroupBys" 3 (count "GroupBy" p);
+  check_int "three LOuterJoins" 3 (count "LOuterJoin" p);
+  check_int "no OMapConcat" 0 (count "OMapConcat" p)
+
+let test_correlated_path_stays_dependent () =
+  let p = optimize "for $x in $s, $y in $x/author return $y" in
+  check_int "dependent join kept" 1 (count "MapConcat" p);
+  check_int "no bogus product" 0 (count "Product" p)
+
+let test_predicate_join_unnesting () =
+  (* the paper's Q1 variant: the join is through a path predicate *)
+  let p =
+    optimize
+      "for $p in $auction//person let $a := $auction//closed_auction[.//@person = $p/@id] return count($a)"
+  in
+  check_int "GroupBy" 1 (count "GroupBy" p);
+  check_int "LOuterJoin" 1 (count "LOuterJoin" p)
+
+let test_unoptimized_options () =
+  let options = { Rewrite.unnest = false; physical_joins = false; static_types = false } in
+  let p = optimize ~options q8_query in
+  check_int "no GroupBy without rewriting" 0 (count "GroupBy" p);
+  check_int "no join without rewriting" 0 (count "LOuterJoin" p)
+
+let test_nl_only_options () =
+  let options = { Rewrite.unnest = true; physical_joins = false; static_types = false } in
+  let p = optimize ~options q8_query in
+  let rec find_join = function
+    | LOuterJoin (alg, _, _, _, _) -> Some alg
+    | p -> List.find_map find_join (children_of p)
+  in
+  check_bool "join stays nested-loop" true (find_join p = Some Nested_loop)
+
+(* ---------------- physical predicate splitting ---------------- *)
+
+let left = TupleConstruct [ ("l", Empty) ]
+let right = TupleConstruct [ ("r", Empty) ]
+
+let pred name =
+  Pred (Call ("fn:boolean", [ Call (name, [ FieldAccess "l"; FieldAccess "r" ]) ]))
+
+let test_split_pred () =
+  (match Rewrite.split_pred (pred "op:general-eq") left right with
+  | Some (Hash, Split_pred { op = Promotion.Eq; _ }) -> ()
+  | _ -> Alcotest.fail "eq -> hash");
+  (match Rewrite.split_pred (pred "op:general-lt") left right with
+  | Some (Sort, Split_pred { op = Promotion.Lt; _ }) -> ()
+  | _ -> Alcotest.fail "lt -> sort");
+  (match Rewrite.split_pred (pred "op:general-ne") left right with
+  | Some (Nested_loop, Split_pred { op = Promotion.Ne; _ }) -> ()
+  | _ -> Alcotest.fail "ne -> nl");
+  (match
+     Rewrite.split_pred
+       (Pred (Call ("op:general-lt", [ FieldAccess "r"; FieldAccess "l" ])))
+       left right
+   with
+  | Some (Sort, Split_pred { op = Promotion.Gt; _ }) -> ()
+  | _ -> Alcotest.fail "swapped lt mirrors to gt");
+  match
+    Rewrite.split_pred
+      (Pred
+         (Call
+            ( "op:general-eq",
+              [ Call ("op:add", [ FieldAccess "l"; FieldAccess "r" ]); FieldAccess "r" ] )))
+      left right
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "straddling predicate must not split"
+
+let test_rewriting_terminates () =
+  let q =
+    "for $a in $s return <x>{for $b in $t return <y>{for $c in $u return \
+     <z>{for $d in $v return $d}</z>}</y>}</x>"
+  in
+  let p = optimize q in
+  check_bool "produced a plan" true (Pretty.size p > 0)
+
+let () =
+  Alcotest.run "optimizer"
+    [
+      ( "paper pipeline",
+        [
+          Alcotest.test_case "figure 4 plan" `Quick test_figure4_plan;
+          Alcotest.test_case "q8 plan (P2)" `Quick test_q8_plan;
+          Alcotest.test_case "groupby params" `Quick test_groupby_params_match_paper;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "remove map" `Quick test_remove_map;
+          Alcotest.test_case "insert product/join" `Quick test_insert_product_and_join;
+          Alcotest.test_case "uncorrelated -> product" `Quick test_uncorrelated_inner_becomes_product;
+          Alcotest.test_case "return-position hoisting" `Quick test_return_position_hoisting;
+          Alcotest.test_case "multiway joins" `Quick test_multiway;
+          Alcotest.test_case "correlated path dependent" `Quick test_correlated_path_stays_dependent;
+          Alcotest.test_case "predicate join" `Quick test_predicate_join_unnesting;
+          Alcotest.test_case "options: unoptimized" `Quick test_unoptimized_options;
+          Alcotest.test_case "options: NL only" `Quick test_nl_only_options;
+          Alcotest.test_case "termination" `Quick test_rewriting_terminates;
+        ] );
+      ("physical", [ Alcotest.test_case "split predicates" `Quick test_split_pred ]);
+    ]

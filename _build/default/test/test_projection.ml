@@ -1,0 +1,141 @@
+(* The TreeProject operator (document projection): keep the nodes on the
+   given paths, prune everything else. *)
+
+open Xqc
+
+let doc =
+  parse_document
+    {|<site><people><person id="1"><name>A</name><junk>z</junk></person></people><stuff><big>text</big></stuff></site>|}
+
+let project paths =
+  let items = Projection.project Schema.empty paths [ Item.Node doc ] in
+  Serializer.sequence_to_string items
+
+let child name = (Ast.Child, Ast.Name_test name)
+let desc name = (Ast.Descendant_or_self, Ast.Kind_test Seqtype.It_node) :: [ (Ast.Child, Ast.Name_test name) ]
+
+let check = Alcotest.(check string)
+
+let test_child_path () =
+  check "keeps only the path"
+    "<site><people><person><name>A</name></person></people></site>"
+    (project [ [ child "site"; child "people"; child "person"; child "name" ] ])
+
+let test_path_with_attributes () =
+  check "attribute step keeps attributes"
+    {|<site><people><person id="1"/></people></site>|}
+    (project
+       [ [ child "site"; child "people"; child "person"; (Ast.Attribute_axis, Ast.Name_test "id") ] ])
+
+let test_exhausted_path_keeps_subtree () =
+  check "full subtree below the path"
+    {|<site><people><person id="1"><name>A</name><junk>z</junk></person></people></site>|}
+    (project [ [ child "site"; child "people"; child "person" ] ])
+
+let test_descendant_path () =
+  check "descendant finds name anywhere"
+    "<site><people><person><name>A</name></person></people></site>"
+    (project [ desc "name" ])
+
+let test_union_of_paths () =
+  check "two paths merged"
+    "<site><people><person><name>A</name></person></people><stuff><big>text</big></stuff></site>"
+    (project [ [ child "site"; child "people"; child "person"; child "name" ]; [ child "site"; child "stuff" ] ])
+
+let test_no_match_prunes_all () =
+  check "nothing kept below the root element"
+    "<site/>"
+    (project [ [ child "site"; child "nosuch" ] ])
+
+let test_projection_preserves_query_result () =
+  (* projecting to the paths used by a query must not change its result *)
+  let q = "count($d//person/name)" in
+  let run d = serialize (eval_string ~variables:[ ("d", [ Item.Node d ]) ] q) in
+  let projected =
+    match Projection.project Schema.empty [ desc "person" ] [ Item.Node doc ] with
+    | [ Item.Node d ] -> d
+    | _ -> Alcotest.fail "projection result"
+  in
+  check "query result unchanged" (run doc) (run projected)
+
+let tree_project_cases =
+  [
+    Alcotest.test_case "child path" `Quick test_child_path;
+    Alcotest.test_case "attributes" `Quick test_path_with_attributes;
+    Alcotest.test_case "exhausted path" `Quick test_exhausted_path_keeps_subtree;
+    Alcotest.test_case "descendant" `Quick test_descendant_path;
+    Alcotest.test_case "union" `Quick test_union_of_paths;
+    Alcotest.test_case "prune all" `Quick test_no_match_prunes_all;
+    Alcotest.test_case "query preserved" `Quick test_projection_preserves_query_result;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Static path analysis (Doc_paths) + end-to-end projected evaluation  *)
+(* ------------------------------------------------------------------ *)
+
+let analyze q = Doc_paths.analyze (Normalize.normalize_string q)
+
+let specs_for v q =
+  match List.assoc_opt v (analyze q) with
+  | Some s -> s
+  | None -> Alcotest.failf "variable %s not tracked" v
+
+let test_analysis_basic () =
+  (* navigation + count: person nodes node-only, names subtree *)
+  match specs_for "d" "for $p in $d//person return $p/name" with
+  | Some specs ->
+      Alcotest.(check bool) "has a node-only spec for persons" true
+        (List.exists (fun (s : Doc_paths.spec) -> not s.subtree) specs);
+      Alcotest.(check bool) "has a subtree spec for names" true
+        (List.exists
+           (fun (s : Doc_paths.spec) ->
+             s.subtree
+             && List.exists (fun (_, t) -> t = Ast.Name_test "name") s.steps)
+           specs)
+  | None -> Alcotest.fail "should be analyzable"
+
+let test_analysis_unsafe_on_reverse_axis () =
+  match specs_for "d" "for $p in $d//person return $p/../@id" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "parent axis must mark the source unsafe"
+
+let test_projected_results_agree () =
+  let doc = Xqc_workload.Xmark.generate ~target_bytes:50_000 () in
+  let vars = [ ("auction", [ Item.Node doc ]) ] in
+  List.iter
+    (fun (name, q) ->
+      let plain = Xqc.serialize (Xqc.eval_string ~variables:vars q) in
+      let projected = Xqc.serialize (Xqc.eval_string ~project:true ~variables:vars q) in
+      Alcotest.(check string) (name ^ " with projection") plain projected)
+    Xqc_workload.Xmark_queries.all
+
+let test_projection_prunes () =
+  let doc = Xqc_workload.Xmark.generate ~target_bytes:100_000 () in
+  let p = Xqc.prepare ~project:true (Xqc_workload.Xmark_queries.find "Q1") in
+  match List.assoc_opt "auction" p.Xqc.projection with
+  | Some (Some specs) ->
+      let projected =
+        Projection.project_specs Schema.empty
+          (List.map
+             (fun (sp : Doc_paths.spec) ->
+               { Projection.steps = sp.steps; subtree = sp.subtree })
+             specs)
+          [ Item.Node doc ]
+      in
+      let size n = match n with [ Item.Node m ] -> Node.size m | _ -> 0 in
+      Alcotest.(check bool) "projected doc under 20% of the original" true
+        (float_of_int (size projected) < 0.2 *. float_of_int (Node.size doc))
+  | _ -> Alcotest.fail "Q1's auction variable should be projectable"
+
+let () =
+  Alcotest.run "projection"
+    [
+      ("tree-project", tree_project_cases);
+      ( "doc_paths",
+        [
+          Alcotest.test_case "analysis basics" `Quick test_analysis_basic;
+          Alcotest.test_case "reverse axis unsafe" `Quick test_analysis_unsafe_on_reverse_axis;
+          Alcotest.test_case "xmark results agree" `Slow test_projected_results_agree;
+          Alcotest.test_case "pruning is substantial" `Quick test_projection_prunes;
+        ] );
+    ]

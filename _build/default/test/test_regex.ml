@@ -1,0 +1,78 @@
+(* The XQuery-to-Str regex translator behind fn:matches / fn:replace /
+   fn:tokenize. *)
+
+module R = Xqc.Regex
+
+let check_bool = Alcotest.(check bool)
+let check = Alcotest.(check string)
+
+let m pat s = R.matches (R.compile pat) s
+
+let test_literals () =
+  check_bool "plain" true (m "abc" "xxabcxx");
+  check_bool "no match" false (m "abc" "abd");
+  check_bool "unanchored" true (m "b" "abc")
+
+let test_metacharacters () =
+  check_bool "dot" true (m "a.c" "abc");
+  check_bool "star" true (m "ab*c" "ac");
+  check_bool "plus" true (m "ab+c" "abbc");
+  check_bool "plus needs one" false (m "ab+c" "ac");
+  check_bool "question" true (m "ab?c" "ac");
+  check_bool "anchors" true (m "^abc$" "abc");
+  check_bool "anchored mismatch" false (m "^abc$" "xabc")
+
+let test_alternation_grouping () =
+  check_bool "alternation" true (m "cat|dog" "hotdog");
+  check_bool "group with star" true (m "(ab)+" "ababab");
+  check_bool "group alternation" true (m "(a|b)c" "bc")
+
+let test_classes () =
+  check_bool "range" true (m "[a-f]+" "face");
+  check_bool "negated" true (m "[^0-9]" "a");
+  check_bool "negated no match" false (m "[^abc]" "abc");
+  check_bool "digit escape" true (m "\\d\\d" "42");
+  check_bool "word escape" true (m "\\w+" "ab_1");
+  check_bool "space escape" true (m "a\\sb" "a b");
+  check_bool "negated digit" true (m "\\D" "x");
+  check_bool "class with escape" true (m "[\\d-]+" "1-2")
+
+let test_escaped_literals () =
+  check_bool "escaped dot" true (m "a\\.b" "a.b");
+  check_bool "escaped dot no wildcard" false (m "a\\.b" "axb");
+  check_bool "escaped plus" true (m "1\\+2" "1+2");
+  check_bool "escaped paren" true (m "\\(x\\)" "(x)");
+  check_bool "escaped brace" true (m "a\\{b" "a{b");
+  check_bool "escaped backslash" true (m "a\\\\b" "a\\b")
+
+let test_quantified_braces () =
+  check_bool "exact count" true (m "^a{3}$" "aaa");
+  check_bool "exact count fails" false (m "^a{3}$" "aa");
+  check_bool "range count" true (m "^a{2,3}$" "aaa")
+
+let test_replace_and_split () =
+  check "replace all" "X.X.X" (R.replace (R.compile "a+") ~by:"X" "a.aa.aaa");
+  check "split" "a|b|c" (String.concat "|" (R.split (R.compile ",") "a,b,c"));
+  check "split keeps empties" "a||b" (String.concat "|" (R.split (R.compile ",") "a,,b"))
+
+let test_unsupported () =
+  check_bool "backreference rejected" true
+    (match R.compile "(a)\\1" with
+    | exception R.Unsupported _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "regex"
+    [
+      ( "translate",
+        [
+          Alcotest.test_case "literals" `Quick test_literals;
+          Alcotest.test_case "metacharacters" `Quick test_metacharacters;
+          Alcotest.test_case "alternation/grouping" `Quick test_alternation_grouping;
+          Alcotest.test_case "classes" `Quick test_classes;
+          Alcotest.test_case "escaped literals" `Quick test_escaped_literals;
+          Alcotest.test_case "brace quantifiers" `Quick test_quantified_braces;
+          Alcotest.test_case "replace/split" `Quick test_replace_and_split;
+          Alcotest.test_case "unsupported" `Quick test_unsupported;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Type substrate: promotion (Table 2), convert-operand, general/value
+   comparison semantics, sequence-type matching, schema validation. *)
+
+module A = Xqc.Atomic
+module P = Xqc.Promotion
+module ST = Xqc.Seqtype
+module Sch = Xqc.Schema
+module I = Xqc.Item
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let targets a = List.map snd (P.promote_to_simple_types a)
+
+let test_promotion_targets () =
+  Alcotest.(check (list string))
+    "integer promotes along the tower"
+    [ "xs:integer"; "xs:decimal"; "xs:float"; "xs:double" ]
+    (List.map A.type_name_to_string (targets (A.Integer 2)));
+  Alcotest.(check (list string))
+    "untyped numeric gets string and double entries"
+    [ "xs:string"; "xs:double" ]
+    (List.map A.type_name_to_string (targets (A.Untyped "3.5")));
+  Alcotest.(check (list string))
+    "untyped non-numeric gets only a string entry" [ "xs:string" ]
+    (List.map A.type_name_to_string (targets (A.Untyped "abc")));
+  Alcotest.(check (list string))
+    "anyURI promotes to string" [ "xs:anyURI"; "xs:string" ]
+    (List.map A.type_name_to_string (targets (A.Any_uri "u")));
+  Alcotest.(check (list string))
+    "boolean stays boolean" [ "xs:boolean" ]
+    (List.map A.type_name_to_string (targets (A.Boolean true)))
+
+let ct t1 t2 = P.comparison_type t1 t2
+
+let test_comparison_type_table2 () =
+  (* the rows of Table 2 *)
+  Alcotest.(check (option string)) "untyped/untyped -> string" (Some "xs:string")
+    (Option.map A.type_name_to_string (ct A.T_untyped A.T_untyped));
+  Alcotest.(check (option string)) "untyped/numeric -> double" (Some "xs:double")
+    (Option.map A.type_name_to_string (ct A.T_untyped A.T_integer));
+  Alcotest.(check (option string)) "numeric/untyped -> double" (Some "xs:double")
+    (Option.map A.type_name_to_string (ct A.T_decimal A.T_untyped));
+  Alcotest.(check (option string)) "untyped/other -> other" (Some "xs:date")
+    (Option.map A.type_name_to_string (ct A.T_untyped A.T_date));
+  Alcotest.(check (option string)) "integer/double -> double" (Some "xs:double")
+    (Option.map A.type_name_to_string (ct A.T_integer A.T_double));
+  Alcotest.(check (option string)) "string/anyURI -> string" (Some "xs:string")
+    (Option.map A.type_name_to_string (ct A.T_string A.T_any_uri));
+  Alcotest.(check (option string)) "string/integer incomparable" None
+    (Option.map A.type_name_to_string (ct A.T_string A.T_integer));
+  Alcotest.(check (option string)) "boolean/boolean -> boolean" (Some "xs:boolean")
+    (Option.map A.type_name_to_string (ct A.T_boolean A.T_boolean))
+
+let atoms xs = List.map (fun a -> I.Atom a) xs
+
+let test_general_compare () =
+  let geq = P.general_compare P.Eq in
+  check_bool "untyped '1' = 1" true (geq (atoms [ A.Untyped "1" ]) (atoms [ A.Integer 1 ]));
+  check_bool "untyped '1.0' = 1" true (geq (atoms [ A.Untyped "1.0" ]) (atoms [ A.Integer 1 ]));
+  check_bool "untyped '1.0' <> untyped '1' (string comparison)" false
+    (geq (atoms [ A.Untyped "1.0" ]) (atoms [ A.Untyped "1" ]));
+  check_bool "existential over sequences" true
+    (geq (atoms [ A.Integer 1; A.Integer 5 ]) (atoms [ A.Integer 9; A.Integer 5 ]));
+  check_bool "empty sequence never matches" false (geq [] (atoms [ A.Integer 1 ]));
+  check_bool "lt existential" true
+    (P.general_compare P.Lt (atoms [ A.Integer 9; A.Integer 1 ]) (atoms [ A.Integer 2 ]));
+  check_bool "untyped vs untyped lt is string order" true
+    (P.general_compare P.Lt (atoms [ A.Untyped "10" ]) (atoms [ A.Untyped "9" ]))
+
+let test_value_compare () =
+  Alcotest.(check (option bool)) "eq" (Some true)
+    (P.value_compare P.Eq (atoms [ A.Integer 2 ]) (atoms [ A.Integer 2 ]));
+  Alcotest.(check (option bool)) "empty gives empty" None
+    (P.value_compare P.Eq [] (atoms [ A.Integer 2 ]));
+  Alcotest.check_raises "non-singleton raises"
+    (A.Cast_error "value comparison requires singleton operands") (fun () ->
+      ignore (P.value_compare P.Eq (atoms [ A.Integer 1; A.Integer 2 ]) (atoms [ A.Integer 1 ])))
+
+let test_convert_operand () =
+  (match P.convert_operand (A.Untyped "3") (A.Integer 9) with
+  | A.Double 3.0 -> ()
+  | other -> Alcotest.failf "expected double 3, got %s" (A.to_string other));
+  match P.convert_operand (A.Untyped "x") (A.Untyped "y") with
+  | A.String "x" -> ()
+  | other -> Alcotest.failf "expected string x, got %s" (A.to_string other)
+
+(* ---------------- sequence types ---------------- *)
+
+let node_a = Xqc.parse_document "<a><b/>text</a>"
+
+let elem name =
+  List.find (fun n -> Xqc.Node.name n = Some name) (Xqc.Node.descendants node_a)
+
+let test_seqtype_occurrence () =
+  let sch = Sch.empty in
+  let int_seq n = List.init n (fun i -> I.Atom (A.Integer i)) in
+  let it = ST.It_atomic A.T_integer in
+  check_bool "one matches one" true (ST.matches sch (int_seq 1) (ST.item it));
+  check_bool "zero fails one" false (ST.matches sch [] (ST.item it));
+  check_bool "zero matches ?" true (ST.matches sch [] (ST.optional it));
+  check_bool "two fails ?" false (ST.matches sch (int_seq 2) (ST.optional it));
+  check_bool "many match *" true (ST.matches sch (int_seq 5) (ST.star it));
+  check_bool "zero fails +" false (ST.matches sch [] (ST.plus it));
+  check_bool "empty-sequence()" true (ST.matches sch [] ST.Empty_sequence);
+  check_bool "empty-sequence() nonempty" false
+    (ST.matches sch (int_seq 1) ST.Empty_sequence)
+
+let test_seqtype_kinds () =
+  let sch = Sch.empty in
+  let e = I.Node (elem "b") in
+  check_bool "element(b)" true (ST.item_matches sch e (ST.It_element (Some "b", None)));
+  check_bool "element(*)" true (ST.item_matches sch e (ST.It_element (None, None)));
+  check_bool "element(c) fails" false (ST.item_matches sch e (ST.It_element (Some "c", None)));
+  check_bool "node()" true (ST.item_matches sch e ST.It_node);
+  check_bool "item()" true (ST.item_matches sch e ST.It_item);
+  check_bool "atomic fails node()" false (ST.item_matches sch (I.Atom (A.Integer 1)) ST.It_node);
+  check_bool "integer matches decimal" true
+    (ST.item_matches sch (I.Atom (A.Integer 1)) (ST.It_atomic A.T_decimal));
+  check_bool "untyped does not match string" false
+    (ST.item_matches sch (I.Atom (A.Untyped "x")) (ST.It_atomic A.T_string))
+
+let test_schema_validation () =
+  let schema =
+    Sch.empty
+    |> Sch.declare_element ~name:"auction" ~type_name:"Auction"
+    |> Sch.declare_element ~name:"seller" ~when_attr:("country", "US")
+         ~type_name:"USSeller"
+    |> Sch.derive ~sub:"USSeller" ~base:"Seller"
+    |> Sch.declare_attribute ~name:"price" ~type_name:"xs:decimal"
+  in
+  let doc =
+    Xqc.parse_document
+      {|<auctions><auction price="10"><seller country="US"/></auction><auction><seller country="FR"/></auction></auctions>|}
+  in
+  let validated = Sch.validate schema (List.hd (Xqc.Node.children doc)) in
+  let sellers =
+    List.filter (fun n -> Xqc.Node.name n = Some "seller") (Xqc.Node.descendants validated)
+  in
+  check_int "two sellers" 2 (List.length sellers);
+  Alcotest.(check (list (option string)))
+    "only the US seller is annotated"
+    [ Some "USSeller"; None ]
+    (List.map Xqc.Node.type_annotation sellers);
+  check_bool "validate copies (original untouched)" true
+    (List.for_all
+       (fun n -> Xqc.Node.type_annotation n = None)
+       (Xqc.Node.descendants doc));
+  (* derives-from through the derivation chain *)
+  check_bool "USSeller derives from Seller" true
+    (Sch.derives_from schema ~sub:"USSeller" ~base:"Seller");
+  check_bool "element(*,Seller) matches the US seller" true
+    (ST.item_matches schema (I.Node (List.hd sellers)) (ST.It_element (None, Some "Seller")));
+  (* typed value via attribute annotation *)
+  let auction = List.hd (Xqc.Node.children validated) in
+  let price = List.hd (Xqc.Node.attributes auction) in
+  match Xqc.Node.typed_value price with
+  | A.Decimal 10.0 -> ()
+  | other -> Alcotest.failf "expected decimal 10, got %s" (A.to_string other)
+
+(* qcheck: convert_operand on two untyped values is string conversion. *)
+let prop_untyped_pair_string =
+  QCheck.Test.make ~name:"untyped/untyped converts to string" ~count:100
+    QCheck.(pair string string)
+    (fun (a, b) ->
+      match P.convert_operand (A.Untyped a) (A.Untyped b) with
+      | A.String s -> String.equal s a
+      | _ -> false)
+
+(* qcheck: general Eq on singleton integers agrees with OCaml equality. *)
+let prop_general_eq_ints =
+  QCheck.Test.make ~name:"general eq on singleton ints" ~count:200
+    QCheck.(pair small_signed_int small_signed_int)
+    (fun (a, b) ->
+      P.general_compare P.Eq (atoms [ A.Integer a ]) (atoms [ A.Integer b ]) = (a = b))
+
+(* qcheck: promotion always includes the identity entry (when castable). *)
+let prop_promotion_includes_self =
+  QCheck.Test.make ~name:"promotion includes own type" ~count:100
+    QCheck.small_signed_int (fun i ->
+      List.exists (fun (_, t) -> t = A.T_integer) (P.promote_to_simple_types (A.Integer i)))
+
+let () =
+  Alcotest.run "types"
+    [
+      ( "promotion",
+        [
+          Alcotest.test_case "promotion targets" `Quick test_promotion_targets;
+          Alcotest.test_case "Table 2 comparison types" `Quick test_comparison_type_table2;
+          Alcotest.test_case "general compare" `Quick test_general_compare;
+          Alcotest.test_case "value compare" `Quick test_value_compare;
+          Alcotest.test_case "convert operand" `Quick test_convert_operand;
+        ] );
+      ( "seqtypes",
+        [
+          Alcotest.test_case "occurrences" `Quick test_seqtype_occurrence;
+          Alcotest.test_case "kind tests" `Quick test_seqtype_kinds;
+        ] );
+      ("schema", [ Alcotest.test_case "validation" `Quick test_schema_validation ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_untyped_pair_string; prop_general_eq_ints; prop_promotion_includes_self ]
+      );
+    ]

@@ -1,0 +1,153 @@
+(* Workload generators: determinism, size calibration, and the structural
+   features the benchmark queries rely on. *)
+
+module X = Xqc_workload.Xmark
+module C = Xqc_workload.Clio
+module N = Xqc.Node
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let count_elems name doc =
+  List.length (List.filter (fun n -> N.name n = Some name) (N.descendants doc))
+
+let test_deterministic () =
+  let a = X.generate_string ~seed:5 ~target_bytes:30_000 () in
+  let b = X.generate_string ~seed:5 ~target_bytes:30_000 () in
+  check_bool "same seed, same document" true (String.equal a b);
+  let c = X.generate_string ~seed:6 ~target_bytes:30_000 () in
+  check_bool "different seed differs" true (not (String.equal a c))
+
+let test_size_calibration () =
+  List.iter
+    (fun target ->
+      let n = String.length (X.generate_string ~target_bytes:target ()) in
+      let ratio = float_of_int n /. float_of_int target in
+      if ratio < 0.6 || ratio > 1.6 then
+        Alcotest.failf "size %d for target %d (ratio %.2f)" n target ratio)
+    [ 100_000; 500_000 ]
+
+let test_xmark_structure () =
+  let doc = X.generate ~target_bytes:200_000 () in
+  check_bool "has people" true (count_elems "person" doc > 10);
+  check_bool "has closed auctions" true (count_elems "closed_auction" doc > 5);
+  check_bool "has open auctions" true (count_elems "open_auction" doc > 5);
+  check_bool "has items" true (count_elems "item" doc > 10);
+  check_bool "six regions" true
+    (List.for_all
+       (fun r -> count_elems r doc = 1)
+       [ "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" ]);
+  (* Q15/Q16 path must have matches: nested parlists under annotations *)
+  let nested =
+    Xqc.eval_string
+      ~variables:[ ("auction", [ Xqc.Item.Node doc ]) ]
+      "count($auction/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword)"
+  in
+  check_bool "Q15 path nonempty" true (Xqc.serialize nested <> "0");
+  (* buyers reference existing people *)
+  let dangling =
+    Xqc.eval_string
+      ~variables:[ ("auction", [ Xqc.Item.Node doc ]) ]
+      "count(for $t in $auction//closed_auction where empty($auction//person[@id = $t/buyer/@person]) return $t)"
+  in
+  Alcotest.(check string) "no dangling buyer refs" "0" (Xqc.serialize dangling)
+
+let test_queries_parse () =
+  List.iter
+    (fun (name, q) ->
+      match Xqc.prepare q with
+      | _ -> ()
+      | exception Xqc.Error m -> Alcotest.failf "%s does not compile: %s" name m)
+    (Xqc_workload.Xmark_queries.all @ C.all)
+
+let test_clio_structure () =
+  let doc = C.generate ~target_bytes:50_000 () in
+  check_bool "papers present" true (count_elems "inproceedings" doc > 20);
+  check_bool "articles present" true (count_elems "article" doc > 5);
+  (* author fan-out: some author appears on several papers *)
+  let repeated =
+    Xqc.eval_string
+      ~variables:[ ("doc", [ Xqc.Item.Node doc ]) ]
+      "max(for $a in distinct-values($doc/dblp/inproceedings/author/text()) return count($doc/dblp/inproceedings[author/text() = $a]))"
+  in
+  check_bool "some author has several papers" true
+    (int_of_string (Xqc.serialize repeated) >= 2)
+
+let test_all_queries_run_on_tiny_doc () =
+  let xdoc = X.generate ~target_bytes:20_000 () in
+  let vars = [ ("auction", [ Xqc.Item.Node xdoc ]) ] in
+  List.iter
+    (fun (name, q) ->
+      match Xqc.eval_string ~variables:vars q with
+      | _ -> ()
+      | exception Xqc.Error m -> Alcotest.failf "XMark %s fails: %s" name m)
+    Xqc_workload.Xmark_queries.all;
+  let ddoc = C.generate ~target_bytes:10_000 () in
+  let vars = [ ("doc", [ Xqc.Item.Node ddoc ]) ] in
+  List.iter
+    (fun (name, q) ->
+      match Xqc.eval_string ~variables:vars q with
+      | _ -> ()
+      | exception Xqc.Error m -> Alcotest.failf "Clio %s fails: %s" name m)
+    C.all
+
+let test_prng () =
+  let rng = Xqc_workload.Prng.create ~seed:1 () in
+  let xs = List.init 1000 (fun _ -> Xqc_workload.Prng.int rng 10) in
+  check_bool "in range" true (List.for_all (fun x -> x >= 0 && x < 10) xs);
+  check_int "all buckets hit" 10 (List.length (List.sort_uniq compare xs));
+  let rng2 = Xqc_workload.Prng.create ~seed:1 () in
+  let ys = List.init 1000 (fun _ -> Xqc_workload.Prng.int rng2 10) in
+  check_bool "deterministic" true (xs = ys)
+
+(* Golden outputs: MD5 digests of every XMark query's serialized result
+   on the seed-42 30KB document, pinning both the generator and the whole
+   evaluation pipeline against silent regressions. *)
+let golden =
+  [
+    ("Q1", "640d2e2c7644884b93afc916463b0558");
+    ("Q2", "4821e10258d63d159ac108680a1726cb");
+    ("Q3", "96aec1bb48aaf4f0d143318e2503e1dc");
+    ("Q4", "d41d8cd98f00b204e9800998ecf8427e");
+    ("Q5", "1679091c5a880faf6fb5e6087eb1b2dc");
+    ("Q6", "9bf31c7ff062936a96d3c8bd1f8f2ff3");
+    ("Q7", "7f39f8317fbdb1988ef4c628eba02591");
+    ("Q8", "90a630616bed4499afdaa4d6cf9d7129");
+    ("Q9", "6ae63177cd6fded7b71d36ad20e7e33a");
+    ("Q10", "177829aa057daf41c4ee4a5d454207a4");
+    ("Q11", "e36c5a511967ef77770a17b438d7d0cf");
+    ("Q12", "a50348fc585dff28e662f26c41d996db");
+    ("Q13", "ce0a519855ffe05e0dc768a604b2b5fc");
+    ("Q14", "0ac14acac9f136f0ae77f4fcb705f7c5");
+    ("Q15", "f132ffc4f9e4eb599f5dfd371f236c95");
+    ("Q16", "590e64b09dd108e695234ab32ff212b9");
+    ("Q17", "9452353372a2b268d3288619a0094ff7");
+    ("Q18", "6933f5314310363b36ea7ebed7623072");
+    ("Q19", "30cd4e51bdf46e9ce1b58d75836bd710");
+    ("Q20", "df00901c874c52c990895b9891951188");
+  ]
+
+let test_golden_outputs () =
+  let doc = X.generate ~seed:42 ~target_bytes:30_000 () in
+  let vars = [ ("auction", [ Xqc.Item.Node doc ]) ] in
+  List.iter
+    (fun (name, expected) ->
+      let r = Xqc.serialize (Xqc.eval_string ~variables:vars (Xqc_workload.Xmark_queries.find name)) in
+      Alcotest.(check string) name expected (Digest.to_hex (Digest.string r)))
+    golden
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "xmark",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "size calibration" `Quick test_size_calibration;
+          Alcotest.test_case "structure" `Quick test_xmark_structure;
+          Alcotest.test_case "queries compile" `Quick test_queries_parse;
+          Alcotest.test_case "queries run" `Slow test_all_queries_run_on_tiny_doc;
+        ] );
+      ("clio", [ Alcotest.test_case "structure" `Quick test_clio_structure ]);
+      ("golden", [ Alcotest.test_case "xmark digests (seed 42)" `Quick test_golden_outputs ]);
+      ("prng", [ Alcotest.test_case "uniform and deterministic" `Quick test_prng ]);
+    ]

@@ -1,0 +1,182 @@
+(* XML data model, parser and serializer. *)
+
+module N = Xqc.Node
+module P = Xqc.Xml_parser
+module S = Xqc.Serializer
+module I = Xqc.Item
+
+let parse s = P.parse_string s
+let roundtrip s = S.node_to_string (parse s)
+
+let check = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_parse_simple () =
+  check "element with text" "<a>hi</a>" (roundtrip "<a>hi</a>");
+  check "nested" "<a><b/><c>x</c></a>" (roundtrip "<a><b/><c>x</c></a>");
+  check "attributes" {|<a x="1" y="two"/>|} (roundtrip {|<a x="1" y="two"/>|});
+  check "single-quoted attrs normalize" {|<a x="1"/>|} (roundtrip "<a x='1'/>")
+
+let test_entities () =
+  check "predefined entities" "<a>a&lt;b&amp;c&gt;d</a>"
+    (roundtrip "<a>a&lt;b&amp;c&gt;d</a>");
+  check "quote entities decode" {|<a q="say &quot;hi&quot;"/>|}
+    (roundtrip "<a q='say &quot;hi&quot;'/>");
+  check "numeric char ref" "<a>A</a>" (roundtrip "<a>&#65;</a>");
+  check "hex char ref" "<a>A</a>" (roundtrip "<a>&#x41;</a>")
+
+let test_misc_nodes () =
+  check "comment kept" "<a><!--note--></a>" (roundtrip "<a><!--note--></a>");
+  check "pi kept" "<a><?target data?></a>" (roundtrip "<a><?target data?></a>");
+  check "cdata becomes text" "<a>1 &lt; 2</a>" (roundtrip "<a><![CDATA[1 < 2]]></a>");
+  check "xml decl skipped" "<a/>" (roundtrip "<?xml version=\"1.0\"?><a/>");
+  check "doctype skipped" "<a/>" (roundtrip "<!DOCTYPE a><a/>")
+
+let test_parse_errors () =
+  let fails s =
+    match P.parse_string s with
+    | exception P.Parse_error _ -> true
+    | _ -> false
+  in
+  check_bool "mismatched tags" true (fails "<a></b>");
+  check_bool "unterminated" true (fails "<a>");
+  check_bool "no root" true (fails "just text");
+  check_bool "bad entity" true (fails "<a>&nosuch;</a>");
+  check_bool "trailing garbage" true (fails "<a/><b/>...")
+
+let test_string_value () =
+  let doc = parse "<a>one<b>two<c>three</c></b><!--x-->four</a>" in
+  check "concatenated descendant text" "onetwothreefour" (N.string_value doc)
+
+let test_document_order () =
+  let doc = parse "<a><b/><c><d/></c><e/></a>" in
+  let names =
+    List.filter_map N.name (N.descendants doc) |> String.concat ","
+  in
+  check "descendants preorder" "a,b,c,d,e" names;
+  let all = N.descendants doc in
+  check_bool "ids strictly ascend" true
+    (let rec asc = function
+       | a :: (b :: _ as rest) -> a.N.nid < b.N.nid && asc rest
+       | _ -> true
+     in
+     asc all)
+
+let test_axes () =
+  let doc = parse "<a><b><c/><d/></b><e/></a>" in
+  let find name =
+    List.find (fun n -> N.name n = Some name) (N.descendants doc)
+  in
+  let c = find "c" and b = find "b" and d = find "d" in
+  check_bool "parent" true (N.parent c == Some b |> fun _ -> Option.get (N.parent c) == b);
+  check "ancestors" "b,a"
+    (String.concat "," (List.filter_map N.name (List.filter (fun n -> N.name n <> None) (N.ancestors c))));
+  check "following siblings of c" "d"
+    (String.concat "," (List.filter_map N.name (N.following_siblings c)));
+  check "preceding siblings of d" "c"
+    (String.concat "," (List.filter_map N.name (N.preceding_siblings d)))
+
+let test_copy_fresh_ids () =
+  let doc = parse "<a><b x=\"1\">t</b></a>" in
+  let copy = N.copy doc in
+  check "copy serializes identically" (S.node_to_string doc) (S.node_to_string copy);
+  check_bool "copy has fresh ids" true (copy.N.nid <> doc.N.nid);
+  check_bool "deep ids fresh" true
+    (List.for_all2 (fun a b -> a.N.nid <> b.N.nid) (N.descendants doc) (N.descendants copy))
+
+let test_typed_value () =
+  let doc = parse "<a>42</a>" in
+  (match N.typed_value doc with
+  | Xqc.Atomic.Untyped "42" -> ()
+  | other -> Alcotest.failf "expected untyped 42, got %s" (Xqc.Atomic.to_string other));
+  let elem = List.hd (N.children doc) in
+  N.set_type_annotation elem (Some "xs:integer");
+  match N.typed_value elem with
+  | Xqc.Atomic.Integer 42 -> ()
+  | other -> Alcotest.failf "expected integer 42, got %s" (Xqc.Atomic.to_string other)
+
+let test_sort_doc_order () =
+  let doc = parse "<a><b/><c/></a>" in
+  let kids = N.children doc |> List.hd |> N.children in
+  let shuffled = List.rev kids @ kids in
+  let sorted = N.sort_doc_order shuffled in
+  check_int "dedup" 2 (List.length sorted);
+  check "order" "b,c" (String.concat "," (List.filter_map N.name sorted))
+
+let test_size () =
+  let doc = parse "<a x=\"1\"><b/>text</a>" in
+  (* document + a + attribute + b + text *)
+  check_int "node count" 5 (N.size doc)
+
+let test_sequence_serialization () =
+  let s =
+    S.sequence_to_string
+      [ I.of_int 1; I.of_int 2; I.Node (N.text "x"); I.of_string "y" ]
+  in
+  check "atoms space separated, nodes adjacent" "1 2xy" s
+
+(* qcheck: random generated trees survive a serialize/parse roundtrip. *)
+let gen_tree : N.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "c"; "item"; "x1" ] in
+  let text_gen = oneofl [ "hello"; "1 < 2 & 3"; "  spaced  "; "quote\"s" ] in
+  let rec tree depth =
+    if depth = 0 then map N.text text_gen
+    else
+      frequency
+        [
+          (2, map N.text text_gen);
+          ( 3,
+            name >>= fun nm ->
+            list_size (int_bound 3) (tree (depth - 1)) >>= fun children ->
+            list_size (int_bound 2) (pair (oneofl [ "p"; "q" ]) text_gen)
+            >>= fun attrs ->
+            (* attribute names must be unique *)
+            let attrs =
+              List.sort_uniq (fun (a, _) (b, _) -> compare a b) attrs
+              |> List.map (fun (n, v) -> N.attribute n v)
+            in
+            return (N.element nm ~attrs ~children) );
+        ]
+  in
+  QCheck.make
+    (name >>= fun nm ->
+     list_size (int_bound 4) (tree 2) >>= fun children ->
+     return (N.document [ N.element nm ~attrs:[] ~children ]))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"serialize/parse roundtrip" ~count:100 gen_tree
+    (fun doc ->
+      let s = S.node_to_string doc in
+      String.equal s (S.node_to_string (P.parse_string s)))
+
+let prop_copy_preserves_string_value =
+  QCheck.Test.make ~name:"copy preserves string value" ~count:100 gen_tree
+    (fun doc -> String.equal (N.string_value doc) (N.string_value (N.copy doc)))
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "entities" `Quick test_entities;
+          Alcotest.test_case "misc nodes" `Quick test_misc_nodes;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "data model",
+        [
+          Alcotest.test_case "string value" `Quick test_string_value;
+          Alcotest.test_case "document order" `Quick test_document_order;
+          Alcotest.test_case "axes" `Quick test_axes;
+          Alcotest.test_case "copy fresh ids" `Quick test_copy_fresh_ids;
+          Alcotest.test_case "typed value" `Quick test_typed_value;
+          Alcotest.test_case "sort doc order" `Quick test_sort_doc_order;
+          Alcotest.test_case "size" `Quick test_size;
+          Alcotest.test_case "sequence serialization" `Quick test_sequence_serialization;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_copy_preserves_string_value ] );
+    ]
