@@ -11,6 +11,8 @@
      main.exe saxon     — the Section 7 prose comparison (XMark 1-20,
                           optimized engine vs the Saxon stand-in)
      main.exe ablation  — extra: decomposition of the optimizations
+     main.exe metrics   — per-query JSON metric records (phase timings,
+                          rewrite firings, join accounting); --json=FILE
      main.exe micro     — bechamel microbenchmarks of the join kernels
      main.exe all       — everything above except micro
 
@@ -315,6 +317,74 @@ let ablation () =
          done))
 
 (* ------------------------------------------------------------------ *)
+(* Per-query metric records (observability)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One JSON record per (query, strategy): phase timings, rewrite-rule
+   firings and join accounting from the statistics collector, plus the
+   result cardinality.  Written as JSON lines to stdout or --json=FILE,
+   ready for ingestion by plotting / regression-tracking scripts. *)
+let metrics_json_file = ref None
+
+let metrics () =
+  let module Obs = Xqc_obs.Obs in
+  let size = 100_000 in
+  let doc = Xqc_workload.Xmark.generate ~target_bytes:size () in
+  let ctx = make_xmark_ctx doc in
+  let out, close_out_fn =
+    match !metrics_json_file with
+    | None -> (stdout, fun () -> ())
+    | Some path ->
+        let oc = open_out_bin path in
+        (oc, fun () -> close_out oc)
+  in
+  Printf.eprintf
+    "=== Per-query metric records: XMark Q1-20, %dKB document, all strategies ===\n"
+    (size / 1000);
+  List.iter
+    (fun (qname, q) ->
+      List.iter
+        (fun strategy ->
+          match
+            let prepared = Xqc.prepare ~strategy ~stats:true q in
+            let result = Xqc.run prepared ctx in
+            (prepared, result)
+          with
+          | prepared, result ->
+              let record =
+                match Xqc.stats prepared with
+                | Some c ->
+                    Obs.Obj
+                      (("query", Obs.Str qname)
+                       :: ("strategy", Obs.Str (Xqc.strategy_name strategy))
+                       :: ("result_items", Obs.Int (List.length result))
+                       ::
+                       (match Obs.collector_to_json ~plans:false c with
+                       | Obs.Obj fields -> fields
+                       | other -> [ ("stats", other) ]))
+                | None -> Obs.Obj [ ("query", Obs.Str qname) ]
+              in
+              output_string out (Obs.json_to_string record);
+              output_char out '\n'
+          | exception e ->
+              output_string out
+                (Obs.json_to_string
+                   (Obs.Obj
+                      [
+                        ("query", Obs.Str qname);
+                        ("strategy", Obs.Str (Xqc.strategy_name strategy));
+                        ("error", Obs.Str (Printexc.to_string e));
+                      ]));
+              output_char out '\n')
+        Xqc.all_strategies)
+    Xqc_workload.Xmark_queries.all;
+  flush out;
+  close_out_fn ();
+  match !metrics_json_file with
+  | Some path -> Printf.eprintf "wrote metric records to %s\n" path
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the join kernels                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -377,10 +447,13 @@ let () =
     cell_timeout := 7200.0);
   List.iter
     (fun f ->
-      let prefix = "--timeout=" in
-      let n = String.length prefix in
-      if String.length f > n && String.sub f 0 n = prefix then
-        cell_timeout := float_of_string (String.sub f n (String.length f - n)))
+      let with_prefix prefix k =
+        let n = String.length prefix in
+        if String.length f > n && String.sub f 0 n = prefix then
+          k (String.sub f n (String.length f - n))
+      in
+      with_prefix "--timeout=" (fun v -> cell_timeout := float_of_string v);
+      with_prefix "--json=" (fun v -> metrics_json_file := Some v))
     flags;
   let run = function
     | "table3" -> table3 ()
@@ -389,6 +462,7 @@ let () =
     | "figure4" -> figure4 ()
     | "saxon" -> saxon ()
     | "ablation" -> ablation ()
+    | "metrics" -> metrics ()
     | "micro" -> micro ()
     | "all" ->
         figure4 ();
@@ -399,7 +473,7 @@ let () =
         ablation ()
     | other ->
         Printf.eprintf
-          "unknown benchmark %S (expected table3|table4|table5|figure4|saxon|ablation|micro|all)\n"
+          "unknown benchmark %S (expected table3|table4|table5|figure4|saxon|ablation|metrics|micro|all)\n"
           other;
         Stdlib.exit 1
   in

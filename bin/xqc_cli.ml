@@ -94,8 +94,36 @@ let make_context docs vars =
     vars;
   ctx
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Collect pipeline phase timings, per-operator runtime statistics \
+           and the rewrite-rule trace, and print the report to stderr after \
+           the result.")
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the collected statistics as JSON to FILE (implies \
+           \\$(b,--stats) collection; use - for stderr).")
+
+let write_stats_json prepared path =
+  match (Xqc.stats_json prepared, path) with
+  | Some json, "-" -> prerr_endline json
+  | Some json, path ->
+      let oc = open_out_bin path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc
+  | None, _ -> ()
+
 let run_cmd =
-  let action strategy project indent query query_file docs vars =
+  let action strategy project indent stats stats_json query query_file docs vars =
     match load_query query query_file with
     | Error m ->
         prerr_endline m;
@@ -103,45 +131,73 @@ let run_cmd =
     | Ok q -> (
         try
           let ctx = make_context docs vars in
-          let result = Xqc.run (Xqc.prepare ~strategy ~project q) ctx in
+          let stats = stats || stats_json <> None in
+          let prepared = Xqc.prepare ~strategy ~project ~stats q in
+          let result = Xqc.run prepared ctx in
           print_endline
             (if indent then Xqc.Serializer.sequence_to_string_indented result
              else Xqc.serialize result);
+          if stats then prerr_string (Xqc.explain_analyze prepared);
+          Option.iter (write_stats_json prepared) stats_json;
           0
         with
         | Xqc.Error m ->
             prerr_endline ("error: " ^ m);
             1
-        | Failure m ->
+        | Failure m | Sys_error m ->
             prerr_endline ("error: " ^ m);
             1)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Evaluate a query and print the serialized result.")
     Term.(
-      const action $ strategy_arg $ project_arg $ indent_arg $ query_arg
-      $ query_file_arg $ docs_arg $ vars_arg)
+      const action $ strategy_arg $ project_arg $ indent_arg $ stats_arg
+      $ stats_json_arg $ query_arg $ query_file_arg $ docs_arg $ vars_arg)
 
 let explain_cmd =
-  let action strategy query query_file =
+  let analyze_arg =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:
+            "Actually run the query (documents via \\$(b,--doc)/\\$(b,--var)) \
+             and print phase timings, per-operator runtime statistics, and \
+             the rewrite-rule trace instead of the static report.")
+  in
+  let action strategy project analyze stats_json query query_file docs vars =
     match load_query query query_file with
     | Error m ->
         prerr_endline m;
         1
     | Ok q -> (
         try
-          print_string (Xqc.explain ~strategy q);
+          if analyze then begin
+            let ctx = make_context docs vars in
+            let prepared = Xqc.prepare ~strategy ~project ~stats:true q in
+            ignore (Xqc.run prepared ctx);
+            print_string (Xqc.explain_analyze prepared);
+            Option.iter (write_stats_json prepared) stats_json
+          end
+          else print_string (Xqc.explain ~strategy q);
           0
-        with Xqc.Error m ->
-          prerr_endline ("error: " ^ m);
-          1)
+        with
+        | Xqc.Error m ->
+            prerr_endline ("error: " ^ m);
+            1
+        | Failure m | Sys_error m ->
+            prerr_endline ("error: " ^ m);
+            1)
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
          "Print the XQuery Core form and the logical plan before and after \
-          optimization, in the paper's notation.")
-    Term.(const action $ strategy_arg $ query_arg $ query_file_arg)
+          optimization, in the paper's notation.  With \\$(b,--analyze), run \
+          the query and print the EXPLAIN ANALYZE report (annotated plan \
+          with per-operator calls, time and cardinality).")
+    Term.(
+      const action $ strategy_arg $ project_arg $ analyze_arg $ stats_json_arg
+      $ query_arg $ query_file_arg $ docs_arg $ vars_arg)
 
 let gen_cmd =
   let kind_arg =

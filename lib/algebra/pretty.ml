@@ -115,6 +115,96 @@ and pred_plans = function
 let to_string (p : plan) : string =
   Format.asprintf "@[<v>%a@]" (pp ~indent:0) p
 
+(* One-line operator label — the first line of [pp] without children;
+   used to label the nodes of an instrumented (EXPLAIN ANALYZE) plan. *)
+let node_label (p : plan) : string =
+  match p with
+  | Input -> "IN"
+  | Empty -> "Empty"
+  | Scalar a -> Printf.sprintf "Scalar[%s]" (Atomic.to_string a)
+  | Seq _ -> "Sequence"
+  | Element (n, _) -> Printf.sprintf "Element[%s]" n
+  | Attribute (n, _) -> Printf.sprintf "Attribute[%s]" n
+  | Text _ -> "Text"
+  | Comment _ -> "Comment"
+  | Pi (n, _) -> Printf.sprintf "PI[%s]" n
+  | TreeJoin (axis, test, _) ->
+      Printf.sprintf "TreeJoin[%s::%s]" (Ast.axis_to_string axis)
+        (Ast.node_test_to_string test)
+  | TreeProject _ -> "TreeProject[paths]"
+  | Castable (tn, _, _) -> Printf.sprintf "Castable[%s]" (Atomic.type_name_to_string tn)
+  | Cast (tn, _, _) -> Printf.sprintf "Cast[%s]" (Atomic.type_name_to_string tn)
+  | Validate _ -> "Validate"
+  | TypeMatches (ty, _) -> Printf.sprintf "TypeMatches[%s]" (Seqtype.to_string ty)
+  | TypeAssert (ty, _) -> Printf.sprintf "TypeAssert[%s]" (Seqtype.to_string ty)
+  | Var q -> Printf.sprintf "Var[%s]" q
+  | Call (f, _) -> Printf.sprintf "Call[%s]" f
+  | Cond _ -> "Cond"
+  | Quantified (q, v, _, _) ->
+      Printf.sprintf "%s[%s]"
+        (match q with Ast.Some_quant -> "Some" | Ast.Every_quant -> "Every")
+        v
+  | Parse _ -> "Parse"
+  | Serialize (uri, _) -> Printf.sprintf "Serialize[%s]" uri
+  | TupleConstruct [] -> "[]"
+  | TupleConstruct fields ->
+      Printf.sprintf "[%s]" (String.concat ";" (List.map fst fields))
+  | FieldAccess q -> Printf.sprintf "IN#%s" q
+  | Select _ -> "Select"
+  | Product _ -> "Product"
+  | Join (alg, pred, _, _) ->
+      Printf.sprintf "Join<%s>%s" (join_alg_to_string alg) (pred_params pred)
+  | LOuterJoin (alg, q, pred, _, _) ->
+      Printf.sprintf "LOuterJoin<%s>%s[%s]" (join_alg_to_string alg) (pred_params pred) q
+  | Map _ -> "Map"
+  | OMap (q, _) -> Printf.sprintf "OMap[%s]" q
+  | MapConcat _ -> "MapConcat"
+  | OMapConcat (q, _, _) -> Printf.sprintf "OMapConcat[%s]" q
+  | MapIndex (q, _) -> Printf.sprintf "MapIndex[%s]" q
+  | MapIndexStep (q, _) -> Printf.sprintf "MapIndexStep[%s]" q
+  | OrderBy (specs, _) ->
+      Printf.sprintf "OrderBy[%s]"
+        (String.concat ","
+           (List.map
+              (fun s ->
+                match s.sdir with Ast.Ascending -> "asc" | Ast.Descending -> "desc")
+              specs))
+  | GroupBy (g, _) ->
+      Printf.sprintf "GroupBy[%s,[%s],[%s]]" g.g_agg
+        (String.concat ";" g.g_indices)
+        (String.concat ";" g.g_nulls)
+  | MapFromItem _ -> "MapFromItem"
+  | MapToItem _ -> "MapToItem"
+  | MapSome _ -> "MapSome"
+  | MapEvery _ -> "MapEvery"
+
+(* EXPLAIN ANALYZE rendering of an instrumented plan: the indented
+   operator tree annotated with call counts, cumulative (inclusive)
+   time, output cardinality and, on joins, build/probe statistics. *)
+let analyze_to_string (root : Xqc_obs.Obs.op_node) : string =
+  let open Xqc_obs in
+  let buf = Buffer.create 1024 in
+  let cardinality (st : Obs.op_stats) =
+    match (st.Obs.op_tuples, st.Obs.op_items) with
+    | 0, 0 -> "out=0"
+    | t, 0 -> Printf.sprintf "tuples=%d" t
+    | 0, i -> Printf.sprintf "items=%d" i
+    | t, i -> Printf.sprintf "tuples=%d items=%d" t i
+  in
+  let rec go indent (n : Obs.op_node) =
+    let st = n.Obs.on_stats in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s  (calls=%d time=%.3fms %s)" (String.make indent ' ')
+         n.Obs.on_label st.Obs.op_calls (Obs.ms st.Obs.op_secs) (cardinality st));
+    (match n.Obs.on_join with
+    | Some js -> Buffer.add_string buf ("  [" ^ Obs.join_stats_to_string js ^ "]")
+    | None -> ());
+    Buffer.add_char buf '\n';
+    List.iter (go (indent + 2)) n.Obs.on_children
+  in
+  go 0 root;
+  Buffer.contents buf
+
 (* Count of operators in a plan, used in tests and explain output. *)
 let rec size (p : plan) : int =
   1 + List.fold_left (fun acc c -> acc + size c) 0 (children_of p)

@@ -8,6 +8,15 @@ val pp : ?indent:int -> Format.formatter -> Algebra.plan -> unit
 
 val to_string : Algebra.plan -> string
 
+val node_label : Algebra.plan -> string
+(** One-line operator label (the first line of {!pp} without children),
+    used to label the nodes of an instrumented plan. *)
+
+val analyze_to_string : Xqc_obs.Obs.op_node -> string
+(** EXPLAIN ANALYZE rendering of an instrumented plan: the indented
+    operator tree annotated with call counts, cumulative time, output
+    cardinality and join build/probe statistics. *)
+
 val size : Algebra.plan -> int
 (** Number of operators in the plan. *)
 

@@ -41,6 +41,7 @@ module Dynamic_ctx = Xqc_runtime.Dynamic_ctx
 module Builtins = Xqc_runtime.Builtins
 module Interp = Xqc_interp.Interp
 module Indexed = Xqc_interp.Indexed
+module Obs = Xqc_obs.Obs
 
 type strategy =
   | No_algebra  (** direct interpretation of the Core AST (pre-paper Galax) *)
@@ -67,6 +68,10 @@ type prepared = {
   projection : (string * Doc_paths.spec list option) list;
       (** per-free-variable projection paths (empty unless ~project) *)
   runner : Dynamic_ctx.t -> Item.sequence;
+  stats : Obs.collector option;
+      (** statistics collector (present iff prepared with [~stats:true]);
+          phase timings accumulate across runs, the annotated plan
+          reflects the most recent run *)
 }
 
 exception Error of string
@@ -77,43 +82,46 @@ let optimizer_options = function
   | Algebra_unoptimized -> Some { Rewrite.unnest = false; physical_joins = false; static_types = false }
   | No_algebra | Saxon_like -> None
 
-let optimize_query strategy (q : Compile.compiled_query) : Compile.compiled_query =
+let optimize_query ?trace strategy (q : Compile.compiled_query) : Compile.compiled_query =
   match optimizer_options strategy with
   | None | Some { Rewrite.unnest = false; physical_joins = false; static_types = false } -> q
   | Some options ->
       {
-        Compile.cmain = Rewrite.optimize ~options q.Compile.cmain;
+        Compile.cmain = Rewrite.optimize ~options ?trace q.Compile.cmain;
         cglobals =
-          List.map (fun (v, p) -> (v, Rewrite.optimize ~options p)) q.Compile.cglobals;
+          List.map (fun (v, p) -> (v, Rewrite.optimize ~options ?trace p)) q.Compile.cglobals;
         cfunctions =
           List.map
             (fun (f : Compile.compiled_function) ->
-              { f with Compile.fn_body = Rewrite.optimize ~options f.Compile.fn_body })
+              { f with Compile.fn_body = Rewrite.optimize ~options ?trace f.Compile.fn_body })
             q.Compile.cfunctions;
       }
 
 (* Project the bindings of analyzable free variables before running,
-   restoring the original bindings afterwards. *)
-let with_projection (projection : (string * Doc_paths.spec list option) list)
+   restoring the original bindings afterwards.  [ph] times the pruning
+   under a named phase when statistics are being collected. *)
+let with_projection ?(ph = fun _name f -> f ())
+    (projection : (string * Doc_paths.spec list option) list)
     (runner : Dynamic_ctx.t -> Item.sequence) (ctx : Dynamic_ctx.t) :
     Item.sequence =
   let saved = ref [] in
-  List.iter
-    (fun (var, specs) ->
-      match (specs, Hashtbl.find_opt ctx.Dynamic_ctx.globals var) with
-      | Some specs, Some value when List.exists Item.is_node value ->
-          let projected =
-            Projection.project_specs ctx.Dynamic_ctx.schema
-              (List.map
-                 (fun (sp : Doc_paths.spec) ->
-                   { Projection.steps = sp.Doc_paths.steps; subtree = sp.Doc_paths.subtree })
-                 specs)
-              value
-          in
-          saved := (var, value) :: !saved;
-          Hashtbl.replace ctx.Dynamic_ctx.globals var projected
-      | _ -> ())
-    projection;
+  ph "projection apply" (fun () ->
+      List.iter
+        (fun (var, specs) ->
+          match (specs, Hashtbl.find_opt ctx.Dynamic_ctx.globals var) with
+          | Some specs, Some value when List.exists Item.is_node value ->
+              let projected =
+                Projection.project_specs ctx.Dynamic_ctx.schema
+                  (List.map
+                     (fun (sp : Doc_paths.spec) ->
+                       { Projection.steps = sp.Doc_paths.steps; subtree = sp.Doc_paths.subtree })
+                     specs)
+                  value
+              in
+              saved := (var, value) :: !saved;
+              Hashtbl.replace ctx.Dynamic_ctx.globals var projected
+          | _ -> ())
+        projection);
   let restore () =
     List.iter (fun (var, value) -> Hashtbl.replace ctx.Dynamic_ctx.globals var value) !saved
   in
@@ -130,7 +138,17 @@ let with_projection (projection : (string * Doc_paths.spec list option) list)
    the bindings of free document variables are pruned to the statically
    inferred projection paths before evaluation (Marian-Siméon document
    projection). *)
-let prepare ?(strategy = Optimized) ?(project = false) (source : string) : prepared =
+let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
+    (source : string) : prepared =
+  let collector = if stats then Some (Obs.collector ()) else None in
+  (* time a prepare-side phase *)
+  let ph name f = match collector with Some c -> Obs.phase c name f | None -> f () in
+  (* time every invocation of a runner under a named phase *)
+  let timed_runner name runner =
+    match collector with
+    | None -> runner
+    | Some c -> fun ctx -> Obs.phase c name (fun () -> runner ctx)
+  in
   let wrap f =
     try f () with
     | Xq_parser.Syntax_error { position; message } ->
@@ -139,18 +157,33 @@ let prepare ?(strategy = Optimized) ?(project = false) (source : string) : prepa
     | Eval.Compile_error m -> raise (Error ("plan compilation error: " ^ m))
   in
   wrap (fun () ->
-      let core = Normalize.normalize_string source in
-      let projection = if project then Doc_paths.analyze core else [] in
+      let ast = ph "parse" (fun () -> Xq_parser.parse_query source) in
+      let core = ph "normalize" (fun () -> Normalize.normalize_query ast) in
+      let projection =
+        if project then ph "projection analysis" (fun () -> Doc_paths.analyze core)
+        else []
+      in
       let finish runner plan =
-        let runner = if project then with_projection projection runner else runner in
-        { source; strategy; core; plan; projection; runner }
+        let runner =
+          if project then with_projection ~ph:(fun n f -> ph n f) projection runner
+          else runner
+        in
+        { source; strategy; core; plan; projection; runner; stats = collector }
       in
       match strategy with
-      | No_algebra -> finish (fun ctx -> Interp.run ctx core) None
-      | Saxon_like -> finish (fun ctx -> Indexed.run ctx core) None
+      | No_algebra -> finish (timed_runner "eval" (fun ctx -> Interp.run ctx core)) None
+      | Saxon_like -> finish (timed_runner "eval" (fun ctx -> Indexed.run ctx core)) None
       | Algebra_unoptimized | Optimized_nl | Optimized ->
-          let compiled = optimize_query strategy (Compile.compile_query core) in
-          finish (fun ctx -> Eval.run ctx compiled) (Some compiled.Compile.cmain))
+          let compiled = ph "compile" (fun () -> Compile.compile_query core) in
+          let compiled =
+            ph "rewrite" (fun () ->
+                optimize_query
+                  ?trace:(Option.map (fun c -> c.Obs.co_rewrite) collector)
+                  strategy compiled)
+          in
+          finish
+            (fun ctx -> Eval.run ?stats:collector ctx compiled)
+            (Some compiled.Compile.cmain))
 
 let run (p : prepared) (ctx : Dynamic_ctx.t) : Item.sequence =
   try p.runner ctx with
@@ -181,7 +214,7 @@ let eval_string ?strategy ?project ?schema ?(variables = []) ?(documents = [])
 
 (* A multi-section compilation report: the Core form and the logical plan
    before and after optimization, in the paper's notation, plus the
-   inferred document-projection paths. *)
+   inferred document-projection paths and the rewrite-rule firing trace. *)
 let explain ?(strategy = Optimized) (source : string) : string =
   let core = Normalize.normalize_string source in
   let buf = Buffer.create 1024 in
@@ -216,8 +249,58 @@ let explain ?(strategy = Optimized) (source : string) : string =
   (match optimizer_options strategy with
   | None -> ()
   | Some options ->
+      let trace = Obs.rewrite_trace () in
       Buffer.add_string buf "\n\n=== Optimized plan ===\n";
       Buffer.add_string buf
-        (Pretty.to_string (Rewrite.optimize ~options compiled.Compile.cmain)));
+        (Pretty.to_string (Rewrite.optimize ~options ~trace compiled.Compile.cmain));
+      if Obs.total_firings trace > 0 then begin
+        Buffer.add_string buf "\n\n=== Rewrite trace ===\n";
+        Buffer.add_string buf (Obs.rewrite_to_string trace)
+      end);
   Buffer.add_string buf "\n";
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let stats (p : prepared) : Obs.collector option = p.stats
+
+(* Render the statistics a [~stats:true] prepared query has collected so
+   far: pipeline phase timings, the rewrite-rule trace, and (after at
+   least one [run]) the annotated per-operator plans with join
+   accounting.  Raises [Error] when the query was prepared without
+   [~stats:true]. *)
+let explain_analyze (p : prepared) : string =
+  match p.stats with
+  | None -> raise (Error "explain_analyze: query was not prepared with ~stats:true")
+  | Some c ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "=== Pipeline phases ===\n";
+      Buffer.add_string buf (Obs.phases_to_string c);
+      if Obs.total_firings c.Obs.co_rewrite > 0 then begin
+        Buffer.add_string buf "\n=== Rewrite trace ===\n";
+        Buffer.add_string buf (Obs.rewrite_to_string c.Obs.co_rewrite)
+      end;
+      (match c.Obs.co_plans with
+      | [] ->
+          Buffer.add_string buf
+            "\n(no annotated plans: run the query at least once, with an \
+             algebraic strategy, to collect per-operator statistics)\n"
+      | plans ->
+          List.iter
+            (fun (name, root) ->
+              Buffer.add_string buf
+                (Printf.sprintf "\n=== EXPLAIN ANALYZE (%s) ===\n" name);
+              Buffer.add_string buf (Pretty.analyze_to_string root))
+            plans;
+          let totals = Obs.join_totals c in
+          if totals.Obs.js_builds > 0 || totals.Obs.js_probes > 0 then begin
+            Buffer.add_string buf "\n=== Join totals ===\n";
+            Buffer.add_string buf (Obs.join_stats_to_string totals);
+            Buffer.add_char buf '\n'
+          end);
+      Buffer.contents buf
+
+let stats_json (p : prepared) : string option =
+  Option.map Obs.collector_to_json_string p.stats

@@ -1,0 +1,448 @@
+(* Observability primitives for the engine: counters, monotonic timers,
+   a lightweight span/event sink, and the structured statistics the
+   pipeline records — phase timings, per-operator runtime statistics
+   (EXPLAIN ANALYZE), join build/probe accounting, and rewrite-rule
+   firing traces.
+
+   This library sits below the algebra so every layer can depend on it;
+   it depends on nothing but unix (for the clock).  All records are
+   plain mutable structs updated in place: with statistics disabled none
+   of this code runs, so the uninstrumented hot path is unchanged. *)
+
+(* Monotonic-enough wall clock in seconds.  [Unix.gettimeofday] is what
+   the benchmark harness already measures with; operator timings are
+   relative differences over short spans, where drift is negligible. *)
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON (minimal emitter; no external dependency)                      *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let escape_string (s : string) : string =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec add_json (buf : Buffer.t) (j : json) : unit =
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      (* NaN/infinities are not JSON numbers *)
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf "null"
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_string s);
+      Buffer.add_char buf '"'
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_json buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape_string k);
+          Buffer.add_string buf "\":";
+          add_json buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let json_to_string (j : json) : string =
+  let buf = Buffer.create 256 in
+  add_json buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Counters and timers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { cn_name : string; mutable cn_value : int }
+
+let counter name = { cn_name = name; cn_value = 0 }
+let incr_counter c = c.cn_value <- c.cn_value + 1
+let add_counter c n = c.cn_value <- c.cn_value + n
+
+type timer = { tm_name : string; mutable tm_secs : float; mutable tm_count : int }
+
+let timer name = { tm_name = name; tm_secs = 0.0; tm_count = 0 }
+
+let time (tm : timer) (f : unit -> 'a) : 'a =
+  let t0 = now () in
+  let finish () =
+    tm.tm_secs <- tm.tm_secs +. (now () -. t0);
+    tm.tm_count <- tm.tm_count + 1
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* Span/event sink                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  ev_name : string;
+  ev_start : float;  (** seconds since the sink's epoch *)
+  ev_dur : float;  (** span duration in seconds *)
+  ev_attrs : (string * string) list;
+}
+
+type sink = { mutable sk_events : event list (* newest first *); sk_epoch : float }
+
+let sink () = { sk_events = []; sk_epoch = now () }
+
+let emit (sk : sink) ?(attrs = []) ?(dur = 0.0) (name : string) : unit =
+  sk.sk_events <-
+    { ev_name = name; ev_start = now () -. sk.sk_epoch; ev_dur = dur; ev_attrs = attrs }
+    :: sk.sk_events
+
+let span (sk : sink) ?(attrs = []) (name : string) (f : unit -> 'a) : 'a =
+  let t0 = now () in
+  let finish () =
+    sk.sk_events <-
+      {
+        ev_name = name;
+        ev_start = t0 -. sk.sk_epoch;
+        ev_dur = now () -. t0;
+        ev_attrs = attrs;
+      }
+      :: sk.sk_events
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let events (sk : sink) : event list = List.rev sk.sk_events
+
+let event_to_text (e : event) : string =
+  Printf.sprintf "%9.3fms +%.3fms %s%s" (e.ev_start *. 1000.0) (e.ev_dur *. 1000.0)
+    e.ev_name
+    (match e.ev_attrs with
+    | [] -> ""
+    | attrs ->
+        " " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs))
+
+let event_to_json (e : event) : json =
+  Obj
+    ([
+       ("event", Str e.ev_name);
+       ("start_ms", Float (e.ev_start *. 1000.0));
+       ("dur_ms", Float (e.ev_dur *. 1000.0));
+     ]
+    @ List.map (fun (k, v) -> (k, Str v)) e.ev_attrs)
+
+let events_to_json_lines (sk : sink) : string =
+  String.concat ""
+    (List.map (fun e -> json_to_string (event_to_json e) ^ "\n") (events sk))
+
+(* ------------------------------------------------------------------ *)
+(* Per-operator runtime statistics (EXPLAIN ANALYZE)                   *)
+(* ------------------------------------------------------------------ *)
+
+type op_stats = {
+  mutable op_calls : int;  (** closure invocations *)
+  mutable op_secs : float;  (** cumulative (inclusive) time *)
+  mutable op_tuples : int;  (** output cardinality when tabular *)
+  mutable op_items : int;  (** output cardinality when XML *)
+}
+
+let op_stats () = { op_calls = 0; op_secs = 0.0; op_tuples = 0; op_items = 0 }
+
+type join_stats = {
+  mutable js_builds : int;  (** inner-side materializations *)
+  mutable js_build_tuples : int;  (** tuples on the build side, summed *)
+  mutable js_probes : int;  (** outer tuples probed *)
+  mutable js_matches : int;  (** inner tuples matched, summed *)
+  mutable js_sort_numeric : int;  (** sort-join numeric array length *)
+  mutable js_sort_string : int;  (** sort-join string array length *)
+}
+
+let join_stats () =
+  {
+    js_builds = 0;
+    js_build_tuples = 0;
+    js_probes = 0;
+    js_matches = 0;
+    js_sort_numeric = 0;
+    js_sort_string = 0;
+  }
+
+(* The annotated plan: a mirror of the algebraic plan tree carrying one
+   [op_stats] per operator (plus [join_stats] on join operators),
+   labelled with the printer's one-line operator rendering. *)
+type op_node = {
+  on_label : string;
+  on_stats : op_stats;
+  on_join : join_stats option;
+  mutable on_children : op_node list;
+}
+
+(* Builder used by the evaluator while compiling an instrumented plan:
+   a stack mirroring the compile recursion; push on entry, pop (and
+   restore child order) on exit. *)
+type builder = { mutable bd_stack : op_node list; mutable bd_root : op_node option }
+
+let builder () = { bd_stack = []; bd_root = None }
+
+let push_node (b : builder) ?join (label : string) : op_node =
+  let n = { on_label = label; on_stats = op_stats (); on_join = join; on_children = [] } in
+  (match b.bd_stack with
+  | parent :: _ -> parent.on_children <- n :: parent.on_children
+  | [] -> if b.bd_root = None then b.bd_root <- Some n);
+  b.bd_stack <- n :: b.bd_stack;
+  n
+
+let pop_node (b : builder) : unit =
+  match b.bd_stack with
+  | n :: rest ->
+      n.on_children <- List.rev n.on_children;
+      b.bd_stack <- rest
+  | [] -> ()
+
+let top_join (b : builder) : join_stats option =
+  match b.bd_stack with n :: _ -> n.on_join | [] -> None
+
+let builder_root (b : builder) : op_node option = b.bd_root
+
+let rec fold_nodes (f : 'a -> op_node -> 'a) (acc : 'a) (n : op_node) : 'a =
+  List.fold_left (fold_nodes f) (f acc n) n.on_children
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline phase timing                                               *)
+(* ------------------------------------------------------------------ *)
+
+type phase = { ph_name : string; mutable ph_secs : float; mutable ph_count : int }
+
+(* ------------------------------------------------------------------ *)
+(* Rewrite-rule firing trace                                           *)
+(* ------------------------------------------------------------------ *)
+
+type rewrite_trace = {
+  mutable rw_passes : int;  (** fixpoint iterations of the rewrite driver *)
+  mutable rw_rules : (string * int ref) list;  (** first-firing order *)
+}
+
+let rewrite_trace () = { rw_passes = 0; rw_rules = [] }
+
+let fire (t : rewrite_trace) (rule : string) : unit =
+  match List.assoc_opt rule t.rw_rules with
+  | Some r -> incr r
+  | None -> t.rw_rules <- t.rw_rules @ [ (rule, ref 1) ]
+
+let rule_count (t : rewrite_trace) (rule : string) : int =
+  match List.assoc_opt rule t.rw_rules with Some r -> !r | None -> 0
+
+let total_firings (t : rewrite_trace) : int =
+  List.fold_left (fun acc (_, r) -> acc + !r) 0 t.rw_rules
+
+(* ------------------------------------------------------------------ *)
+(* Collector: one run's worth of statistics                            *)
+(* ------------------------------------------------------------------ *)
+
+type collector = {
+  mutable co_phases : phase list;  (** first-seen order *)
+  mutable co_plans : (string * op_node) list;  (** "main", "global $v", "function f" *)
+  co_rewrite : rewrite_trace;
+  co_sink : sink;
+}
+
+let collector () =
+  { co_phases = []; co_plans = []; co_rewrite = rewrite_trace (); co_sink = sink () }
+
+let phase (c : collector) (name : string) (f : unit -> 'a) : 'a =
+  let ph =
+    match List.find_opt (fun p -> String.equal p.ph_name name) c.co_phases with
+    | Some p -> p
+    | None ->
+        let p = { ph_name = name; ph_secs = 0.0; ph_count = 0 } in
+        c.co_phases <- c.co_phases @ [ p ];
+        p
+  in
+  let t0 = now () in
+  let finish () =
+    let dt = now () -. t0 in
+    ph.ph_secs <- ph.ph_secs +. dt;
+    ph.ph_count <- ph.ph_count + 1;
+    c.co_sink.sk_events <-
+      { ev_name = name; ev_start = t0 -. c.co_sink.sk_epoch; ev_dur = dt; ev_attrs = [] }
+      :: c.co_sink.sk_events
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+(* Re-registering a plan (each run re-compiles the closures) replaces
+   the previous annotated tree for that name. *)
+let set_plan (c : collector) (name : string) (root : op_node) : unit =
+  c.co_plans <- List.filter (fun (n, _) -> not (String.equal n name)) c.co_plans @ [ (name, root) ]
+
+let join_totals (c : collector) : join_stats =
+  let total = join_stats () in
+  List.iter
+    (fun (_, root) ->
+      ignore
+        (fold_nodes
+           (fun () n ->
+             match n.on_join with
+             | None -> ()
+             | Some js ->
+                 total.js_builds <- total.js_builds + js.js_builds;
+                 total.js_build_tuples <- total.js_build_tuples + js.js_build_tuples;
+                 total.js_probes <- total.js_probes + js.js_probes;
+                 total.js_matches <- total.js_matches + js.js_matches;
+                 total.js_sort_numeric <- total.js_sort_numeric + js.js_sort_numeric;
+                 total.js_sort_string <- total.js_sort_string + js.js_sort_string)
+           () root))
+    c.co_plans;
+  total
+
+(* ------------------------------------------------------------------ *)
+(* Text reports                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let ms (s : float) : float = s *. 1000.0
+
+let phases_to_string (c : collector) : string =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s %10.3f ms  (%d run%s)\n" p.ph_name (ms p.ph_secs)
+           p.ph_count
+           (if p.ph_count = 1 then "" else "s")))
+    c.co_phases;
+  Buffer.contents buf
+
+let rewrite_to_string (t : rewrite_trace) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "fixpoint passes: %d, rule firings: %d\n" t.rw_passes
+       (total_firings t));
+  List.iter
+    (fun (rule, n) -> Buffer.add_string buf (Printf.sprintf "  %-36s %4d\n" rule !n))
+    t.rw_rules;
+  Buffer.contents buf
+
+let join_stats_to_string (js : join_stats) : string =
+  let sort =
+    if js.js_sort_numeric = 0 && js.js_sort_string = 0 then ""
+    else Printf.sprintf ", sorted=%d num/%d str" js.js_sort_numeric js.js_sort_string
+  in
+  Printf.sprintf "builds=%d (%d tuples), probes=%d, matches=%d%s" js.js_builds
+    js.js_build_tuples js.js_probes js.js_matches sort
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let join_stats_to_json (js : join_stats) : json =
+  Obj
+    [
+      ("builds", Int js.js_builds);
+      ("build_tuples", Int js.js_build_tuples);
+      ("probes", Int js.js_probes);
+      ("matches", Int js.js_matches);
+      ("sort_numeric", Int js.js_sort_numeric);
+      ("sort_string", Int js.js_sort_string);
+    ]
+
+let rec op_node_to_json (n : op_node) : json =
+  let st = n.on_stats in
+  Obj
+    ([
+       ("op", Str n.on_label);
+       ("calls", Int st.op_calls);
+       ("time_ms", Float (ms st.op_secs));
+       ("tuples", Int st.op_tuples);
+       ("items", Int st.op_items);
+     ]
+    @ (match n.on_join with
+      | None -> []
+      | Some js -> [ ("join", join_stats_to_json js) ])
+    @
+    match n.on_children with
+    | [] -> []
+    | cs -> [ ("children", Arr (List.map op_node_to_json cs)) ])
+
+let rewrite_to_json (t : rewrite_trace) : json =
+  Obj
+    [
+      ("passes", Int t.rw_passes);
+      ("firings", Int (total_firings t));
+      ("rules", Obj (List.map (fun (rule, n) -> (rule, Int !n)) t.rw_rules));
+    ]
+
+let phases_to_json (c : collector) : json =
+  Arr
+    (List.map
+       (fun p ->
+         Obj
+           [
+             ("phase", Str p.ph_name);
+             ("time_ms", Float (ms p.ph_secs));
+             ("runs", Int p.ph_count);
+           ])
+       c.co_phases)
+
+let collector_to_json ?(plans = true) (c : collector) : json =
+  Obj
+    ([
+       ("phases", phases_to_json c);
+       ("rewrite", rewrite_to_json c.co_rewrite);
+       ("joins", join_stats_to_json (join_totals c));
+     ]
+    @
+    if plans then
+      [
+        ( "plans",
+          Arr
+            (List.map
+               (fun (name, root) ->
+                 Obj [ ("name", Str name); ("plan", op_node_to_json root) ])
+               c.co_plans) );
+      ]
+    else [])
+
+let collector_to_json_string ?plans (c : collector) : string =
+  json_to_string (collector_to_json ?plans c)

@@ -1,0 +1,175 @@
+(** Observability primitives: counters, monotonic timers, a lightweight
+    span/event sink (text + JSON line output), and the structured
+    statistics the pipeline records — phase timings, per-operator
+    runtime statistics (EXPLAIN ANALYZE), join build/probe accounting,
+    and rewrite-rule firing traces.
+
+    The library sits below the algebra so every layer can depend on it.
+    All records are plain mutable structs updated in place; with
+    statistics disabled none of this code runs, leaving the
+    uninstrumented hot path unchanged. *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]). *)
+
+(** {1 JSON} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+(** Compact rendering; non-finite floats become [null]. *)
+
+(** {1 Counters and timers} *)
+
+type counter = { cn_name : string; mutable cn_value : int }
+
+val counter : string -> counter
+val incr_counter : counter -> unit
+val add_counter : counter -> int -> unit
+
+type timer = { tm_name : string; mutable tm_secs : float; mutable tm_count : int }
+
+val timer : string -> timer
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk, accumulating its duration (also on exceptions). *)
+
+(** {1 Span/event sink} *)
+
+type event = {
+  ev_name : string;
+  ev_start : float;  (** seconds since the sink's epoch *)
+  ev_dur : float;
+  ev_attrs : (string * string) list;
+}
+
+type sink = { mutable sk_events : event list; sk_epoch : float }
+
+val sink : unit -> sink
+val emit : sink -> ?attrs:(string * string) list -> ?dur:float -> string -> unit
+val span : sink -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+val events : sink -> event list
+(** In emission order. *)
+
+val event_to_text : event -> string
+val event_to_json : event -> json
+
+val events_to_json_lines : sink -> string
+(** One JSON object per line, in emission order. *)
+
+(** {1 Per-operator runtime statistics (EXPLAIN ANALYZE)} *)
+
+type op_stats = {
+  mutable op_calls : int;  (** closure invocations *)
+  mutable op_secs : float;  (** cumulative (inclusive) time *)
+  mutable op_tuples : int;  (** output cardinality when tabular *)
+  mutable op_items : int;  (** output cardinality when XML *)
+}
+
+val op_stats : unit -> op_stats
+
+type join_stats = {
+  mutable js_builds : int;
+  mutable js_build_tuples : int;
+  mutable js_probes : int;
+  mutable js_matches : int;
+  mutable js_sort_numeric : int;
+  mutable js_sort_string : int;
+}
+
+val join_stats : unit -> join_stats
+
+(** The annotated plan: a mirror of the algebraic plan tree carrying one
+    [op_stats] per operator (plus [join_stats] on join operators). *)
+type op_node = {
+  on_label : string;
+  on_stats : op_stats;
+  on_join : join_stats option;
+  mutable on_children : op_node list;
+}
+
+(** Builder used by the evaluator while compiling an instrumented plan:
+    a stack mirroring the compile recursion. *)
+type builder
+
+val builder : unit -> builder
+
+val push_node : builder -> ?join:join_stats -> string -> op_node
+(** Create a node, attach it under the current parent (or as root), and
+    make it the current parent. *)
+
+val pop_node : builder -> unit
+(** Close the current node, restoring its children to source order. *)
+
+val top_join : builder -> join_stats option
+(** The join statistics of the node currently being compiled, if any. *)
+
+val builder_root : builder -> op_node option
+
+val fold_nodes : ('a -> op_node -> 'a) -> 'a -> op_node -> 'a
+(** Preorder fold over the annotated tree. *)
+
+(** {1 Pipeline phase timing} *)
+
+type phase = { ph_name : string; mutable ph_secs : float; mutable ph_count : int }
+
+(** {1 Rewrite-rule firing trace} *)
+
+type rewrite_trace = {
+  mutable rw_passes : int;  (** fixpoint iterations of the rewrite driver *)
+  mutable rw_rules : (string * int ref) list;  (** first-firing order *)
+}
+
+val rewrite_trace : unit -> rewrite_trace
+val fire : rewrite_trace -> string -> unit
+val rule_count : rewrite_trace -> string -> int
+val total_firings : rewrite_trace -> int
+
+(** {1 Collector: one prepared query's worth of statistics} *)
+
+type collector = {
+  mutable co_phases : phase list;  (** first-seen order *)
+  mutable co_plans : (string * op_node) list;
+      (** annotated plans by name ("main", "global $v", "function f") *)
+  co_rewrite : rewrite_trace;
+  co_sink : sink;
+}
+
+val collector : unit -> collector
+
+val phase : collector -> string -> (unit -> 'a) -> 'a
+(** Time the thunk under the named phase, accumulating across runs, and
+    record a span event in the sink. *)
+
+val set_plan : collector -> string -> op_node -> unit
+(** Register (or replace) an annotated plan tree. *)
+
+val join_totals : collector -> join_stats
+(** Sum of all join statistics across the registered plans. *)
+
+(** {1 Reports} *)
+
+val ms : float -> float
+
+val phases_to_string : collector -> string
+val rewrite_to_string : rewrite_trace -> string
+val join_stats_to_string : join_stats -> string
+
+val op_node_to_json : op_node -> json
+val join_stats_to_json : join_stats -> json
+val rewrite_to_json : rewrite_trace -> json
+val phases_to_json : collector -> json
+
+val collector_to_json : ?plans:bool -> collector -> json
+(** Full machine-readable statistics; [~plans:false] omits the
+    per-operator trees (used for compact bench records). *)
+
+val collector_to_json_string : ?plans:bool -> collector -> string

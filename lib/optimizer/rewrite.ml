@@ -31,7 +31,13 @@
 
 open Xqc_algebra
 open Algebra
+module Obs = Xqc_obs.Obs
 
+(* Reset at the start of every [rewrite] so that generated field names —
+   and therefore explain / EXPLAIN ANALYZE output — are deterministic
+   across repeated [prepare]s in one process.  Fields only need to be
+   unique within one plan; separate plans (main, globals, function
+   bodies) never share a layout. *)
 let fresh_counter = ref 0
 
 let fresh_field base =
@@ -248,18 +254,22 @@ let rec find_input_join (d : plan) : chain option =
 (* One rewriting step at a single node                                  *)
 (* ------------------------------------------------------------------ *)
 
-let rewrite_at (p : plan) : plan option =
+(* Each rule application is labelled with its (Figure 5) rule name so
+   the driver can trace firings. *)
+let rewrite_at (p : plan) : (string * plan) option =
   match p with
   (* (remove map) — also for the top-level MapToItem over the unit table *)
-  | MapConcat (dep, TupleConstruct []) when not (uses_input dep) -> Some dep
+  | MapConcat (dep, TupleConstruct []) when not (uses_input dep) ->
+      Some ("remove map", dep)
   (* (hoist nested flwor) out of a return clause into a tuple field *)
   | MapToItem (dep, input) -> (
       match find_nested_flwor dep with
       | Some (context, m) ->
           let x = fresh_field "hoist" in
           Some
-            (MapToItem
-               (context (FieldAccess x), MapConcat (TupleConstruct [ (x, m) ], input)))
+            ( "hoist nested flwor",
+              MapToItem
+                (context (FieldAccess x), MapConcat (TupleConstruct [ (x, m) ], input)) )
       | None -> None)
   (* (insert group-by) — only for correlated nested blocks; uncorrelated
      ones are better served by (insert product) at the enclosing MapConcat *)
@@ -268,15 +278,16 @@ let rewrite_at (p : plan) : plan option =
       | Some (context, pre, table_plan) ->
           let null = fresh_field "null" in
           Some
-            (GroupBy
-               ( {
-                   g_agg = x;
-                   g_indices = [];
-                   g_nulls = [ null ];
-                   g_post = context Input;
-                   g_pre = pre;
-                 },
-                 OMap (null, table_plan) ))
+            ( "insert group-by",
+              GroupBy
+                ( {
+                    g_agg = x;
+                    g_indices = [];
+                    g_nulls = [ null ];
+                    g_post = context Input;
+                    g_pre = pre;
+                  },
+                  OMap (null, table_plan) ) )
       | None -> None)
   (* (hoist nested flwor) out of a GroupBy pre-grouping plan: multi-level
      nesting lands in the pre plan after one round of unnesting *)
@@ -285,50 +296,55 @@ let rewrite_at (p : plan) : plan option =
       | Some (context, m) ->
           let y = fresh_field "hoist" in
           Some
-            (GroupBy
-               ( { g with g_pre = context (FieldAccess y) },
-                 MapConcat (TupleConstruct [ (y, m) ], input) ))
+            ( "hoist nested flwor from group-by pre",
+              GroupBy
+                ( { g with g_pre = context (FieldAccess y) },
+                  MapConcat (TupleConstruct [ (y, m) ], input) ) )
       | None -> None)
   (* (push product through map-concat): lets the product float out of a
      dependent join whose dependent plan only reads right-hand fields *)
   | MapConcat (dep, Product (a, b))
     when (not (uses_bare_input dep))
          && List.for_all (fun f -> List.mem f (output_fields b)) (input_fields dep) ->
-      Some (Product (a, MapConcat (dep, b)))
+      Some ("push product through map-concat", Product (a, MapConcat (dep, b)))
   (* (map through group-by) *)
   | MapConcat (GroupBy (g, op3), op4) ->
       let ind1 = fresh_field "index" in
       let null1 = fresh_field "null" in
       Some
-        (GroupBy
-           ( {
-               g with
-               g_indices = g.g_indices @ [ ind1 ];
-               g_nulls = g.g_nulls @ [ null1 ];
-             },
-             OMapConcat (null1, op3, MapIndexStep (ind1, op4)) ))
+        ( "map through group-by",
+          GroupBy
+            ( {
+                g with
+                g_indices = g.g_indices @ [ ind1 ];
+                g_nulls = g.g_nulls @ [ null1 ];
+              },
+              OMapConcat (null1, op3, MapIndexStep (ind1, op4)) ) )
   (* (remove duplicate null), first half: the inner OMap is redundant —
      when its input is empty the enclosing OMapConcat raises its own flag *)
   | OMapConcat (n1, OMap (n2, op1), op2) ->
       Hashtbl.replace dead_nulls n2 ();
-      Some (OMapConcat (n1, op1, op2))
+      Some ("remove duplicate null", OMapConcat (n1, op1, op2))
   (* (remove duplicate null), second half: strip removed flags from the
      GroupBy's null list *)
   | GroupBy (g, input) when List.exists (fun n -> Hashtbl.mem dead_nulls n) g.g_nulls
     ->
       Some
-        (GroupBy
-           ( { g with g_nulls = List.filter (fun n -> not (Hashtbl.mem dead_nulls n)) g.g_nulls },
-             input ))
+        ( "remove duplicate null",
+          GroupBy
+            ( { g with g_nulls = List.filter (fun n -> not (Hashtbl.mem dead_nulls n)) g.g_nulls },
+              input ) )
   (* (insert product) *)
-  | MapConcat (dep, input) when not (uses_input dep) -> Some (Product (input, dep))
+  | MapConcat (dep, input) when not (uses_input dep) ->
+      Some ("insert product", Product (input, dep))
   (* (insert join) *)
-  | Select (pred, Product (a, b)) -> Some (Join (Nested_loop, Pred pred, a, b))
+  | Select (pred, Product (a, b)) ->
+      Some ("insert join", Join (Nested_loop, Pred pred, a, b))
   (* (select / map-index-step commutation): sound for MapIndexStep, whose
      contract is only distinct ascending integers *)
   | Select (pred, MapIndexStep (q, input))
     when not (List.mem q (input_fields pred)) ->
-      Some (MapIndexStep (q, Select (pred, input)))
+      Some ("select/map-index-step commutation", MapIndexStep (q, Select (pred, input)))
   (* (insert outer-join), through a chain of row-preserving operators,
      fusing chain selections into the join predicate *)
   | OMapConcat (null, dep, op2) -> (
@@ -339,7 +355,9 @@ let rewrite_at (p : plan) : plan option =
             | Some p -> Pred p
             | None -> Pred (Scalar (Xqc_xml.Atomic.Boolean true))
           in
-          Some (ch.ch_context (LOuterJoin (ch.ch_alg, null, pred, op2, ch.ch_right)))
+          Some
+            ( "insert outer-join",
+              ch.ch_context (LOuterJoin (ch.ch_alg, null, pred, op2, ch.ch_right)) )
       | None -> None)
   | _ -> None
 
@@ -350,15 +368,17 @@ let rewrite_at (p : plan) : plan option =
    bottom-up order would unnest inner levels in place and bury their
    joins inside dependent sub-plans where the outer-join rule cannot see
    them. *)
-let rec rewrite_pass (p : plan) : plan * bool =
+let rec rewrite_pass ?trace (p : plan) : plan * bool =
   match rewrite_at p with
-  | Some p' -> (p', true)
+  | Some (rule, p') ->
+      (match trace with Some t -> Obs.fire t rule | None -> ());
+      (p', true)
   | None ->
       let changed = ref false in
       let p =
         map_children
           (fun c ->
-            let c', ch = rewrite_pass c in
+            let c', ch = rewrite_pass ?trace c in
             if ch then changed := true;
             c')
           p
@@ -367,12 +387,16 @@ let rec rewrite_pass (p : plan) : plan * bool =
 
 let max_passes = 400
 
-let rewrite (p : plan) : plan =
+let rewrite ?trace (p : plan) : plan =
+  fresh_counter := 0;
+  Hashtbl.reset dead_nulls;
   let rec fix p n =
     if n = 0 then p
-    else
-      let p', changed = rewrite_pass p in
+    else begin
+      let p', changed = rewrite_pass ?trace p in
+      (match trace with Some t -> t.Obs.rw_passes <- t.Obs.rw_passes + 1 | None -> ());
       if changed then fix p' (n - 1) else p'
+    end
   in
   fix p max_passes
 
@@ -430,16 +454,30 @@ let split_pred (pred : join_pred) (left : plan) (right : plan) :
               else None)
       | _ -> None)
 
-let rec choose_join_algorithms (p : plan) : plan =
-  let p = map_children choose_join_algorithms p in
+let rec choose_join_algorithms ?trace (p : plan) : plan =
+  let p = map_children (choose_join_algorithms ?trace) p in
+  let note alg =
+    match trace with
+    | None -> ()
+    | Some t ->
+        Obs.fire t
+          (match alg with
+          | Hash -> "choose hash join"
+          | Sort -> "choose sort join"
+          | Nested_loop -> "split nested-loop predicate")
+  in
   match p with
   | Join (Nested_loop, pred, a, b) -> (
       match split_pred pred a b with
-      | Some (alg, pred') -> Join (alg, pred', a, b)
+      | Some (alg, pred') ->
+          note alg;
+          Join (alg, pred', a, b)
       | None -> p)
   | LOuterJoin (Nested_loop, q, pred, a, b) -> (
       match split_pred pred a b with
-      | Some (alg, pred') -> LOuterJoin (alg, q, pred', a, b)
+      | Some (alg, pred') ->
+          note alg;
+          LOuterJoin (alg, q, pred', a, b)
       | None -> p)
   | other -> other
 
@@ -453,8 +491,8 @@ type options = {
 
 let default_options = { unnest = true; physical_joins = true; static_types = true }
 
-let optimize ?(options = default_options) (p : plan) : plan =
-  let p = if options.unnest then rewrite p else p in
+let optimize ?(options = default_options) ?trace (p : plan) : plan =
+  let p = if options.unnest then rewrite ?trace p else p in
   let p = if options.static_types then Static_type.simplify p else p in
-  let p = if options.physical_joins then choose_join_algorithms p else p in
+  let p = if options.physical_joins then choose_join_algorithms ?trace p else p in
   p

@@ -20,10 +20,15 @@ open Xqc_algebra
 open Xqc_types
 
 val fresh_field : string -> Algebra.field
-(** A globally fresh tuple-field name ("base~N"). *)
+(** A fresh tuple-field name ("base~N").  The counter is reset at the
+    start of every {!rewrite}, so generated names — and therefore
+    explain / EXPLAIN ANALYZE output — are deterministic across repeated
+    [prepare]s in one process. *)
 
-val rewrite : Algebra.plan -> Algebra.plan
-(** Apply the logical rewritings to a fixpoint. *)
+val rewrite : ?trace:Xqc_obs.Obs.rewrite_trace -> Algebra.plan -> Algebra.plan
+(** Apply the logical rewritings to a fixpoint.  With [~trace], every
+    rule firing is counted under its Figure 5 rule name and the number
+    of fixpoint passes is recorded. *)
 
 val split_pred :
   Algebra.join_pred ->
@@ -36,8 +41,11 @@ val split_pred :
     algorithm: hash for equality, sort for inequalities, nested-loop for
     [!=]. *)
 
-val choose_join_algorithms : Algebra.plan -> Algebra.plan
-(** The physical pass: apply {!split_pred} to every nested-loop join. *)
+val choose_join_algorithms :
+  ?trace:Xqc_obs.Obs.rewrite_trace -> Algebra.plan -> Algebra.plan
+(** The physical pass: apply {!split_pred} to every nested-loop join.
+    With [~trace], each algorithm choice is recorded as a firing of
+    "choose hash join" / "choose sort join". *)
 
 val mirror_op : Promotion.cmp_op -> Promotion.cmp_op
 val algorithm_for : Promotion.cmp_op -> Algebra.join_algorithm
@@ -50,4 +58,5 @@ type options = {
 
 val default_options : options
 
-val optimize : ?options:options -> Algebra.plan -> Algebra.plan
+val optimize :
+  ?options:options -> ?trace:Xqc_obs.Obs.rewrite_trace -> Algebra.plan -> Algebra.plan

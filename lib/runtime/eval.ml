@@ -18,6 +18,7 @@ open Xqc_frontend
 open Xqc_algebra
 open Algebra
 open Dynamic_ctx
+module Obs = Xqc_obs.Obs
 
 exception Compile_error of string
 
@@ -180,7 +181,45 @@ type cenv = { layout : layout }
    while the flag is set. *)
 let dynamic_field_lookup = ref false
 
+(* Instrumentation (EXPLAIN ANALYZE).  While [current_builder] is set,
+   every [compile] call mirrors the plan node into an [Obs.op_node] and
+   wraps the compiled closure to record invocation count, cumulative
+   (inclusive) time and output cardinality.  With the builder unset —
+   the default — [compile] returns the raw closure: the uninstrumented
+   hot path is byte-for-byte the same code as before. *)
+let current_builder : Obs.builder option ref = ref None
+
+let instrument (st : Obs.op_stats) (c : comp) : comp =
+ fun ctx inp ->
+  let t0 = Obs.now () in
+  let v = c ctx inp in
+  st.Obs.op_secs <- st.Obs.op_secs +. (Obs.now () -. t0);
+  st.Obs.op_calls <- st.Obs.op_calls + 1;
+  (match v with
+  | Xml s -> st.Obs.op_items <- st.Obs.op_items + List.length s
+  | Tab t -> st.Obs.op_tuples <- st.Obs.op_tuples + List.length t);
+  v
+
 let rec compile (env : cenv) (p : plan) : comp * layout =
+  match !current_builder with
+  | None -> compile_node env p
+  | Some b ->
+      let join =
+        match p with Join _ | LOuterJoin _ -> Some (Obs.join_stats ()) | _ -> None
+      in
+      let node = Obs.push_node b ?join (Pretty.node_label p) in
+      let c, layout =
+        match compile_node env p with
+        | r ->
+            Obs.pop_node b;
+            r
+        | exception e ->
+            Obs.pop_node b;
+            raise e
+      in
+      (instrument node.Obs.on_stats c, layout)
+
+and compile_node (env : cenv) (p : plan) : comp * layout =
   match p with
   | Input ->
       ( (fun _ctx inp ->
@@ -601,6 +640,20 @@ and compile_groupby env g input =
     out_layout )
 
 and compile_join env ~outer alg null_field pred a b =
+  (* The builder's top node is this join's mirror; its join_stats record
+     is shared with the Joins kernels (hash/sort) or updated inline for
+     the nested-loop paths. *)
+  let jstats =
+    match !current_builder with Some b -> Obs.top_join b | None -> None
+  in
+  let note_probe ms =
+    (match jstats with
+    | Some js ->
+        js.Obs.js_probes <- js.Obs.js_probes + 1;
+        js.Obs.js_matches <- js.Obs.js_matches + List.length ms
+    | None -> ());
+    ms
+  in
   let ca, la = compile env a and cb, lb = compile env b in
   let merged, mwidth, moves = concat_spec la lb in
   let n1 = List.length la in
@@ -636,11 +689,12 @@ and compile_join env ~outer alg null_field pred a b =
       ( (fun ctx inp ->
           let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
           run_with_matches left (fun l ->
-              List.filter_map
-                (fun r ->
-                  let m = apply_concat n1 mwidth moves l r in
-                  if ebv (cp ctx (ITuple m)) then Some r else None)
-                right)),
+              note_probe
+                (List.filter_map
+                   (fun r ->
+                     let m = apply_concat n1 mwidth moves l r in
+                     if ebv (cp ctx (ITuple m)) then Some r else None)
+                   right))),
         out_layout )
   | Nested_loop, Split_pred { op; left_key; right_key } ->
       let cl, _ = compile { layout = la } left_key in
@@ -649,9 +703,10 @@ and compile_join env ~outer alg null_field pred a b =
           let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
           run_with_matches left (fun l ->
               let lk = as_items (cl ctx (ITuple l)) in
-              List.filter
-                (fun r -> Promotion.general_compare op lk (as_items (cr ctx (ITuple r))))
-                right)),
+              note_probe
+                (List.filter
+                   (fun r -> Promotion.general_compare op lk (as_items (cr ctx (ITuple r))))
+                   right))),
         out_layout )
   | Hash, Split_pred { op = Promotion.Eq; left_key; right_key } ->
       let cl, _ = compile { layout = la } left_key in
@@ -659,10 +714,12 @@ and compile_join env ~outer alg null_field pred a b =
       ( (fun ctx inp ->
           let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
           let index =
-            Joins.build_hash_index right (fun r -> as_items (cr ctx (ITuple r)))
+            Joins.build_hash_index ?stats:jstats right
+              (fun r -> as_items (cr ctx (ITuple r)))
           in
           run_with_matches left (fun l ->
-              Joins.probe_hash_index index (Item.atomize (as_items (cl ctx (ITuple l)))))),
+              Joins.probe_hash_index ?stats:jstats index
+                (Item.atomize (as_items (cl ctx (ITuple l)))))),
         out_layout )
   | Sort, Split_pred { op = (Promotion.Lt | Promotion.Le | Promotion.Gt | Promotion.Ge) as op; left_key; right_key } ->
       let cl, _ = compile { layout = la } left_key in
@@ -670,10 +727,12 @@ and compile_join env ~outer alg null_field pred a b =
       ( (fun ctx inp ->
           let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
           let index =
-            Joins.build_sort_index right (fun r -> as_items (cr ctx (ITuple r)))
+            Joins.build_sort_index ?stats:jstats right
+              (fun r -> as_items (cr ctx (ITuple r)))
           in
           run_with_matches left (fun l ->
-              Joins.probe_sort_index op index (Item.atomize (as_items (cl ctx (ITuple l)))))),
+              Joins.probe_sort_index ?stats:jstats op index
+                (Item.atomize (as_items (cl ctx (ITuple l)))))),
         out_layout )
   | (Hash | Sort), Split_pred { op; left_key; right_key } ->
       (* mismatched algorithm/operator: fall back to the NL split form *)
@@ -683,19 +742,45 @@ and compile_join env ~outer alg null_field pred a b =
           let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
           run_with_matches left (fun l ->
               let lk = as_items (cl ctx (ITuple l)) in
-              List.filter
-                (fun r -> Promotion.general_compare op lk (as_items (cr ctx (ITuple r))))
-                right)),
+              note_probe
+                (List.filter
+                   (fun r -> Promotion.general_compare op lk (as_items (cr ctx (ITuple r))))
+                   right))),
         out_layout )
 
 (* ------------------------------------------------------------------ *)
 (* Whole-query evaluation                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Compile one plan with instrumentation when a collector is given: the
+   annotated op_node tree is registered under [name] (replacing the tree
+   from any previous run). *)
+let compile_plan (stats : Obs.collector option) (name : string) (env : cenv)
+    (p : plan) : comp * layout =
+  match stats with
+  | None -> compile env p
+  | Some c ->
+      let b = Obs.builder () in
+      let saved = !current_builder in
+      current_builder := Some b;
+      let finish () =
+        current_builder := saved;
+        match Obs.builder_root b with
+        | Some root -> Obs.set_plan c name root
+        | None -> ()
+      in
+      (match compile env p with
+      | r ->
+          finish ();
+          r
+      | exception e ->
+          finish ();
+          raise e)
+
 (* Install compiled user functions into the context, then evaluate the
    globals in declaration order, then run the main plan. *)
-let install_query (ctx : Dynamic_ctx.t) (q : Xqc_compiler.Compile.compiled_query) :
-    Dynamic_ctx.t -> Item.sequence =
+let install_query ?stats (ctx : Dynamic_ctx.t)
+    (q : Xqc_compiler.Compile.compiled_query) : Dynamic_ctx.t -> Item.sequence =
   List.iter
     (fun (f : Xqc_compiler.Compile.compiled_function) ->
       Hashtbl.replace ctx.functions f.fn_name
@@ -703,7 +788,9 @@ let install_query (ctx : Dynamic_ctx.t) (q : Xqc_compiler.Compile.compiled_query
     q.cfunctions;
   List.iter
     (fun (f : Xqc_compiler.Compile.compiled_function) ->
-      let body, _ = compile { layout = [] } f.fn_body in
+      let body, _ =
+        compile_plan stats ("function " ^ f.fn_name) { layout = [] } f.fn_body
+      in
       let impl ctx args =
         let frame = List.combine f.fn_params args in
         with_params ctx frame (fun () -> as_items (body ctx INone))
@@ -711,12 +798,20 @@ let install_query (ctx : Dynamic_ctx.t) (q : Xqc_compiler.Compile.compiled_query
       (Hashtbl.find ctx.functions f.fn_name).func_impl <- impl)
     q.cfunctions;
   let globals =
-    List.map (fun (v, p) -> (v, fst (compile { layout = [] } p))) q.cglobals
+    List.map
+      (fun (v, p) -> (v, fst (compile_plan stats ("global $" ^ v) { layout = [] } p)))
+      q.cglobals
   in
-  let main, _ = compile { layout = [] } q.cmain in
+  let main, _ = compile_plan stats "main" { layout = [] } q.cmain in
   fun ctx ->
     List.iter (fun (v, c) -> bind_global ctx v (as_items (c ctx INone))) globals;
     as_items (main ctx INone)
 
-let run ctx (q : Xqc_compiler.Compile.compiled_query) : Item.sequence =
-  (install_query ctx q) ctx
+let run ?stats ctx (q : Xqc_compiler.Compile.compiled_query) : Item.sequence =
+  match stats with
+  | None -> (install_query ctx q) ctx
+  | Some c ->
+      let runner =
+        Obs.phase c "compile closures" (fun () -> install_query ~stats:c ctx q)
+      in
+      Obs.phase c "eval" (fun () -> runner ctx)

@@ -68,9 +68,22 @@ val compile : cenv -> Algebra.plan -> comp * layout
     table-producing plans).
     @raise Compile_error on unknown tuple fields. *)
 
+val compile_plan :
+  Xqc_obs.Obs.collector option -> string -> cenv -> Algebra.plan -> comp * layout
+(** Compile one plan; with a collector, every operator closure is
+    wrapped to record invocation count, cumulative (inclusive) time and
+    output cardinality, and the annotated tree is registered under the
+    given name (replacing any previous tree of that name). *)
+
 val install_query :
+  ?stats:Xqc_obs.Obs.collector ->
   Dynamic_ctx.t -> Xqc_compiler.Compile.compiled_query -> Dynamic_ctx.t -> Item.sequence
 (** Register the query's functions (recursion-safe two-phase patching)
-    and return a runner evaluating globals then the main plan. *)
+    and return a runner evaluating globals then the main plan.  With
+    [~stats], compiled closures are instrumented per operator. *)
 
-val run : Dynamic_ctx.t -> Xqc_compiler.Compile.compiled_query -> Item.sequence
+val run :
+  ?stats:Xqc_obs.Obs.collector ->
+  Dynamic_ctx.t -> Xqc_compiler.Compile.compiled_query -> Item.sequence
+(** With [~stats], times the "compile closures" and "eval" phases and
+    records per-operator and join statistics into the collector. *)

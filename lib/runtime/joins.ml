@@ -18,6 +18,7 @@
 
 open Xqc_xml
 open Xqc_types
+module Obs = Xqc_obs.Obs
 
 type tuple = Item.sequence array
 
@@ -46,7 +47,7 @@ let is_nan_atom (a : Atomic.t) : bool =
   | _ -> false
 
 (* materialize() of Figure 6. *)
-let build_hash_index (inner : tuple list) (inner_key : tuple -> Item.sequence) :
+let build_hash_index ?stats (inner : tuple list) (inner_key : tuple -> Item.sequence) :
     hash_index =
   let buckets = Hashtbl.create 1024 in
   let order = ref 0 in
@@ -67,11 +68,16 @@ let build_hash_index (inner : tuple list) (inner_key : tuple -> Item.sequence) :
             (Promotion.promote_to_simple_types key))
         key_vals)
     inner;
+  (match stats with
+  | Some js ->
+      js.Obs.js_builds <- js.Obs.js_builds + 1;
+      js.Obs.js_build_tuples <- js.Obs.js_build_tuples + !order
+  | None -> ());
   { hi_buckets = buckets; hi_size = !order }
 
 (* allMatches() of Figure 6: all inner tuples matching one outer tuple,
    in the inner input's original sequence order, without duplicates. *)
-let probe_hash_index (index : hash_index) (key_vals : Atomic.t list) : tuple list =
+let probe_hash_index ?stats (index : hash_index) (key_vals : Atomic.t list) : tuple list =
   let acc : (int, tuple) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun key ->
@@ -93,7 +99,13 @@ let probe_hash_index (index : hash_index) (key_vals : Atomic.t list) : tuple lis
     key_vals;
   (* sortedMatches + removeDuplicates: Hashtbl keys are already unique *)
   let orders = Hashtbl.fold (fun o _ acc -> o :: acc) acc [] in
-  List.map (fun o -> Hashtbl.find acc o) (List.sort compare orders)
+  let matches = List.map (fun o -> Hashtbl.find acc o) (List.sort compare orders) in
+  (match stats with
+  | Some js ->
+      js.Obs.js_probes <- js.Obs.js_probes + 1;
+      js.Obs.js_matches <- js.Obs.js_matches + List.length matches
+  | None -> ());
+  matches
 
 (* ------------------------------------------------------------------ *)
 (* Sort join for inequalities                                          *)
@@ -123,7 +135,7 @@ let string_key (a : Atomic.t) : string option =
       Some (Atomic.to_string a)
   | _ -> None
 
-let build_sort_index (inner : tuple list) (inner_key : tuple -> Item.sequence) :
+let build_sort_index ?stats (inner : tuple list) (inner_key : tuple -> Item.sequence) :
     sort_index =
   let numeric = ref [] and strings = ref [] in
   let order = ref 0 in
@@ -147,10 +159,20 @@ let build_sort_index (inner : tuple list) (inner_key : tuple -> Item.sequence) :
     let c = cmp a.e_key b.e_key in
     if c <> 0 then c else compare a.e_order b.e_order
   in
-  {
-    si_numeric = Array.of_list (List.sort (by_key Float.compare) !numeric);
-    si_string = Array.of_list (List.sort (by_key String.compare) !strings);
-  }
+  let index =
+    {
+      si_numeric = Array.of_list (List.sort (by_key Float.compare) !numeric);
+      si_string = Array.of_list (List.sort (by_key String.compare) !strings);
+    }
+  in
+  (match stats with
+  | Some js ->
+      js.Obs.js_builds <- js.Obs.js_builds + 1;
+      js.Obs.js_build_tuples <- js.Obs.js_build_tuples + !order;
+      js.Obs.js_sort_numeric <- js.Obs.js_sort_numeric + Array.length index.si_numeric;
+      js.Obs.js_sort_string <- js.Obs.js_sort_string + Array.length index.si_string
+  | None -> ());
+  index
 
 (* First index whose key satisfies [ok] assuming keys ascend and the set
    of satisfying entries is a suffix; length if none. *)
@@ -180,7 +202,7 @@ let is_numeric_tn = Atomic.is_numeric_type
 (* Probe for all inner tuples with (probe_key op inner_key), honouring the
    Table 2 pairing rules between the probe key type and each entry's
    original type. *)
-let probe_sort_index (op : Promotion.cmp_op) (index : sort_index)
+let probe_sort_index ?stats (op : Promotion.cmp_op) (index : sort_index)
     (key_vals : Atomic.t list) : tuple list =
   let acc : (int, tuple) Hashtbl.t = Hashtbl.create 8 in
   let add e = Hashtbl.replace acc e.e_order e.e_tuple in
@@ -229,4 +251,10 @@ let probe_sort_index (op : Promotion.cmp_op) (index : sort_index)
             | None -> ()))
     key_vals;
   let orders = Hashtbl.fold (fun o _ acc -> o :: acc) acc [] in
-  List.map (fun o -> Hashtbl.find acc o) (List.sort compare orders)
+  let matches = List.map (fun o -> Hashtbl.find acc o) (List.sort compare orders) in
+  (match stats with
+  | Some js ->
+      js.Obs.js_probes <- js.Obs.js_probes + 1;
+      js.Obs.js_matches <- js.Obs.js_matches + List.length matches
+  | None -> ());
+  matches
