@@ -12,7 +12,12 @@
                           optimized engine vs the Saxon stand-in)
      main.exe ablation  — extra: decomposition of the optimizations
      main.exe metrics   — per-query JSON metric records (phase timings,
-                          rewrite firings, join accounting); --json=FILE
+                          rewrite firings, join accounting, GC heap
+                          footprint); --json=FILE
+     main.exe early-exit — streaming early-termination microbenchmark:
+                          existential/positional queries, streamed vs
+                          fully materialized, pulled-tuple counts from
+                          the obs collector; --json=FILE
      main.exe micro     — bechamel microbenchmarks of the join kernels
      main.exe all       — everything above except micro
 
@@ -346,11 +351,28 @@ let metrics () =
       List.iter
         (fun strategy ->
           match
+            (* GC deltas around prepare+run make the memory footprint of
+               each (query, strategy) visible in the bench trajectory:
+               allocation shrinks when the pipeline streams instead of
+               materializing intermediate tables.  Gc.allocated_bytes is
+               exact per allocation; Gc.stat (not quick_stat, whose
+               counters only refresh at major slices) gives an accurate
+               peak after the run. *)
+            let a0 = Gc.allocated_bytes () in
             let prepared = Xqc.prepare ~strategy ~stats:true q in
             let result = Xqc.run prepared ctx in
-            (prepared, result)
+            let a1 = Gc.allocated_bytes () in
+            (prepared, result, a1 -. a0, Gc.stat ())
           with
-          | prepared, result ->
+          | prepared, result, alloc_bytes, g ->
+              let word = float_of_int (Sys.word_size / 8) in
+              let gc_json =
+                Obs.Obj
+                  [
+                    ("allocated_words", Obs.Float (alloc_bytes /. word));
+                    ("top_heap_words", Obs.Int g.Gc.top_heap_words);
+                  ]
+              in
               let record =
                 match Xqc.stats prepared with
                 | Some c ->
@@ -358,6 +380,7 @@ let metrics () =
                       (("query", Obs.Str qname)
                        :: ("strategy", Obs.Str (Xqc.strategy_name strategy))
                        :: ("result_items", Obs.Int (List.length result))
+                       :: ("gc", gc_json)
                        ::
                        (match Obs.collector_to_json ~plans:false c with
                        | Obs.Obj fields -> fields
@@ -382,6 +405,81 @@ let metrics () =
   close_out_fn ();
   match !metrics_json_file with
   | Some path -> Printf.eprintf "wrote metric records to %s\n" path
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Early-termination microbenchmark                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Existential/positional queries where the streaming pipeline should
+   stop after a bounded prefix, run streamed and fully materialized (the
+   [~materialize] debug knob) on the same XMark document.  Pulled-tuple
+   and pulled-item totals come from the obs collector; the CI smoke step
+   asserts the streamed counts stay below a constant bound. *)
+let early_exit () =
+  let module Obs = Xqc_obs.Obs in
+  let size = 1_000_000 in
+  let doc = Xqc_workload.Xmark.generate ~target_bytes:size () in
+  let ctx = make_xmark_ctx doc in
+  let queries =
+    [
+      ("exists-path", "fn:exists($auction/site/people/person)");
+      ("exists-desc", "fn:exists($auction//item)");
+      ("exists-late", "fn:exists($auction//person)");
+      ("empty-desc", "fn:empty($auction//person)");
+      ("first", "($auction//person)[1]");
+      ("some-satisfies",
+       "some $p in $auction//person satisfies fn:exists($p/homepage)");
+      ("subsequence", "fn:subsequence($auction//person, 1, 5)");
+    ]
+  in
+  let out, close_out_fn =
+    match !metrics_json_file with
+    | None -> (stdout, fun () -> ())
+    | Some path ->
+        let oc = open_out_bin path in
+        (oc, fun () -> close_out oc)
+  in
+  Printf.eprintf
+    "=== Early-exit microbenchmark: %dKB XMark document, streamed vs materialized ===\n"
+    (size / 1000);
+  Printf.eprintf "%-16s %-13s %10s %10s %10s %10s\n" "query" "mode" "time_ms"
+    "tuples" "items" "result";
+  List.iter
+    (fun (qname, q) ->
+      List.iter
+        (fun materialize ->
+          let prepared = Xqc.prepare ~stats:true ~materialize q in
+          let t0 = Unix.gettimeofday () in
+          let result = Xqc.run prepared ctx in
+          let dt = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          let tuples, items =
+            match Xqc.stats prepared with
+            | Some c -> Obs.pulled_totals c
+            | None -> (0, 0)
+          in
+          let mode = if materialize then "materialized" else "streamed" in
+          Printf.eprintf "%-16s %-13s %10.2f %10d %10d %10d\n" qname mode dt
+            tuples items (List.length result);
+          let record =
+            Obs.Obj
+              [
+                ("query", Obs.Str qname);
+                ("mode", Obs.Str mode);
+                ("time_ms", Obs.Float dt);
+                ("pulled_tuples", Obs.Int tuples);
+                ("pulled_items", Obs.Int items);
+                ("result_items", Obs.Int (List.length result));
+              ]
+          in
+          output_string out (Obs.json_to_string record);
+          output_char out '\n')
+        [ false; true ])
+    queries;
+  flush out;
+  close_out_fn ();
+  match !metrics_json_file with
+  | Some path -> Printf.eprintf "wrote early-exit records to %s\n" path
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -463,6 +561,7 @@ let () =
     | "saxon" -> saxon ()
     | "ablation" -> ablation ()
     | "metrics" -> metrics ()
+    | "early-exit" -> early_exit ()
     | "micro" -> micro ()
     | "all" ->
         figure4 ();
@@ -473,7 +572,7 @@ let () =
         ablation ()
     | other ->
         Printf.eprintf
-          "unknown benchmark %S (expected table3|table4|table5|figure4|saxon|ablation|metrics|micro|all)\n"
+          "unknown benchmark %S (expected table3|table4|table5|figure4|saxon|ablation|metrics|early-exit|micro|all)\n"
           other;
         Stdlib.exit 1
   in

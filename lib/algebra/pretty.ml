@@ -191,11 +191,17 @@ let analyze_to_string (root : Xqc_obs.Obs.op_node) : string =
     | 0, i -> Printf.sprintf "items=%d" i
     | t, i -> Printf.sprintf "tuples=%d items=%d" t i
   in
+  let mode (n : Obs.op_node) =
+    match n.Obs.on_stream with
+    | Obs.Opaque -> ""
+    | k -> " " ^ Obs.stream_kind_name k
+  in
   let rec go indent (n : Obs.op_node) =
     let st = n.Obs.on_stats in
     Buffer.add_string buf
-      (Printf.sprintf "%s%s  (calls=%d time=%.3fms %s)" (String.make indent ' ')
-         n.Obs.on_label st.Obs.op_calls (Obs.ms st.Obs.op_secs) (cardinality st));
+      (Printf.sprintf "%s%s  (calls=%d time=%.3fms %s%s)" (String.make indent ' ')
+         n.Obs.on_label st.Obs.op_calls (Obs.ms st.Obs.op_secs) (cardinality st)
+         (mode n));
     (match n.Obs.on_join with
     | Some js -> Buffer.add_string buf ("  [" ^ Obs.join_stats_to_string js ^ "]")
     | None -> ());

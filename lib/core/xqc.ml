@@ -139,7 +139,7 @@ let with_projection ?(ph = fun _name f -> f ())
    inferred projection paths before evaluation (Marian-Siméon document
    projection). *)
 let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
-    (source : string) : prepared =
+    ?(materialize = false) (source : string) : prepared =
   let collector = if stats then Some (Obs.collector ()) else None in
   (* time a prepare-side phase *)
   let ph name f = match collector with Some c -> Obs.phase c name f | None -> f () in
@@ -181,9 +181,19 @@ let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
                   ?trace:(Option.map (fun c -> c.Obs.co_rewrite) collector)
                   strategy compiled)
           in
-          finish
-            (fun ctx -> Eval.run ?stats:collector ctx compiled)
-            (Some compiled.Compile.cmain))
+          (* [Eval.run] recompiles closures per run, so toggling the
+             materialization knob around it covers the whole plan *)
+          let run_compiled ctx =
+            if materialize then begin
+              let saved = !Eval.force_materialize in
+              Eval.force_materialize := true;
+              Fun.protect
+                ~finally:(fun () -> Eval.force_materialize := saved)
+                (fun () -> Eval.run ?stats:collector ctx compiled)
+            end
+            else Eval.run ?stats:collector ctx compiled
+          in
+          finish run_compiled (Some compiled.Compile.cmain))
 
 let run (p : prepared) (ctx : Dynamic_ctx.t) : Item.sequence =
   try p.runner ctx with
@@ -205,12 +215,12 @@ let parse_document ?uri (xml : string) : Node.t = Xml_parser.parse_string ?uri x
 let serialize (s : Item.sequence) : string = Serializer.sequence_to_string s
 
 (* One-shot evaluation with optional bindings. *)
-let eval_string ?strategy ?project ?schema ?(variables = []) ?(documents = [])
-    (source : string) : Item.sequence =
+let eval_string ?strategy ?project ?materialize ?schema ?(variables = [])
+    ?(documents = []) (source : string) : Item.sequence =
   let ctx = context ?schema () in
   List.iter (fun (name, value) -> bind_variable ctx name value) variables;
   List.iter (fun (uri, doc) -> bind_document ctx uri doc) documents;
-  run (prepare ?strategy ?project source) ctx
+  run (prepare ?strategy ?project ?materialize source) ctx
 
 (* A multi-section compilation report: the Core form and the logical plan
    before and after optimization, in the paper's notation, plus the

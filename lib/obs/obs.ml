@@ -179,11 +179,31 @@ let events_to_json_lines (sk : sink) : string =
 type op_stats = {
   mutable op_calls : int;  (** closure invocations *)
   mutable op_secs : float;  (** cumulative (inclusive) time *)
-  mutable op_tuples : int;  (** output cardinality when tabular *)
-  mutable op_items : int;  (** output cardinality when XML *)
+  mutable op_tuples : int;  (** tuples actually pulled through the operator *)
+  mutable op_items : int;  (** items produced / pulled when XML *)
 }
 
 let op_stats () = { op_calls = 0; op_secs = 0.0; op_tuples = 0; op_items = 0 }
+
+(* Wrap a lazy cursor so every pull is timed into [op_secs] and counted
+   into the given cardinality field.  Pull timing is inclusive: a parent
+   operator's pull forces its child's pull inside the parent's timed
+   window, matching the inclusive-time convention of the eager wrapper. *)
+let counted_seq (st : op_stats) (count : op_stats -> unit) (s : 'a Seq.t) : 'a Seq.t =
+  let rec wrap s () =
+    let t0 = now () in
+    let node = s () in
+    st.op_secs <- st.op_secs +. (now () -. t0);
+    match node with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (x, rest) ->
+        count st;
+        Seq.Cons (x, wrap rest)
+  in
+  wrap s
+
+let tuple_counted_seq st s = counted_seq st (fun st -> st.op_tuples <- st.op_tuples + 1) s
+let item_counted_seq st s = counted_seq st (fun st -> st.op_items <- st.op_items + 1) s
 
 type join_stats = {
   mutable js_builds : int;  (** inner-side materializations *)
@@ -204,6 +224,17 @@ let join_stats () =
     js_sort_string = 0;
   }
 
+(* How the physical operator moves tuples: [Streamed] operators are lazy
+   cursors that forward tuples as the consumer pulls, [Blocking] operators
+   materialize (their input or build side) before producing output, and
+   [Opaque] operators are item-level XML operators outside the pipeline. *)
+type stream_kind = Streamed | Blocking | Opaque
+
+let stream_kind_name = function
+  | Streamed -> "streamed"
+  | Blocking -> "blocking"
+  | Opaque -> "opaque"
+
 (* The annotated plan: a mirror of the algebraic plan tree carrying one
    [op_stats] per operator (plus [join_stats] on join operators),
    labelled with the printer's one-line operator rendering. *)
@@ -211,6 +242,7 @@ type op_node = {
   on_label : string;
   on_stats : op_stats;
   on_join : join_stats option;
+  on_stream : stream_kind;
   mutable on_children : op_node list;
 }
 
@@ -221,8 +253,11 @@ type builder = { mutable bd_stack : op_node list; mutable bd_root : op_node opti
 
 let builder () = { bd_stack = []; bd_root = None }
 
-let push_node (b : builder) ?join (label : string) : op_node =
-  let n = { on_label = label; on_stats = op_stats (); on_join = join; on_children = [] } in
+let push_node (b : builder) ?join ?(stream = Opaque) (label : string) : op_node =
+  let n =
+    { on_label = label; on_stats = op_stats (); on_join = join; on_stream = stream;
+      on_children = [] }
+  in
   (match b.bd_stack with
   | parent :: _ -> parent.on_children <- n :: parent.on_children
   | [] -> if b.bd_root = None then b.bd_root <- Some n);
@@ -317,6 +352,17 @@ let phase (c : collector) (name : string) (f : unit -> 'a) : 'a =
 let set_plan (c : collector) (name : string) (root : op_node) : unit =
   c.co_plans <- List.filter (fun (n, _) -> not (String.equal n name)) c.co_plans @ [ (name, root) ]
 
+(* Total (tuples, items) pulled through all operators of all annotated
+   plans — the quantity the streaming evaluator's early termination
+   bounds, and what the early-exit bench/CI smoke asserts on. *)
+let pulled_totals (c : collector) : int * int =
+  List.fold_left
+    (fun acc (_, root) ->
+      fold_nodes
+        (fun (t, i) n -> (t + n.on_stats.op_tuples, i + n.on_stats.op_items))
+        acc root)
+    (0, 0) c.co_plans
+
 let join_totals (c : collector) : join_stats =
   let total = join_stats () in
   List.iter
@@ -397,6 +443,9 @@ let rec op_node_to_json (n : op_node) : json =
        ("tuples", Int st.op_tuples);
        ("items", Int st.op_items);
      ]
+    @ (match n.on_stream with
+      | Opaque -> []
+      | k -> [ ("mode", Str (stream_kind_name k)) ])
     @ (match n.on_join with
       | None -> []
       | Some js -> [ ("join", join_stats_to_json js) ])
@@ -426,11 +475,14 @@ let phases_to_json (c : collector) : json =
        c.co_phases)
 
 let collector_to_json ?(plans = true) (c : collector) : json =
+  let pulled_tuples, pulled_items = pulled_totals c in
   Obj
     ([
        ("phases", phases_to_json c);
        ("rewrite", rewrite_to_json c.co_rewrite);
        ("joins", join_stats_to_json (join_totals c));
+       ( "pulled",
+         Obj [ ("tuples", Int pulled_tuples); ("items", Int pulled_items) ] );
      ]
     @
     if plans then

@@ -70,11 +70,22 @@ val events_to_json_lines : sink -> string
 type op_stats = {
   mutable op_calls : int;  (** closure invocations *)
   mutable op_secs : float;  (** cumulative (inclusive) time *)
-  mutable op_tuples : int;  (** output cardinality when tabular *)
-  mutable op_items : int;  (** output cardinality when XML *)
+  mutable op_tuples : int;  (** tuples actually pulled through the operator *)
+  mutable op_items : int;  (** items produced / pulled when XML *)
 }
 
 val op_stats : unit -> op_stats
+
+val counted_seq : op_stats -> (op_stats -> unit) -> 'a Seq.t -> 'a Seq.t
+(** Wrap a lazy cursor so every pull is timed into [op_secs] (inclusive:
+    child pulls nest inside the parent's timed window) and counted into
+    the given cardinality field. *)
+
+val tuple_counted_seq : op_stats -> 'a Seq.t -> 'a Seq.t
+(** [counted_seq] counting into [op_tuples]. *)
+
+val item_counted_seq : op_stats -> 'a Seq.t -> 'a Seq.t
+(** [counted_seq] counting into [op_items]. *)
 
 type join_stats = {
   mutable js_builds : int;
@@ -87,12 +98,21 @@ type join_stats = {
 
 val join_stats : unit -> join_stats
 
+(** How the physical operator moves tuples: [Streamed] operators are lazy
+    cursors forwarding tuples as the consumer pulls, [Blocking] operators
+    materialize before producing output, [Opaque] operators are item-level
+    XML operators outside the tuple pipeline. *)
+type stream_kind = Streamed | Blocking | Opaque
+
+val stream_kind_name : stream_kind -> string
+
 (** The annotated plan: a mirror of the algebraic plan tree carrying one
     [op_stats] per operator (plus [join_stats] on join operators). *)
 type op_node = {
   on_label : string;
   on_stats : op_stats;
   on_join : join_stats option;
+  on_stream : stream_kind;
   mutable on_children : op_node list;
 }
 
@@ -102,9 +122,9 @@ type builder
 
 val builder : unit -> builder
 
-val push_node : builder -> ?join:join_stats -> string -> op_node
+val push_node : builder -> ?join:join_stats -> ?stream:stream_kind -> string -> op_node
 (** Create a node, attach it under the current parent (or as root), and
-    make it the current parent. *)
+    make it the current parent.  [stream] defaults to [Opaque]. *)
 
 val pop_node : builder -> unit
 (** Close the current node, restoring its children to source order. *)
@@ -151,6 +171,10 @@ val phase : collector -> string -> (unit -> 'a) -> 'a
 
 val set_plan : collector -> string -> op_node -> unit
 (** Register (or replace) an annotated plan tree. *)
+
+val pulled_totals : collector -> int * int
+(** Total (tuples, items) pulled through all operators of the registered
+    plans — what the early-exit bench/CI smoke asserts on. *)
 
 val join_totals : collector -> join_stats
 (** Sum of all join statistics across the registered plans. *)

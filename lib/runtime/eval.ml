@@ -6,6 +6,22 @@
    this "replacement of dynamic lookups in the dynamic context by direct
    compiled memory access".
 
+   The tabular arm of [dval] is a pull-based cursor ([tuple Seq.t]):
+   Select/Map/MapConcat/OMapConcat/MapIndex chains fuse into lazy stream
+   transformers that never materialize intermediate tables, and tuples
+   flow only as the consumer pulls.  Materialization happens only at the
+   genuinely blocking points — OrderBy, GroupBy, join and Product build
+   sides, and the item-producing sinks (MapToItem, serialization).
+   Existential consumers (MapSome/MapEvery, fn:exists/fn:empty, positional
+   [1]-style Selects, fn:subsequence) stop pulling after the prefix they
+   need, turning O(document) scans into O(answer).
+
+   Laziness is confined to within one strict consumer call: every scope
+   boundary (function bodies, quantifier tests, globals, all Xml-producing
+   operators) forces its value strictly, so a deferred cursor can never
+   observe a dynamic context whose bindings have since been restored, and
+   every cursor is consumed at most once.
+
    Evaluation convention for the dependent-input plumbing: every compiled
    plan receives the current dependent input [inp]; operators pass it
    through unchanged to their *independent* children and rebind it for
@@ -26,7 +42,7 @@ let compile_error fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
 
 type tuple = Item.sequence array
 
-type dval = Xml of Item.sequence | Tab of tuple list
+type dval = Xml of Item.sequence | Tab of tuple Seq.t
 
 type inp = ITuple of tuple | IItems of Item.sequence | INone
 
@@ -39,6 +55,11 @@ let as_items = function
 let as_table = function
   | Tab t -> t
   | Xml _ -> dynamic_error "expected a table, found an XML value"
+
+(* Blocking consumers (sorts, group-bys, join build sides) drain the
+   cursor to a list in one pull run. *)
+let table_list v = List.of_seq (as_table v)
+let tab_list l = Tab (List.to_seq l)
 
 let ebv (v : dval) : bool = Item.effective_boolean_value (as_items v)
 
@@ -114,6 +135,11 @@ let test_matches schema (axis : Ast.axis) (test : Ast.node_test) (n : Node.t) :
       in
       kind_ok && (String.equal name "*" || Node.name n = Some name)
 
+(* Matches are accumulated in traversal order: child/descendant axis
+   output over already-sorted input is itself in document order, so the
+   closing [sort_doc_order] hits its O(n) already-sorted fast path on the
+   common case and only pays for a sort when an axis actually disturbs
+   the order (parent, ancestor, multiple nested sources). *)
 let tree_join schema axis test (input : Item.sequence) : Item.sequence =
   let out = ref [] in
   List.iter
@@ -125,7 +151,7 @@ let tree_join schema axis test (input : Item.sequence) : Item.sequence =
             (apply_axis axis n)
       | Item.Atom _ -> dynamic_error "path step applied to an atomic value")
     input;
-  List.map (fun n -> Item.Node n) (Node.sort_doc_order !out)
+  List.map (fun n -> Item.Node n) (Node.sort_doc_order (List.rev !out))
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -181,12 +207,39 @@ type cenv = { layout : layout }
    while the flag is set. *)
 let dynamic_field_lookup = ref false
 
+(* Debug knob: when set, every compiled operator drains its cursor eagerly
+   at call time and the cursor-based early-termination special cases are
+   disabled, restoring the fully materialized evaluation the streaming
+   pipeline replaced.  Used by the equivalence tests (streamed and
+   materialized runs must agree) and by the bench early-exit baseline.
+   Affects plans compiled while the flag is set. *)
+let force_materialize = ref false
+
+let materialize_comp (c : comp) : comp =
+ fun ctx inp ->
+  match c ctx inp with
+  | Xml _ as v -> v
+  | Tab s -> tab_list (List.of_seq s)
+
+(* How each operator moves tuples, for the EXPLAIN ANALYZE annotation. *)
+let stream_kind_of (p : plan) : Obs.stream_kind =
+  match p with
+  | Select _ | Map _ | OMap _ | MapConcat _ | OMapConcat _ | MapIndex _
+  | MapIndexStep _ | MapFromItem _ | TupleConstruct _ | MapSome _ | MapEvery _ ->
+      Obs.Streamed
+  | OrderBy _ | GroupBy _ | Join _ | LOuterJoin _ | Product _ | MapToItem _ ->
+      Obs.Blocking
+  | _ -> Obs.Opaque
+
 (* Instrumentation (EXPLAIN ANALYZE).  While [current_builder] is set,
    every [compile] call mirrors the plan node into an [Obs.op_node] and
    wraps the compiled closure to record invocation count, cumulative
-   (inclusive) time and output cardinality.  With the builder unset —
-   the default — [compile] returns the raw closure: the uninstrumented
-   hot path is byte-for-byte the same code as before. *)
+   (inclusive) time and output cardinality.  Tabular results are lazy, so
+   their cardinality is counted per pull (a never-pulled tuple is never
+   counted — this is exactly the quantity early termination bounds), with
+   each pull timed into the operator's inclusive time.  With the builder
+   unset — the default — [compile] returns the raw closure: the
+   uninstrumented hot path is byte-for-byte the same code as before. *)
 let current_builder : Obs.builder option ref = ref None
 
 let instrument (st : Obs.op_stats) (c : comp) : comp =
@@ -195,36 +248,165 @@ let instrument (st : Obs.op_stats) (c : comp) : comp =
   let v = c ctx inp in
   st.Obs.op_secs <- st.Obs.op_secs +. (Obs.now () -. t0);
   st.Obs.op_calls <- st.Obs.op_calls + 1;
-  (match v with
-  | Xml s -> st.Obs.op_items <- st.Obs.op_items + List.length s
-  | Tab t -> st.Obs.op_tuples <- st.Obs.op_tuples + List.length t);
-  v
+  match v with
+  | Xml s ->
+      st.Obs.op_items <- st.Obs.op_items + List.length s;
+      v
+  | Tab t -> Tab (Obs.tuple_counted_seq st t)
+
+(* ------------------------------------------------------------------ *)
+(* Item-level cursors                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Lazy axis application: descendant axes walk the subtree on demand so
+   an existential consumer visits only the prefix it needs. *)
+let axis_seq (axis : Ast.axis) (n : Node.t) : Node.t Seq.t =
+  match axis with
+  | Ast.Descendant -> Node.descendants_seq n
+  | Ast.Descendant_or_self -> Node.descendant_or_self_seq n
+  | a -> List.to_seq (apply_axis a n)
+
+(* descendant-or-self::node()/child::t ≡ descendant::t — the expansion of
+   the // abbreviation.  Fusing the pair leaves a chain the ordered
+   cursor can stream (a descendant step is legal in final position, the
+   expanded form is not) and skips a full node()-walk either way. *)
+let rec fuse_steps (steps : (Ast.axis * Ast.node_test) list) =
+  match steps with
+  | (Ast.Descendant_or_self, Ast.Kind_test Seqtype.It_node) :: (Ast.Child, t) :: rest ->
+      fuse_steps ((Ast.Descendant, t) :: rest)
+  | s :: rest -> s :: fuse_steps rest
+  | [] -> []
+
+(* Decompose a chain of TreeJoin steps down to its source plan; steps are
+   returned in application order (innermost first). *)
+let cursor_steps (p : plan) : (Ast.axis * Ast.node_test) list * plan =
+  let rec go p =
+    match p with
+    | TreeJoin (axis, test, input) ->
+        let steps, src = go input in
+        (steps @ [ (axis, test) ], src)
+    | _ -> ([], p)
+  in
+  let steps, src = go p in
+  (fuse_steps steps, src)
+
+(* A step chain is order-preserving when fed sorted, duplicate-free,
+   mutually non-nesting nodes: child/attribute/self steps maintain that
+   invariant (subtree spans of such nodes are disjoint and ordered, and
+   siblings never nest), and a descendant step — whose output may nest —
+   is only allowed as the last step, where sortedness and uniqueness
+   still follow from the disjoint spans.  A single source node satisfies
+   the invariant trivially; the ordered cursor checks that at runtime. *)
+let ordered_chain (steps : (Ast.axis * Ast.node_test) list) : bool =
+  let rec go = function
+    | [] -> true
+    | [ (axis, _) ] -> (
+        match axis with
+        | Ast.Child | Ast.Attribute_axis | Ast.Self | Ast.Descendant
+        | Ast.Descendant_or_self ->
+            true
+        | _ -> false)
+    | (axis, _) :: rest -> (
+        match axis with
+        | Ast.Child | Ast.Attribute_axis | Ast.Self -> go rest
+        | _ -> false)
+  in
+  go steps
+
+(* Compile the step chain of an item cursor.  Each step registers its own
+   op_node (streamed) so pull counts surface in EXPLAIN ANALYZE and in the
+   collector's pulled totals. *)
+let compile_cursor_steps (steps : (Ast.axis * Ast.node_test) list) :
+    Dynamic_ctx.t -> Item.t Seq.t -> Item.t Seq.t =
+  let comps =
+    List.map
+      (fun (axis, test) ->
+        let stats =
+          match !current_builder with
+          | Some b ->
+              let n =
+                Obs.push_node b ~stream:Obs.Streamed
+                  (Pretty.node_label (TreeJoin (axis, test, Empty)))
+              in
+              Obs.pop_node b;
+              Some n.Obs.on_stats
+          | None -> None
+        in
+        (axis, test, stats))
+      steps
+  in
+  fun ctx s0 ->
+    List.fold_left
+      (fun s (axis, test, stats) ->
+        let s' =
+          Seq.concat_map
+            (fun it ->
+              match it with
+              | Item.Node n ->
+                  Seq.filter_map
+                    (fun m ->
+                      if test_matches ctx.schema axis test m then Some (Item.Node m)
+                      else None)
+                    (axis_seq axis n)
+              | Item.Atom _ -> dynamic_error "path step applied to an atomic value")
+            s
+        in
+        match stats with Some st -> Obs.item_counted_seq st s' | None -> s')
+      s0 comps
+
+(* Positional early termination: a Select over a MapIndex whose predicate
+   compares the freshly minted index field against an integer literal can
+   stop pulling once the position exceeds the bound — [1]-style
+   predicates and normalized fn:subsequence windows. *)
+let positional_bound (pred : plan) (input : plan) : int option =
+  match input with
+  | MapIndex (q, _) | MapIndexStep (q, _) -> (
+      match pred with
+      | Call (op, [ FieldAccess q'; Scalar (Atomic.Integer k) ])
+        when String.equal q q' -> (
+          match op with
+          | "op:eq" | "op:le" -> Some k
+          | "op:lt" -> Some (k - 1)
+          | _ -> None)
+      | Call (op, [ Scalar (Atomic.Integer k); FieldAccess q' ])
+        when String.equal q q' -> (
+          match op with
+          | "op:eq" | "op:ge" -> Some k
+          | "op:gt" -> Some (k - 1)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
 
 let rec compile (env : cenv) (p : plan) : comp * layout =
-  match !current_builder with
-  | None -> compile_node env p
-  | Some b ->
-      let join =
-        match p with Join _ | LOuterJoin _ -> Some (Obs.join_stats ()) | _ -> None
-      in
-      let node = Obs.push_node b ?join (Pretty.node_label p) in
-      let c, layout =
-        match compile_node env p with
-        | r ->
-            Obs.pop_node b;
-            r
-        | exception e ->
-            Obs.pop_node b;
-            raise e
-      in
-      (instrument node.Obs.on_stats c, layout)
+  let c, layout =
+    match !current_builder with
+    | None -> compile_node env p
+    | Some b ->
+        let join =
+          match p with Join _ | LOuterJoin _ -> Some (Obs.join_stats ()) | _ -> None
+        in
+        let node =
+          Obs.push_node b ?join ~stream:(stream_kind_of p) (Pretty.node_label p)
+        in
+        let c, layout =
+          match compile_node env p with
+          | r ->
+              Obs.pop_node b;
+              r
+          | exception e ->
+              Obs.pop_node b;
+              raise e
+        in
+        (instrument node.Obs.on_stats c, layout)
+  in
+  if !force_materialize then (materialize_comp c, layout) else (c, layout)
 
 and compile_node (env : cenv) (p : plan) : comp * layout =
   match p with
   | Input ->
       ( (fun _ctx inp ->
           match inp with
-          | ITuple t -> Tab [ t ]
+          | ITuple t -> Tab (Seq.return t)
           | IItems s -> Xml s
           | INone -> dynamic_error "IN used outside a dependent context"),
         env.layout )
@@ -308,21 +490,50 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
       let ct, lt = compile env t in
       let ce, _ = compile env e in
       ((fun ctx inp -> if ebv (cc ctx inp) then ct ctx inp else ce ctx inp), lt)
-  | Quantified (q, v, source, body) ->
-      let cs, _ = compile env source in
-      let cb, _ = compile env body in
-      ( (fun ctx inp ->
-          let test it =
-            with_params ctx ((v, [ it ]) :: ctx.params) (fun () -> ebv (cb ctx inp))
-          in
-          let items = as_items (cs ctx inp) in
-          let result =
-            match q with
-            | Ast.Some_quant -> List.exists test items
-            | Ast.Every_quant -> List.for_all test items
-          in
-          Xml [ Item.Atom (Atomic.Boolean result) ]),
-        [] )
+  | Quantified (q, v, source, body) -> (
+      (* existence doesn't care about order or duplicates, so any
+         TreeJoin-chain source streams lazily and the quantifier stops
+         at the first witness / counterexample *)
+      let cursor =
+        if !force_materialize then None
+        else
+          match cursor_steps source with
+          | [], _ -> None
+          | steps, src ->
+              let pipe = compile_cursor_steps steps in
+              let csrc, _ = compile env src in
+              Some (fun ctx inp -> pipe ctx (List.to_seq (as_items (csrc ctx inp))))
+      in
+      match cursor with
+      | Some cur ->
+          let cb, _ = compile env body in
+          ( (fun ctx inp ->
+              let test it =
+                with_params ctx ((v, [ it ]) :: ctx.params) (fun () -> ebv (cb ctx inp))
+              in
+              let items = cur ctx inp in
+              let result =
+                match q with
+                | Ast.Some_quant -> Seq.exists test items
+                | Ast.Every_quant -> Seq.for_all test items
+              in
+              Xml [ Item.Atom (Atomic.Boolean result) ]),
+            [] )
+      | None ->
+          let cs, _ = compile env source in
+          let cb, _ = compile env body in
+          ( (fun ctx inp ->
+              let test it =
+                with_params ctx ((v, [ it ]) :: ctx.params) (fun () -> ebv (cb ctx inp))
+              in
+              let items = as_items (cs ctx inp) in
+              let result =
+                match q with
+                | Ast.Some_quant -> List.exists test items
+                | Ast.Every_quant -> List.for_all test items
+              in
+              Xml [ Item.Atom (Atomic.Boolean result) ]),
+            [] ))
   | Parse uri_plan ->
       let cu, _ = compile env uri_plan in
       ( (fun ctx inp ->
@@ -343,7 +554,7 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
       ( (fun ctx inp ->
           let t = Array.make n [] in
           Array.iteri (fun i c -> t.(i) <- as_items (c ctx inp)) comps;
-          Tab [ t ]),
+          Tab (Seq.return t)),
         List.map fst compiled )
   | FieldAccess q -> (
       match field_index env.layout q with
@@ -365,22 +576,39 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
                 | IItems _ | INone -> dynamic_error "IN#%s outside a tuple context" q),
               [] )
       | None -> compile_error "unknown tuple field #%s (layout: %s)" q (String.concat "," env.layout))
-  | Select (pred, input) ->
+  | Select (pred, input) -> (
       let ci, li = compile env input in
       let cp, _ = compile { layout = li } pred in
-      ( (fun ctx inp ->
-          let tuples = as_table (ci ctx inp) in
-          Tab (List.filter (fun t -> ebv (cp ctx (ITuple t))) tuples)),
-        li )
+      match positional_bound pred input with
+      | Some bound ->
+          (* the index field always sits in slot 0 of a MapIndex output *)
+          let below (t : tuple) =
+            match t.(0) with
+            | [ Item.Atom (Atomic.Integer i) ] -> i <= bound
+            | _ -> true
+          in
+          ( (fun ctx inp ->
+              Tab
+                (Seq.filter
+                   (fun t -> ebv (cp ctx (ITuple t)))
+                   (Seq.take_while below (as_table (ci ctx inp))))),
+            li )
+      | None ->
+          ( (fun ctx inp ->
+              Tab (Seq.filter (fun t -> ebv (cp ctx (ITuple t))) (as_table (ci ctx inp)))),
+            li ))
   | Product (a, b) ->
       let ca, la = compile env a and cb, lb = compile env b in
       let _, width, moves = concat_spec la lb in
       let n1 = List.length la in
       ( (fun ctx inp ->
-          let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
+          let left = as_table (ca ctx inp) in
+          (* build side: materialized once, eagerly, at operator call *)
+          let right = table_list (cb ctx inp) in
           Tab
-            (List.concat_map
-               (fun l -> List.map (fun r -> apply_concat n1 width moves l r) right)
+            (Seq.concat_map
+               (fun l ->
+                 List.to_seq (List.map (fun r -> apply_concat n1 width moves l r) right))
                left)),
         (let out, _, _ = concat_spec la lb in
          out) )
@@ -390,27 +618,32 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
       let ci, li = compile env input in
       let cd, ld = compile { layout = li } dep in
       ( (fun ctx inp ->
-          let tuples = as_table (ci ctx inp) in
-          Tab (List.concat_map (fun t -> as_table (cd ctx (ITuple t))) tuples)),
+          Tab
+            (Seq.concat_map
+               (fun t -> as_table (cd ctx (ITuple t)))
+               (as_table (ci ctx inp)))),
         ld )
   | OMap (q, input) ->
       let ci, li = compile env input in
       let width = 1 + List.length li in
+      let mark t =
+        let out = Array.make width [] in
+        out.(0) <- false_flag;
+        Array.blit t 0 out 1 (Array.length t);
+        out
+      in
       ( (fun ctx inp ->
-          match as_table (ci ctx inp) with
-          | [] ->
-              let t = Array.make width [] in
-              t.(0) <- true_flag;
-              Tab [ t ]
-          | tuples ->
-              Tab
-                (List.map
-                   (fun t ->
-                     let out = Array.make width [] in
-                     out.(0) <- false_flag;
-                     Array.blit t 0 out 1 (Array.length t);
-                     out)
-                   tuples)),
+          let s = as_table (ci ctx inp) in
+          (* peeks one tuple to decide between the null row and the
+             marked stream; the forced cell is reused, not re-pulled *)
+          Tab
+            (fun () ->
+              match s () with
+              | Seq.Nil ->
+                  let t = Array.make width [] in
+                  t.(0) <- true_flag;
+                  Seq.Cons (t, Seq.empty)
+              | Seq.Cons (t, rest) -> Seq.Cons (mark t, Seq.map mark rest))),
         q :: li )
   | MapConcat (dep, input) ->
       let ci, li = compile env input in
@@ -418,14 +651,13 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
       let out, width, moves = concat_spec li ld in
       let n1 = List.length li in
       ( (fun ctx inp ->
-          let tuples = as_table (ci ctx inp) in
           Tab
-            (List.concat_map
+            (Seq.concat_map
                (fun t ->
-                 List.map
+                 Seq.map
                    (fun d -> apply_concat n1 width moves t d)
                    (as_table (cd ctx (ITuple t))))
-               tuples)),
+               (as_table (ci ctx inp)))),
         out )
   | OMapConcat (q, dep, input) ->
       let ci, li = compile env input in
@@ -434,40 +666,39 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
       let out = q :: merged in
       let width = 1 + mwidth in
       let n1 = List.length li in
+      let unmatched t =
+        let o = Array.make width [] in
+        o.(0) <- true_flag;
+        Array.blit t 0 o 1 n1;
+        o
+      in
+      let matched t d =
+        let m = apply_concat n1 mwidth moves t d in
+        let o = Array.make width [] in
+        o.(0) <- false_flag;
+        Array.blit m 0 o 1 mwidth;
+        o
+      in
       ( (fun ctx inp ->
-          let tuples = as_table (ci ctx inp) in
           Tab
-            (List.concat_map
-               (fun t ->
-                 match as_table (cd ctx (ITuple t)) with
-                 | [] ->
-                     let o = Array.make width [] in
-                     o.(0) <- true_flag;
-                     Array.blit t 0 o 1 n1;
-                     [ o ]
-                 | deps ->
-                     List.map
-                       (fun d ->
-                         let m = apply_concat n1 mwidth moves t d in
-                         let o = Array.make width [] in
-                         o.(0) <- false_flag;
-                         Array.blit m 0 o 1 mwidth;
-                         o)
-                       deps)
-               tuples)),
+            (Seq.concat_map
+               (fun t () ->
+                 match as_table (cd ctx (ITuple t)) () with
+                 | Seq.Nil -> Seq.Cons (unmatched t, Seq.empty)
+                 | Seq.Cons (d, rest) -> Seq.Cons (matched t d, Seq.map (matched t) rest))
+               (as_table (ci ctx inp)))),
         out )
   | MapIndex (q, input) | MapIndexStep (q, input) ->
       let ci, li = compile env input in
       ( (fun ctx inp ->
-          let tuples = as_table (ci ctx inp) in
           Tab
-            (List.mapi
+            (Seq.mapi
                (fun i t ->
                  let out = Array.make (1 + Array.length t) [] in
                  out.(0) <- [ Item.Atom (Atomic.Integer (i + 1)) ];
                  Array.blit t 0 out 1 (Array.length t);
                  out)
-               tuples)),
+               (as_table (ci ctx inp)))),
         q :: li )
   | OrderBy (specs, input) ->
       let ci, li = compile env input in
@@ -475,55 +706,170 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
         List.map (fun s -> (fst (compile { layout = li } s.skey), s.sdir, s.sempty)) specs
       in
       ( (fun ctx inp ->
-          let tuples = as_table (ci ctx inp) in
-          Tab (order_by ctx cspecs tuples)),
+          let tuples = table_list (ci ctx inp) in
+          tab_list (order_by ctx cspecs tuples)),
         li )
   | GroupBy (g, input) -> compile_groupby env g input
-  | MapFromItem (dep, input) ->
-      let ci, _ = compile env input in
-      let cd, ld = compile { layout = [] } dep in
-      ( (fun ctx inp ->
-          let items = as_items (ci ctx inp) in
-          Tab (List.concat_map (fun it -> as_table (cd ctx (IItems [ it ]))) items)),
-        ld )
+  | MapFromItem (dep, input) -> (
+      (* when the input is an order-preserving TreeJoin chain, feed the
+         tuple pipeline from the lazy item cursor so the path pulls node
+         by node instead of materializing the whole step output first *)
+      let cursor =
+        if !force_materialize then None
+        else
+          match cursor_steps input with
+          | steps, src when steps <> [] && ordered_chain steps ->
+              let csrc, _ = compile env src in
+              let pipe = compile_cursor_steps steps in
+              Some
+                (fun ctx inp ->
+                  match as_items (csrc ctx inp) with
+                  | ([] | [ Item.Node _ ]) as items ->
+                      Some (pipe ctx (List.to_seq items))
+                  | _ -> None)
+          | _ -> None
+      in
+      match cursor with
+      | Some cur ->
+          let cd, ld = compile { layout = [] } dep in
+          let strict = lazy (fst (compile env input)) in
+          ( (fun ctx inp ->
+              let items =
+                match cur ctx inp with
+                | Some s -> s
+                | None ->
+                    (* source wasn't a single node: the chain may reorder
+                       or duplicate, fall back to the strict evaluation *)
+                    List.to_seq (as_items ((Lazy.force strict) ctx inp))
+              in
+              Tab (Seq.concat_map (fun it -> as_table (cd ctx (IItems [ it ]))) items)),
+            ld )
+      | None ->
+          let ci, _ = compile env input in
+          let cd, ld = compile { layout = [] } dep in
+          ( (fun ctx inp ->
+              let items = as_items (ci ctx inp) in
+              Tab
+                (Seq.concat_map
+                   (fun it -> as_table (cd ctx (IItems [ it ])))
+                   (List.to_seq items))),
+            ld ))
   | MapToItem (dep, input) ->
       let ci, li = compile env input in
       let cd, _ = compile { layout = li } dep in
       ( (fun ctx inp ->
-          let tuples = as_table (ci ctx inp) in
-          Xml (List.concat_map (fun t -> as_items (cd ctx (ITuple t))) tuples)),
+          let s = as_table (ci ctx inp) in
+          Xml
+            (List.concat
+               (List.rev
+                  (Seq.fold_left (fun acc t -> as_items (cd ctx (ITuple t)) :: acc) [] s)))),
         [] )
   | MapSome (dep, input) ->
       let ci, li = compile env input in
       let cd, _ = compile { layout = li } dep in
       ( (fun ctx inp ->
-          let tuples = as_table (ci ctx inp) in
-          Xml [ Item.Atom (Atomic.Boolean (List.exists (fun t -> ebv (cd ctx (ITuple t))) tuples)) ]),
+          Xml
+            [
+              Item.Atom
+                (Atomic.Boolean
+                   (Seq.exists (fun t -> ebv (cd ctx (ITuple t))) (as_table (ci ctx inp))));
+            ]),
         [] )
   | MapEvery (dep, input) ->
       let ci, li = compile env input in
       let cd, _ = compile { layout = li } dep in
       ( (fun ctx inp ->
-          let tuples = as_table (ci ctx inp) in
-          Xml [ Item.Atom (Atomic.Boolean (List.for_all (fun t -> ebv (cd ctx (ITuple t))) tuples)) ]),
+          Xml
+            [
+              Item.Atom
+                (Atomic.Boolean
+                   (Seq.for_all (fun t -> ebv (cd ctx (ITuple t))) (as_table (ci ctx inp))));
+            ]),
         [] )
 
 and compile_call env name args =
+  match special_call env name args with
+  | Some c -> (c, [])
+  | None -> (generic_call env name args, [])
+
+and generic_call env name args : comp =
   let cargs = List.map (fun a -> fst (compile env a)) args in
   let builtin = Builtins.find name in
-  ( (fun ctx inp ->
-      let vals = List.map (fun c -> as_items (c ctx inp)) cargs in
-      match Hashtbl.find_opt ctx.functions name with
-      | Some f ->
-          if List.length f.func_params <> List.length vals then
-            dynamic_error "%s called with %d arguments, expected %d" name
-              (List.length vals) (List.length f.func_params);
-          Xml (f.func_impl ctx vals)
-      | None -> (
-          match builtin with
-          | Some f -> Xml (f ctx vals)
-          | None -> dynamic_error "unknown function %s" name)),
-    [] )
+  fun ctx inp ->
+    let vals = List.map (fun c -> as_items (c ctx inp)) cargs in
+    match Hashtbl.find_opt ctx.functions name with
+    | Some f ->
+        if List.length f.func_params <> List.length vals then
+          dynamic_error "%s called with %d arguments, expected %d" name
+            (List.length vals) (List.length f.func_params);
+        Xml (f.func_impl ctx vals)
+    | None -> (
+        match builtin with
+        | Some f -> Xml (f ctx vals)
+        | None -> dynamic_error "unknown function %s" name)
+
+(* Early-terminating special cases for the existential builtins whose
+   argument is a TreeJoin chain.  User declarations shadow builtins at
+   run time, so the closures re-check the function table on every call
+   and defer to a lazily compiled generic path when shadowed (compiled at
+   most once, outside any instrumentation). *)
+and special_call env name args : comp option =
+  if !force_materialize then None
+  else
+    match (name, args) with
+    | ("fn:exists" | "fn:empty"), [ arg ] -> (
+        match cursor_steps arg with
+        | [], _ -> None
+        | steps, src ->
+            (* emptiness is insensitive to order and duplicates, so any
+               axis chain streams; the first pull decides the answer *)
+            let csrc, _ = compile env src in
+            let pipe = compile_cursor_steps steps in
+            let wants_exists = String.equal name "fn:exists" in
+            let fallback = lazy (generic_call env name args) in
+            Some
+              (fun ctx inp ->
+                if Hashtbl.mem ctx.functions name then (Lazy.force fallback) ctx inp
+                else
+                  let nonempty =
+                    not (Seq.is_empty (pipe ctx (List.to_seq (as_items (csrc ctx inp)))))
+                  in
+                  Xml
+                    [
+                      Item.Atom
+                        (Atomic.Boolean (if wants_exists then nonempty else not nonempty));
+                    ]))
+    | "fn:subsequence", [ arg; start; len ] -> (
+        match cursor_steps arg with
+        | steps, src when steps <> [] && ordered_chain steps ->
+            let csrc, _ = compile env src in
+            let pipe = compile_cursor_steps steps in
+            let cstart, _ = compile env start in
+            let clen, _ = compile env len in
+            let fallback = lazy (generic_call env name args) in
+            let to_int c ctx inp =
+              match Item.atomize (as_items (c ctx inp)) with
+              | [ a ] -> int_of_float (Option.value ~default:0.0 (Atomic.to_float a))
+              | _ -> dynamic_error "fn:subsequence: argument is not a single atomic value"
+            in
+            Some
+              (fun ctx inp ->
+                if Hashtbl.mem ctx.functions name then (Lazy.force fallback) ctx inp
+                else
+                  let st = to_int cstart ctx inp and n = to_int clen ctx inp in
+                  match as_items (csrc ctx inp) with
+                  | ([] | [ Item.Node _ ]) as items ->
+                      (* pull only the first st+n-1 items of the path *)
+                      let s = pipe ctx (List.to_seq items) in
+                      let keep =
+                        Seq.filter_map
+                          (fun (i, it) -> if i + 1 >= st then Some it else None)
+                          (Seq.mapi (fun i it -> (i, it)) (Seq.take (max 0 (st + n - 1)) s))
+                      in
+                      Xml (List.of_seq keep)
+                  | _ -> (Lazy.force fallback) ctx inp)
+        | _ -> None)
+    | _ -> None
 
 and order_by ctx cspecs tuples =
   (* evaluate all keys once, then stable-sort *)
@@ -592,7 +938,7 @@ and compile_groupby env g input =
   let width = List.length li + 1 in
   let out_layout = li @ [ g.g_agg ] in
   ( (fun ctx inp ->
-      let tuples = as_table (ci ctx inp) in
+      let tuples = table_list (ci ctx inp) in
       let is_null t =
         List.exists (fun i -> Item.effective_boolean_value t.(i)) null_slots
       in
@@ -608,9 +954,9 @@ and compile_groupby env g input =
           (* no grouping criteria: the whole input is one partition — this
              is what makes the (insert group-by) rewriting an identity *)
           match tuples with
-          | [] -> Tab []
+          | [] -> Tab Seq.empty
           | first :: _ ->
-              Tab [ emit first (List.concat_map pre_of tuples) ])
+              Tab (Seq.return (emit first (List.concat_map pre_of tuples))))
       | slots ->
           let key_of t =
             String.concat "\x00"
@@ -631,7 +977,7 @@ and compile_groupby env g input =
                   Hashtbl.add partitions k (t, ref [ pre_of t ]);
                   order := k :: !order)
             tuples;
-          Tab
+          tab_list
             (List.rev_map
                (fun k ->
                  let first, items = Hashtbl.find partitions k in
@@ -673,13 +1019,16 @@ and compile_join env ~outer alg null_field pred a b =
     Array.blit l 0 o 1 n1;
     o
   in
+  (* The probe (left) side streams: each outer tuple is matched as the
+     consumer pulls.  The build (right) side is the blocking point and is
+     materialized eagerly at operator call, before any pull. *)
   let run_with_matches left matches_of =
     Tab
-      (List.concat_map
+      (Seq.concat_map
          (fun l ->
            match matches_of l with
-           | [] -> if outer then [ emit_unmatched l ] else []
-           | ms -> List.map (emit_match l) ms)
+           | [] -> if outer then Seq.return (emit_unmatched l) else Seq.empty
+           | ms -> List.to_seq (List.map (emit_match l) ms))
          left)
   in
   match (alg, pred) with
@@ -687,7 +1036,8 @@ and compile_join env ~outer alg null_field pred a b =
       (* arbitrary predicates always run as an order-preserving NL join *)
       let cp, _ = compile { layout = merged } p in
       ( (fun ctx inp ->
-          let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
+          let left = as_table (ca ctx inp) in
+          let right = table_list (cb ctx inp) in
           run_with_matches left (fun l ->
               note_probe
                 (List.filter_map
@@ -700,7 +1050,8 @@ and compile_join env ~outer alg null_field pred a b =
       let cl, _ = compile { layout = la } left_key in
       let cr, _ = compile { layout = lb } right_key in
       ( (fun ctx inp ->
-          let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
+          let left = as_table (ca ctx inp) in
+          let right = table_list (cb ctx inp) in
           run_with_matches left (fun l ->
               let lk = as_items (cl ctx (ITuple l)) in
               note_probe
@@ -712,7 +1063,8 @@ and compile_join env ~outer alg null_field pred a b =
       let cl, _ = compile { layout = la } left_key in
       let cr, _ = compile { layout = lb } right_key in
       ( (fun ctx inp ->
-          let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
+          let left = as_table (ca ctx inp) in
+          let right = table_list (cb ctx inp) in
           let index =
             Joins.build_hash_index ?stats:jstats right
               (fun r -> as_items (cr ctx (ITuple r)))
@@ -725,7 +1077,8 @@ and compile_join env ~outer alg null_field pred a b =
       let cl, _ = compile { layout = la } left_key in
       let cr, _ = compile { layout = lb } right_key in
       ( (fun ctx inp ->
-          let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
+          let left = as_table (ca ctx inp) in
+          let right = table_list (cb ctx inp) in
           let index =
             Joins.build_sort_index ?stats:jstats right
               (fun r -> as_items (cr ctx (ITuple r)))
@@ -739,7 +1092,8 @@ and compile_join env ~outer alg null_field pred a b =
       let cl, _ = compile { layout = la } left_key in
       let cr, _ = compile { layout = lb } right_key in
       ( (fun ctx inp ->
-          let left = as_table (ca ctx inp) and right = as_table (cb ctx inp) in
+          let left = as_table (ca ctx inp) in
+          let right = table_list (cb ctx inp) in
           run_with_matches left (fun l ->
               let lk = as_items (cl ctx (ITuple l)) in
               note_probe

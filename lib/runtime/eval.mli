@@ -22,14 +22,21 @@ val compile_error : ('a, unit, string, 'b) format4 -> 'a
 
 type tuple = Item.sequence array
 
-type dval = Xml of Item.sequence | Tab of tuple list
+type dval = Xml of Item.sequence | Tab of tuple Seq.t
 
 type inp = ITuple of tuple | IItems of Item.sequence | INone
 
 type comp = Dynamic_ctx.t -> inp -> dval
 
 val as_items : dval -> Item.sequence
-val as_table : dval -> tuple list
+
+val as_table : dval -> tuple Seq.t
+(** The tabular arm is a pull-based cursor: tuples flow only as the
+    consumer pulls, and each cursor must be consumed at most once. *)
+
+val table_list : dval -> tuple list
+(** [as_table] drained to a list (what blocking consumers do). *)
+
 val ebv : dval -> bool
 
 (** {1 Layouts} *)
@@ -61,6 +68,13 @@ val dynamic_field_lookup : bool ref
 (** Ablation knob: when set during compilation, IN#q accesses scan the
     layout by name at every evaluation instead of using the resolved slot
     (simulating the pre-paper dynamic-context lookups). *)
+
+val force_materialize : bool ref
+(** Debug knob: when set during compilation, every operator drains its
+    cursor eagerly at call time and the cursor-based early-termination
+    special cases are disabled — restoring fully materialized evaluation.
+    Used to cross-check streamed against materialized results and as the
+    bench early-exit baseline. *)
 
 val compile : cenv -> Algebra.plan -> comp * layout
 (** Compile a plan under the layout IN will have when it is a tuple;

@@ -169,11 +169,19 @@ let renumber (root : t) : unit =
 
 let doc_order_compare a b = compare a.nid b.nid
 
+(* One O(n) strictly-ascending check: child/descendant axis output is
+   almost always already in document order and duplicate-free, in which
+   case sorting is the identity and we can skip the comparator closure
+   and the sort allocation entirely. *)
+let rec is_doc_sorted_uniq = function
+  | a :: (b :: _ as rest) -> a.nid < b.nid && is_doc_sorted_uniq rest
+  | [] | [ _ ] -> true
+
 (* Sort a node list into document order and remove duplicate nodes
    (by identity).  This is the closure every axis step must maintain. *)
 let sort_doc_order nodes =
-  let sorted = List.sort_uniq (fun a b -> compare a.nid b.nid) nodes in
-  sorted
+  if is_doc_sorted_uniq nodes then nodes
+  else List.sort_uniq (fun a b -> compare a.nid b.nid) nodes
 
 let is_ancestor_of ~anc n =
   let rec up = function
@@ -200,6 +208,14 @@ let descendants n =
   List.rev !acc
 
 let descendant_or_self n = n :: descendants n
+
+(* Lazy preorder walk of the descendants (self excluded): the streaming
+   evaluator's existential consumers (fn:exists over a //-path) pull only
+   the prefix they need instead of materializing the whole subtree. *)
+let rec descendants_seq n : t Seq.t =
+  Seq.concat_map (fun c -> fun () -> Seq.Cons (c, descendants_seq c)) (List.to_seq (children n))
+
+let descendant_or_self_seq n : t Seq.t = fun () -> Seq.Cons (n, descendants_seq n)
 
 let ancestors n =
   let rec up acc = function None -> List.rev acc | Some p -> up (p :: acc) p.parent in

@@ -71,14 +71,24 @@ val typed_value : t -> Atomic.t
 
 val doc_order_compare : t -> t -> int
 
+val is_doc_sorted_uniq : t list -> bool
+(** One O(n) pass: strictly ascending node ids (sorted, duplicate-free). *)
+
 val sort_doc_order : t list -> t list
 (** Sort into document order and drop duplicates — the closure every axis
-    step maintains. *)
+    step maintains.  Already-sorted input (the common case for child and
+    descendant steps) is returned as-is without sorting. *)
 
 val is_ancestor_of : anc:t -> t -> bool
 val root : t -> t
 val descendants : t -> t list
 val descendant_or_self : t -> t list
+
+val descendants_seq : t -> t Seq.t
+(** Lazy preorder walk of the descendants (self excluded): streaming
+    consumers pull only the prefix they need. *)
+
+val descendant_or_self_seq : t -> t Seq.t
 val ancestors : t -> t list
 val following_siblings : t -> t list
 val preceding_siblings : t -> t list

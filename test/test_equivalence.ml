@@ -96,9 +96,11 @@ let arb =
     ~print:(fun (qi, _) -> queries.(qi))
     QCheck.Gen.(pair (int_bound (Array.length queries - 1)) doc_gen)
 
-let run_one strategy doc q =
+let run_one ?(materialize = false) strategy doc q =
   match
-    Xqc.eval_string ~strategy ~variables:[ ("d", [ Xqc.Item.Node doc ]) ] q
+    Xqc.eval_string ~strategy ~materialize
+      ~variables:[ ("d", [ Xqc.Item.Node doc ]) ]
+      q
   with
   | items -> "OK:" ^ Xqc.serialize items
   | exception Xqc.Error _ -> "ERROR"
@@ -110,6 +112,74 @@ let prop_all_strategies_agree =
       let results = List.map (fun s -> run_one s doc q) strategies in
       List.for_all (String.equal (List.hd results)) results)
 
+(* The streaming pipeline against its own materialized execution (the
+   [~materialize] debug knob drains every cursor eagerly and disables
+   the early-termination special cases): cursors must be a pure
+   evaluation-order change, never a result change. *)
+let prop_streaming_is_transparent =
+  QCheck.Test.make ~name:"streamed and materialized evaluation agree"
+    ~count:250 arb (fun (qi, doc) ->
+      let q = queries.(qi) in
+      List.for_all
+        (fun s ->
+          String.equal (run_one s doc q) (run_one ~materialize:true s doc q))
+        strategies)
+
+(* -------- bounded pulls: the early-termination property itself -------- *)
+
+(* Existential and positional queries over an XMark document must stop
+   after a constant-size prefix: the obs collector counts every tuple and
+   item actually pulled through an instrumented operator, so streaming
+   shows up as pull totals that do not grow with the document. *)
+let pulled ~materialize doc q =
+  let p = Xqc.prepare ~stats:true ~materialize q in
+  let ctx = Xqc.context () in
+  Xqc.bind_variable ctx "auction" [ Xqc.Item.Node doc ];
+  let result = Xqc.run p ctx in
+  let tuples, items =
+    match Xqc.stats p with
+    | Some c -> Xqc.Obs.pulled_totals c
+    | None -> Alcotest.fail "no collector"
+  in
+  (result, tuples + items)
+
+let test_bounded_pulls () =
+  let doc = Xqc_workload.Xmark.generate ~target_bytes:200_000 () in
+  List.iter
+    (fun (q, bound) ->
+      let streamed_result, streamed = pulled ~materialize:false doc q in
+      let materialized_result, materialized = pulled ~materialize:true doc q in
+      Alcotest.(check string)
+        (q ^ ": streamed and materialized results agree")
+        (Xqc.serialize materialized_result)
+        (Xqc.serialize streamed_result);
+      if streamed > bound then
+        Alcotest.failf "%s: pulled %d, expected at most %d" q streamed bound;
+      if materialized < 10 * streamed then
+        Alcotest.failf "%s: materialized pulls %d not >= 10x streamed %d" q
+          materialized streamed)
+    [
+      ("fn:exists($auction//item)", 50);
+      ("fn:empty($auction//item)", 50);
+      ("fn:exists($auction/site/people/person)", 50);
+      ("($auction//item)[1]", 60);
+      ("fn:subsequence($auction//item, 1, 3)", 60);
+      ("some $i in $auction//item satisfies fn:exists($i/name)", 60);
+    ]
+
+let test_pull_counts_match_materialized_cardinality () =
+  (* a fully consumed pipeline pulls exactly what the materialized run
+     produces: laziness changes when work happens, not how much *)
+  let doc = Xqc_workload.Xmark.generate ~target_bytes:50_000 () in
+  let q = "for $i in $auction/site/regions/africa/item return $i/name/text()" in
+  let streamed_result, streamed = pulled ~materialize:false doc q in
+  let materialized_result, materialized = pulled ~materialize:true doc q in
+  Alcotest.(check string)
+    "results agree"
+    (Xqc.serialize materialized_result)
+    (Xqc.serialize streamed_result);
+  Alcotest.(check int) "same pull totals when fully consumed" materialized streamed
+
 let () =
   let xmark_doc () = Xqc_workload.Xmark.generate ~target_bytes:40_000 () in
   let clio_doc () = Xqc_workload.Clio.generate ~target_bytes:15_000 () in
@@ -117,7 +187,17 @@ let () =
   Alcotest.run "equivalence"
     [
       ( "random",
-        [ QCheck_alcotest.to_alcotest prop_all_strategies_agree ] );
+        [
+          QCheck_alcotest.to_alcotest prop_all_strategies_agree;
+          QCheck_alcotest.to_alcotest prop_streaming_is_transparent;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "bounded pulls under early exit" `Quick
+            test_bounded_pulls;
+          Alcotest.test_case "full consumption pulls everything" `Quick
+            test_pull_counts_match_materialized_cardinality;
+        ] );
       ( "workloads",
         [
           Alcotest.test_case "xmark all queries" `Slow (fun () ->
@@ -138,6 +218,26 @@ let () =
                   in
                   if not (List.for_all (String.equal (List.hd results)) results)
                   then Alcotest.failf "XMark %s: strategies disagree" name)
+                xmark_queries);
+          Alcotest.test_case "xmark streamed vs materialized" `Slow (fun () ->
+              let doc = xmark_doc () in
+              List.iter
+                (fun (name, q) ->
+                  List.iter
+                    (fun s ->
+                      let go materialize =
+                        match
+                          Xqc.eval_string ~strategy:s ~materialize
+                            ~variables:[ ("auction", [ Xqc.Item.Node doc ]) ] q
+                        with
+                        | items -> "OK:" ^ Xqc.serialize items
+                        | exception Xqc.Error m -> "ERROR:" ^ m
+                      in
+                      if not (String.equal (go false) (go true)) then
+                        Alcotest.failf
+                          "XMark %s / %s: streamed and materialized disagree"
+                          name (Xqc.strategy_name s))
+                    strategies)
                 xmark_queries);
           Alcotest.test_case "clio all queries" `Slow (fun () ->
               let doc = clio_doc () in

@@ -37,7 +37,7 @@ let ctx =
 let run_table (p : plan) : Eval.tuple list =
   let comp, _ = Eval.compile { Eval.layout = [] } p in
   match comp ctx Eval.INone with
-  | Eval.Tab t -> t
+  | Eval.Tab t -> List.of_seq t
   | Eval.Xml _ -> Alcotest.fail "expected a table"
 
 let cell_str (v : Item.sequence) = String.concat "," (List.map Item.string_value v)

@@ -11,7 +11,11 @@ let run (p : plan) : Eval.dval =
   comp ctx Eval.INone
 
 let run_items p = match run p with Eval.Xml s -> s | Eval.Tab _ -> Alcotest.fail "expected items"
-let run_table p = match run p with Eval.Tab t -> t | Eval.Xml _ -> Alcotest.fail "expected table"
+
+let run_table p =
+  match run p with
+  | Eval.Tab t -> List.of_seq t
+  | Eval.Xml _ -> Alcotest.fail "expected table"
 
 let ser p = Serializer.sequence_to_string (run_items p)
 let int_scalar i = Scalar (Atomic.Integer i)

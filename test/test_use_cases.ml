@@ -37,8 +37,8 @@ let variables =
     ("prices", [ Xqc.Item.Node (Xqc.parse_document ~uri:"prices.xml" prices_xml) ]);
   ]
 
-let eval ?(strategy = Xqc.Optimized) q =
-  Xqc.serialize (Xqc.eval_string ~strategy ~variables q)
+let eval ?(strategy = Xqc.Optimized) ?(materialize = false) q =
+  Xqc.serialize (Xqc.eval_string ~strategy ~materialize ~variables q)
 
 (* (name, query, expected-or-None) *)
 let cases =
@@ -161,12 +161,18 @@ let strategies = Xqc.all_strategies
 
 let make_case (name, query, expected) =
   Alcotest.test_case name `Quick (fun () ->
+      (* every strategy, both streamed (the default cursor pipeline) and
+         fully materialized: all ten runs must agree *)
       let results =
-        List.map
+        List.concat_map
           (fun s ->
-            match eval ~strategy:s query with
-            | r -> r
-            | exception Xqc.Error m -> Alcotest.failf "%s [%s]: %s" name (Xqc.strategy_name s) m)
+            List.map
+              (fun materialize ->
+                match eval ~strategy:s ~materialize query with
+                | r -> r
+                | exception Xqc.Error m ->
+                    Alcotest.failf "%s [%s]: %s" name (Xqc.strategy_name s) m)
+              [ false; true ])
           strategies
       in
       let first = List.hd results in

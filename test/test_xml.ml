@@ -104,6 +104,36 @@ let test_sort_doc_order () =
   check_int "dedup" 2 (List.length sorted);
   check "order" "b,c" (String.concat "," (List.filter_map N.name sorted))
 
+let test_sorted_fast_path () =
+  let doc = parse "<a><b/><c/><d/></a>" in
+  let kids = N.children doc |> List.hd |> N.children in
+  (* detector: both answers *)
+  check_bool "sorted detected" true (N.is_doc_sorted_uniq kids);
+  check_bool "empty is sorted" true (N.is_doc_sorted_uniq []);
+  check_bool "singleton is sorted" true (N.is_doc_sorted_uniq [ List.hd kids ]);
+  check_bool "reversal detected" false (N.is_doc_sorted_uniq (List.rev kids));
+  check_bool "duplicate detected" false
+    (N.is_doc_sorted_uniq (List.hd kids :: kids));
+  (* fast path: already-sorted input comes back as the same list, no
+     copy; the slow path still sorts and dedups *)
+  check_bool "sorted input returned as-is" true (N.sort_doc_order kids == kids);
+  check "slow path sorts" "b,c,d"
+    (String.concat "," (List.filter_map N.name (N.sort_doc_order (List.rev kids))))
+
+let test_descendants_seq () =
+  let doc = parse "<a><b><c/></b><d/></a>" in
+  let strict = N.descendants doc in
+  check "lazy walk matches strict preorder"
+    (String.concat "," (List.filter_map N.name strict))
+    (String.concat "," (List.filter_map N.name (List.of_seq (N.descendants_seq doc))));
+  check_int "descendant-or-self adds self"
+    (1 + List.length strict)
+    (Seq.length (N.descendant_or_self_seq doc));
+  (* laziness: pulling the head visits one node, not the whole subtree *)
+  match N.descendants_seq doc () with
+  | Seq.Cons (first, _) -> check "first pull is the first child" "a" (Option.get (N.name first))
+  | Seq.Nil -> Alcotest.fail "non-empty walk"
+
 let test_size () =
   let doc = parse "<a x=\"1\"><b/>text</a>" in
   (* document + a + attribute + b + text *)
@@ -173,6 +203,8 @@ let () =
           Alcotest.test_case "copy fresh ids" `Quick test_copy_fresh_ids;
           Alcotest.test_case "typed value" `Quick test_typed_value;
           Alcotest.test_case "sort doc order" `Quick test_sort_doc_order;
+          Alcotest.test_case "sorted fast path" `Quick test_sorted_fast_path;
+          Alcotest.test_case "lazy descendants" `Quick test_descendants_seq;
           Alcotest.test_case "size" `Quick test_size;
           Alcotest.test_case "sequence serialization" `Quick test_sequence_serialization;
         ] );
