@@ -18,6 +18,10 @@
                           existential/positional queries, streamed vs
                           fully materialized, pulled-tuple counts from
                           the obs collector; --json=FILE
+     main.exe axis-index — structural-index microbenchmark: descendant/
+                          child axis queries with the per-root name
+                          indexes forced on vs off, plus the fn:doc
+                          document-cache measurement; --json=FILE
      main.exe micro     — bechamel microbenchmarks of the join kernels
      main.exe all       — everything above except micro
 
@@ -483,6 +487,140 @@ let early_exit () =
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Structural-index microbenchmark                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The same axis queries with the structural indexes forced on and off,
+   on a 1MB XMark document.  Per query and mode: the cold run (which in
+   indexed mode pays the one-time index build) and the best of the warm
+   runs.  count(//t) and exists(//t) resolve to index range bounds
+   without touching a node, so their warm indexed times should sit
+   orders of magnitude under the walk; the tentpole acceptance bar is
+   5x.  A final record measures the fn:doc document cache: repeated runs
+   of the same URI must hit the cache, not the parser. *)
+let axis_index () =
+  let module Obs = Xqc_obs.Obs in
+  let size = 1_000_000 in
+  let warm_runs = 5 in
+  let doc = Xqc_workload.Xmark.generate ~target_bytes:size () in
+  let ctx = make_xmark_ctx doc in
+  let queries =
+    [
+      ("count-desc", "count($auction//item)");
+      ("count-late", "count($auction//closed_auction)");
+      ("exists-late", "fn:exists($auction//closed_auction)");
+      ("empty-missing", "fn:empty($auction//nosuchelement)");
+      ("desc-iterate", "count($auction//item/name)");
+      ("child-chain", "count($auction/site/regions/africa/item)");
+      ("child-deep", "count($auction/site/people/person/profile/interest)");
+    ]
+  in
+  let out, close_out_fn =
+    match !metrics_json_file with
+    | None -> (stdout, fun () -> ())
+    | Some path ->
+        let oc = open_out_bin path in
+        (oc, fun () -> close_out oc)
+  in
+  let emit record =
+    output_string out (Obs.json_to_string record);
+    output_char out '\n'
+  in
+  Printf.eprintf
+    "=== Axis-index microbenchmark: %dKB XMark document, indexed vs walk ===\n"
+    (size / 1000);
+  Printf.eprintf "%-16s %-8s %10s %10s %8s\n" "query" "mode" "cold_ms"
+    "warm_ms" "result";
+  let saved_mode = !Xqc.Store.mode in
+  let time_one q =
+    let prepared = Xqc.prepare q in
+    let t0 = Unix.gettimeofday () in
+    let result = Xqc.run prepared ctx in
+    let cold = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let warm = ref infinity in
+    for _ = 1 to warm_runs do
+      let t0 = Unix.gettimeofday () in
+      ignore (Xqc.run prepared ctx);
+      warm := Float.min !warm ((Unix.gettimeofday () -. t0) *. 1000.0)
+    done;
+    (cold, !warm, Xqc.serialize result)
+  in
+  let results = Hashtbl.create 16 in
+  List.iter
+    (fun (qname, q) ->
+      List.iter
+        (fun (mode_name, mode) ->
+          Xqc.Store.mode := mode;
+          Xqc.Store.clear ();
+          let hits0 = List.assoc "index_hits" (Obs.global_counters ()) in
+          let cold, warm, result = time_one q in
+          let hits =
+            List.assoc "index_hits" (Obs.global_counters ()) - hits0
+          in
+          Hashtbl.replace results (qname, mode_name) warm;
+          Printf.eprintf "%-16s %-8s %10.3f %10.4f %8s\n" qname mode_name cold
+            warm
+            (if String.length result > 8 then String.sub result 0 8 else result);
+          emit
+            (Obs.Obj
+               [
+                 ("bench", Obs.Str "axis-index");
+                 ("query", Obs.Str qname);
+                 ("mode", Obs.Str mode_name);
+                 ("cold_ms", Obs.Float cold);
+                 ("warm_ms", Obs.Float warm);
+                 ("index_hits", Obs.Int hits);
+                 ("result", Obs.Str result);
+               ]))
+        [ ("indexed", Xqc.Store.Force); ("walk", Xqc.Store.Off) ])
+    queries;
+  Xqc.Store.mode := saved_mode;
+  List.iter
+    (fun (qname, _) ->
+      let indexed = Hashtbl.find results (qname, "indexed") in
+      let walk = Hashtbl.find results (qname, "walk") in
+      Printf.eprintf "%-16s speedup %8.1fx\n" qname
+        (walk /. Float.max indexed 0.0001))
+    queries;
+  (* fn:doc cache: one parse, then cache hits, across repeated runs *)
+  let xml = Xqc_workload.Xmark.generate_string ~target_bytes:100_000 () in
+  let parse_calls = ref 0 in
+  let resolver uri =
+    incr parse_calls;
+    Xqc.parse_document ~uri xml
+  in
+  let dctx = Xqc.context ~resolver () in
+  let p = Xqc.prepare {|count(doc("auction.xml")//item)|} in
+  let hits0 = List.assoc "doc_cache_hits" (Obs.global_counters ()) in
+  let parses0 = List.assoc "doc_parses" (Obs.global_counters ()) in
+  let t0 = Unix.gettimeofday () in
+  let runs = 10 in
+  for _ = 1 to runs do
+    ignore (Xqc.run p dctx)
+  done;
+  let dt = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let hits = List.assoc "doc_cache_hits" (Obs.global_counters ()) - hits0 in
+  let parses = List.assoc "doc_parses" (Obs.global_counters ()) - parses0 in
+  Printf.eprintf
+    "doc-cache: %d runs in %.2fms, %d parse(s), %d cache hit(s)\n" runs dt
+    parses hits;
+  emit
+    (Obs.Obj
+       [
+         ("bench", Obs.Str "doc-cache");
+         ("runs", Obs.Int runs);
+         ("total_ms", Obs.Float dt);
+         ("doc_parses", Obs.Int parses);
+         ("doc_cache_hits", Obs.Int hits);
+         ("resolver_calls", Obs.Int !parse_calls);
+       ]);
+  flush out;
+  close_out_fn ();
+  match !metrics_json_file with
+  | Some path -> Printf.eprintf "wrote axis-index records to %s\n" path
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the join kernels                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -562,6 +700,7 @@ let () =
     | "ablation" -> ablation ()
     | "metrics" -> metrics ()
     | "early-exit" -> early_exit ()
+    | "axis-index" -> axis_index ()
     | "micro" -> micro ()
     | "all" ->
         figure4 ();
@@ -572,7 +711,7 @@ let () =
         ablation ()
     | other ->
         Printf.eprintf
-          "unknown benchmark %S (expected table3|table4|table5|figure4|saxon|ablation|metrics|early-exit|micro|all)\n"
+          "unknown benchmark %S (expected table3|table4|table5|figure4|saxon|ablation|metrics|early-exit|axis-index|micro|all)\n"
           other;
         Stdlib.exit 1
   in

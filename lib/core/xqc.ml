@@ -41,6 +41,7 @@ module Dynamic_ctx = Xqc_runtime.Dynamic_ctx
 module Builtins = Xqc_runtime.Builtins
 module Interp = Xqc_interp.Interp
 module Indexed = Xqc_interp.Indexed
+module Store = Xqc_store.Store
 module Obs = Xqc_obs.Obs
 
 type strategy =
@@ -195,6 +196,63 @@ let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
           in
           finish run_compiled (Some compiled.Compile.cmain))
 
+(* ------------------------------------------------------------------ *)
+(* Prepared-plan cache                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* LRU cache over [prepare], keyed by everything that shapes the
+   compiled plan: query text, strategy, and the projection and
+   materialization knobs.  Stats-collecting preparations are never
+   cached — each caller of [~stats:true] expects its own collector.
+   Recency is a global tick; eviction scans for the minimum (the cache
+   is small, capacity beats constant factors). *)
+
+type plan_key = string * strategy * bool * bool
+
+let plan_cache : (plan_key, prepared * int ref) Hashtbl.t = Hashtbl.create 32
+let plan_cache_capacity = ref 128
+let plan_tick = ref 0
+
+let c_plan_hits = Obs.global_counter "plan_cache_hits"
+let c_plan_misses = Obs.global_counter "plan_cache_misses"
+
+let clear_plan_cache () = Hashtbl.reset plan_cache
+
+let set_plan_cache_capacity n =
+  plan_cache_capacity := max 0 n;
+  if Hashtbl.length plan_cache > !plan_cache_capacity then clear_plan_cache ()
+
+let evict_lru () =
+  let victim =
+    Hashtbl.fold
+      (fun key (_, tick) acc ->
+        match acc with
+        | Some (_, best) when best <= !tick -> acc
+        | _ -> Some (key, !tick))
+      plan_cache None
+  in
+  match victim with Some (key, _) -> Hashtbl.remove plan_cache key | None -> ()
+
+let prepare_cached ?(strategy = Optimized) ?(project = false)
+    ?(materialize = false) (source : string) : prepared =
+  let key = (source, strategy, project, materialize) in
+  incr plan_tick;
+  match Hashtbl.find_opt plan_cache key with
+  | Some (p, tick) ->
+      tick := !plan_tick;
+      Obs.incr_counter c_plan_hits;
+      p
+  | None ->
+      Obs.incr_counter c_plan_misses;
+      let p = prepare ~strategy ~project ~materialize source in
+      if !plan_cache_capacity > 0 then begin
+        if Hashtbl.length plan_cache >= !plan_cache_capacity then evict_lru ();
+        Hashtbl.replace plan_cache key (p, ref !plan_tick)
+      end;
+      p
+
+let plan_cache_size () = Hashtbl.length plan_cache
+
 let run (p : prepared) (ctx : Dynamic_ctx.t) : Item.sequence =
   try p.runner ctx with
   | Dynamic_ctx.Dynamic_error m -> raise (Error ("dynamic error: " ^ m))
@@ -310,6 +368,12 @@ let explain_analyze (p : prepared) : string =
             Buffer.add_string buf (Obs.join_stats_to_string totals);
             Buffer.add_char buf '\n'
           end);
+      (* process-wide counters: index builds/hits, doc and plan caches *)
+      let counters = Obs.global_counters_to_string () in
+      if not (String.equal counters "") then begin
+        Buffer.add_string buf "\n=== Engine counters (process-wide) ===\n";
+        Buffer.add_string buf counters
+      end;
       Buffer.contents buf
 
 let stats_json (p : prepared) : string option =

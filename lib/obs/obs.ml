@@ -91,6 +91,29 @@ let counter name = { cn_name = name; cn_value = 0 }
 let incr_counter c = c.cn_value <- c.cn_value + 1
 let add_counter c n = c.cn_value <- c.cn_value + n
 
+(* Global named counters: process-wide always-on counters for the
+   cross-cutting subsystems that outlive any one prepared query — the
+   indexed document store (builds/hits/fallbacks), the fn:doc document
+   cache and the prepared-plan cache.  Incrementing is a single int
+   store; the registry is only walked when a report is rendered. *)
+let global_registry : (string, counter) Hashtbl.t = Hashtbl.create 16
+let global_order : string list ref = ref []
+
+let global_counter (name : string) : counter =
+  match Hashtbl.find_opt global_registry name with
+  | Some c -> c
+  | None ->
+      let c = counter name in
+      Hashtbl.add global_registry name c;
+      global_order := !global_order @ [ name ];
+      c
+
+let global_counters () : (string * int) list =
+  List.map (fun name -> (name, (Hashtbl.find global_registry name).cn_value)) !global_order
+
+let reset_global_counters () =
+  Hashtbl.iter (fun _ c -> c.cn_value <- 0) global_registry
+
 type timer = { tm_name : string; mutable tm_secs : float; mutable tm_count : int }
 
 let timer name = { tm_name = name; tm_secs = 0.0; tm_count = 0 }
@@ -410,6 +433,14 @@ let rewrite_to_string (t : rewrite_trace) : string =
     t.rw_rules;
   Buffer.contents buf
 
+let global_counters_to_string () : string =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun (name, v) ->
+      if v > 0 then Buffer.add_string buf (Printf.sprintf "%-24s %10d\n" name v))
+    (global_counters ());
+  Buffer.contents buf
+
 let join_stats_to_string (js : join_stats) : string =
   let sort =
     if js.js_sort_numeric = 0 && js.js_sort_string = 0 then ""
@@ -483,6 +514,8 @@ let collector_to_json ?(plans = true) (c : collector) : json =
        ("joins", join_stats_to_json (join_totals c));
        ( "pulled",
          Obj [ ("tuples", Int pulled_tuples); ("items", Int pulled_items) ] );
+       ( "counters",
+         Obj (List.map (fun (name, v) -> (name, Int v)) (global_counters ())) );
      ]
     @
     if plans then

@@ -34,6 +34,21 @@ val counter : string -> counter
 val incr_counter : counter -> unit
 val add_counter : counter -> int -> unit
 
+val global_counter : string -> counter
+(** Interned process-wide counter: repeated calls with the same name
+    return the same record.  Used by subsystems whose statistics outlive
+    any one prepared query (indexed store, document and plan caches);
+    the current values are included in every collector report. *)
+
+val global_counters : unit -> (string * int) list
+(** Current values of all global counters, in registration order. *)
+
+val reset_global_counters : unit -> unit
+(** Zero every global counter (tests and benchmarks). *)
+
+val global_counters_to_string : unit -> string
+(** One line per non-zero global counter. *)
+
 type timer = { tm_name : string; mutable tm_secs : float; mutable tm_count : int }
 
 val timer : string -> timer

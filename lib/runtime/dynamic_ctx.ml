@@ -5,6 +5,7 @@
 
 open Xqc_xml
 open Xqc_types
+module Obs = Xqc_obs.Obs
 
 exception Dynamic_error of string
 
@@ -49,16 +50,26 @@ let lookup_variable ctx name : xvalue =
       | Some v -> v
       | None -> dynamic_error "unbound variable $%s" name)
 
+let c_doc_hits = Obs.global_counter "doc_cache_hits"
+let c_doc_parses = Obs.global_counter "doc_parses"
+
 let resolve_document ctx uri : Node.t =
   match Hashtbl.find_opt ctx.documents uri with
-  | Some d -> d
+  | Some d ->
+      Obs.incr_counter c_doc_hits;
+      d
   | None -> (
       match ctx.resolver with
       | Some f ->
           let d = f uri in
+          Obs.incr_counter c_doc_parses;
           Hashtbl.replace ctx.documents uri d;
           d
       | None -> dynamic_error "cannot resolve document %S" uri)
+
+(* Escape hatch for long-lived contexts: drop every cached document so
+   the next fn:doc re-resolves (e.g. after the file changed on disk). *)
+let clear_doc_cache ctx = Hashtbl.reset ctx.documents
 
 (* Run [f] with a fresh parameter frame, restoring the caller's frame —
    needed for recursive user-defined functions. *)

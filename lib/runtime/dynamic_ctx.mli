@@ -39,8 +39,16 @@ val lookup_variable : t -> string -> xvalue
     @raise Dynamic_error when unbound. *)
 
 val resolve_document : t -> string -> Node.t
-(** Cache lookup, falling back to the resolver (which is then cached).
+(** Cache lookup, falling back to the resolver (which is then cached),
+    making [fn:doc] idempotent per URI for the context's lifetime.
+    Hits and resolver calls are recorded in the [doc_cache_hits] /
+    [doc_parses] obs global counters.
     @raise Dynamic_error when the URI cannot be resolved. *)
+
+val clear_doc_cache : t -> unit
+(** Drop every cached document so the next [fn:doc] re-resolves —
+    the escape hatch for long-lived contexts whose backing files
+    change. *)
 
 val with_params : t -> (string * xvalue) list -> (unit -> 'a) -> 'a
 (** Run with a parameter frame, restoring the caller's frame on exit

@@ -35,6 +35,7 @@ open Xqc_algebra
 open Algebra
 open Dynamic_ctx
 module Obs = Xqc_obs.Obs
+module Store = Xqc_store.Store
 
 exception Compile_error of string
 
@@ -135,6 +136,26 @@ let test_matches schema (axis : Ast.axis) (test : Ast.node_test) (n : Node.t) :
       in
       kind_ok && (String.equal name "*" || Node.name n = Some name)
 
+(* Indexed fast path for a single axis step: name tests over the
+   downward axes resolve against the document store's interval-encoded
+   name indexes (a binary-searched nid range instead of a subtree walk).
+   [None] sends the caller to the walking path — non-name tests, axes
+   the store does not cover, unindexed trees, or cases where the store
+   itself judges the walk cheaper. *)
+let indexed_axis_nodes (axis : Ast.axis) (test : Ast.node_test) (n : Node.t) :
+    Node.t list option =
+  match test with
+  | Ast.Name_test name -> (
+      match axis with
+      | Ast.Descendant -> Store.descendants_by_name n name
+      | Ast.Descendant_or_self -> Store.descendant_or_self_by_name n name
+      | Ast.Child -> Store.children_by_name n name
+      | Ast.Attribute_axis ->
+          (* the store has no "*" entry for attributes; @* walks *)
+          if String.equal name "*" then None else Store.attributes_by_name n name
+      | _ -> None)
+  | Ast.Kind_test _ -> None
+
 (* Matches are accumulated in traversal order: child/descendant axis
    output over already-sorted input is itself in document order, so the
    closing [sort_doc_order] hits its O(n) already-sorted fast path on the
@@ -145,10 +166,13 @@ let tree_join schema axis test (input : Item.sequence) : Item.sequence =
   List.iter
     (fun it ->
       match it with
-      | Item.Node n ->
-          List.iter
-            (fun m -> if test_matches schema axis test m then out := m :: !out)
-            (apply_axis axis n)
+      | Item.Node n -> (
+          match indexed_axis_nodes axis test n with
+          | Some ms -> List.iter (fun m -> out := m :: !out) ms
+          | None ->
+              List.iter
+                (fun m -> if test_matches schema axis test m then out := m :: !out)
+                (apply_axis axis n))
       | Item.Atom _ -> dynamic_error "path step applied to an atomic value")
     input;
   List.map (fun n -> Item.Node n) (Node.sort_doc_order (List.rev !out))
@@ -313,6 +337,21 @@ let ordered_chain (steps : (Ast.axis * Ast.node_test) list) : bool =
   in
   go steps
 
+(* Indexed single-step cursor: the lazy counterpart of
+   [indexed_axis_nodes].  A [Some] sequence already satisfies the node
+   test, so no further filtering is needed; [None] falls back to the
+   lazy walk. *)
+let indexed_axis_seq (axis : Ast.axis) (test : Ast.node_test) (n : Node.t) :
+    Node.t Seq.t option =
+  match test with
+  | Ast.Name_test name -> (
+      match axis with
+      | Ast.Descendant -> Store.descendants_by_name_seq n name
+      | Ast.Descendant_or_self -> Store.descendant_or_self_by_name_seq n name
+      | Ast.Child -> Option.map List.to_seq (Store.children_by_name n name)
+      | _ -> None)
+  | Ast.Kind_test _ -> None
+
 (* Compile the step chain of an item cursor.  Each step registers its own
    op_node (streamed) so pull counts surface in EXPLAIN ANALYZE and in the
    collector's pulled totals. *)
@@ -342,12 +381,15 @@ let compile_cursor_steps (steps : (Ast.axis * Ast.node_test) list) :
           Seq.concat_map
             (fun it ->
               match it with
-              | Item.Node n ->
-                  Seq.filter_map
-                    (fun m ->
-                      if test_matches ctx.schema axis test m then Some (Item.Node m)
-                      else None)
-                    (axis_seq axis n)
+              | Item.Node n -> (
+                  match indexed_axis_seq axis test n with
+                  | Some ms -> Seq.map (fun m -> Item.Node m) ms
+                  | None ->
+                      Seq.filter_map
+                        (fun m ->
+                          if test_matches ctx.schema axis test m then Some (Item.Node m)
+                          else None)
+                        (axis_seq axis n))
               | Item.Atom _ -> dynamic_error "path step applied to an atomic value")
             s
         in
@@ -808,6 +850,33 @@ and generic_call env name args : comp =
         | Some f -> Xml (f ctx vals)
         | None -> dynamic_error "unknown function %s" name)
 
+(* Store probes for a one-step name chain: existence and cardinality of
+   descendant[-or-self]::t / child::t answered from the index's range
+   bounds without touching nodes.  [None] when the chain shape is not
+   probe-able; the probe itself returns [None] per node when the store
+   cannot serve that tree (caller streams instead). *)
+and index_exists_probe (steps : (Ast.axis * Ast.node_test) list) :
+    (Node.t -> bool option) option =
+  match steps with
+  | [ (Ast.Descendant, Ast.Name_test nm) ] ->
+      Some (fun n -> Store.exists_descendant_by_name n nm)
+  | [ (Ast.Descendant_or_self, Ast.Name_test nm) ] ->
+      Some (fun n -> Store.exists_descendant_by_name ~self:true n nm)
+  | [ (Ast.Child, Ast.Name_test nm) ] ->
+      Some (fun n -> Option.map (fun l -> l <> []) (Store.children_by_name n nm))
+  | _ -> None
+
+and index_count_probe (steps : (Ast.axis * Ast.node_test) list) :
+    (Node.t -> int option) option =
+  match steps with
+  | [ (Ast.Descendant, Ast.Name_test nm) ] ->
+      Some (fun n -> Store.count_descendants_by_name n nm)
+  | [ (Ast.Descendant_or_self, Ast.Name_test nm) ] ->
+      Some (fun n -> Store.count_descendants_by_name ~self:true n nm)
+  | [ (Ast.Child, Ast.Name_test nm) ] ->
+      Some (fun n -> Option.map List.length (Store.children_by_name n nm))
+  | _ -> None
+
 (* Early-terminating special cases for the existential builtins whose
    argument is a TreeJoin chain.  User declarations shadow builtins at
    run time, so the closures re-check the function table on every call
@@ -822,23 +891,69 @@ and special_call env name args : comp option =
         | [], _ -> None
         | steps, src ->
             (* emptiness is insensitive to order and duplicates, so any
-               axis chain streams; the first pull decides the answer *)
+               axis chain streams; the first pull decides the answer —
+               and a one-step name chain over indexed trees needs no
+               pull at all, just the index's range bounds *)
             let csrc, _ = compile env src in
             let pipe = compile_cursor_steps steps in
+            let probe = index_exists_probe steps in
             let wants_exists = String.equal name "fn:exists" in
             let fallback = lazy (generic_call env name args) in
             Some
               (fun ctx inp ->
                 if Hashtbl.mem ctx.functions name then (Lazy.force fallback) ctx inp
                 else
+                  let items = as_items (csrc ctx inp) in
+                  let indexed =
+                    match probe with
+                    | None -> None
+                    | Some p ->
+                        (* existence over many source nodes is a
+                           disjunction, so nesting/duplicates are
+                           harmless; any unanswerable node means stream *)
+                        let rec go = function
+                          | [] -> Some false
+                          | Item.Node n :: rest -> (
+                              match p n with
+                              | Some true -> Some true
+                              | Some false -> go rest
+                              | None -> None)
+                          | Item.Atom _ :: _ -> None
+                        in
+                        go items
+                  in
                   let nonempty =
-                    not (Seq.is_empty (pipe ctx (List.to_seq (as_items (csrc ctx inp)))))
+                    match indexed with
+                    | Some b -> b
+                    | None -> not (Seq.is_empty (pipe ctx (List.to_seq items)))
                   in
                   Xml
                     [
                       Item.Atom
                         (Atomic.Boolean (if wants_exists then nonempty else not nonempty));
                     ]))
+    | "fn:count", [ arg ] -> (
+        (* exact cardinality from the index range: only for a one-step
+           name chain over a single source node, where the step output
+           is duplicate-free by construction *)
+        match cursor_steps arg with
+        | steps, src -> (
+            match index_count_probe steps with
+            | None -> None
+            | Some p ->
+                let csrc, _ = compile env src in
+                let fallback = lazy (generic_call env name args) in
+                Some
+                  (fun ctx inp ->
+                    if Hashtbl.mem ctx.functions name then (Lazy.force fallback) ctx inp
+                    else
+                      match as_items (csrc ctx inp) with
+                      | [] -> Xml [ Item.Atom (Atomic.Integer 0) ]
+                      | [ Item.Node n ] -> (
+                          match p n with
+                          | Some k -> Xml [ Item.Atom (Atomic.Integer k) ]
+                          | None -> (Lazy.force fallback) ctx inp)
+                      | _ -> (Lazy.force fallback) ctx inp)))
     | "fn:subsequence", [ arg; start; len ] -> (
         match cursor_steps arg with
         | steps, src when steps <> [] && ordered_chain steps ->

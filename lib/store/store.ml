@@ -1,0 +1,276 @@
+(* Indexed document store: interval-encoded structural name indexes.
+
+   Every renumbered tree already carries a pre/size interval encoding —
+   preorder ids ([Node.nid]) plus cached subtree extents — so "m is a
+   descendant of n" is the integer test
+
+     n.nid < m.nid && m.nid < n.nid + n.extent
+
+   On top of that, this module maintains one lazily built index per
+   document root: for each element and attribute qname, the array of
+   nodes with that name in document (= nid) order, plus a "*" entry
+   holding every element.  An axis step against an indexed root then
+   becomes two binary searches delimiting the qname's nid range inside
+   the context node's interval:
+
+     descendant::t          the sub-array  (n.nid, n.nid + n.extent)
+     descendant-or-self::t  the same with the lower bound closed
+     child::t               the range, filtered by parent identity
+     fn:count(//t)          hi - lo, no node is touched at all
+     fn:exists(//t)         hi > lo
+
+   Validity protocol: indexes are keyed by the root's nid at build time.
+   [Node.renumber] — the only operation that changes ids, called on
+   every construction boundary — gives the root a fresh nid, so a stale
+   index can never be looked up again: the next query misses the cache
+   and rebuilds.  Stale entries are purged opportunistically on build.
+   Nodes copied out of an indexed tree ([Node.copy]) are fresh nodes in
+   a fresh tree and never alias old intervals.
+
+   The build is a single preorder walk that also verifies the preorder
+   invariant (strictly ascending nids); an assembled tree that was never
+   renumbered as a whole is recorded as unindexable and served by the
+   walking fallback.  All decisions are counted in the obs global
+   counters (index_builds / index_hits / index_fallbacks) so EXPLAIN
+   ANALYZE and --stats-json show which path ran. *)
+
+open Xqc_xml
+module Obs = Xqc_obs.Obs
+
+(* [Auto] indexes roots of at least [!min_index_size] nodes, [Force]
+   indexes everything (tests), [Off] disables lookups entirely.  The
+   XQC_INDEX environment variable seeds the initial mode. *)
+type mode = Auto | Off | Force
+
+let mode =
+  ref
+    (match Option.map String.lowercase_ascii (Sys.getenv_opt "XQC_INDEX") with
+    | Some ("off" | "0" | "no" | "walk") -> Off
+    | Some ("force" | "always") -> Force
+    | _ -> Auto)
+
+let min_index_size = ref 64
+
+let c_builds = Obs.global_counter "index_builds"
+let c_build_nodes = Obs.global_counter "index_build_nodes"
+let c_hits = Obs.global_counter "index_hits"
+let c_fallbacks = Obs.global_counter "index_fallbacks"
+
+type index = {
+  ix_root : Node.t;
+  ix_elems : (string, Node.t array) Hashtbl.t;
+      (* element qname -> nodes in nid order; "*" -> every element *)
+  ix_attrs : (string, Node.t array) Hashtbl.t;
+  ix_nodes : int;  (* total nodes walked at build *)
+}
+
+(* An entry remembers unindexable roots too, so a tree that violates the
+   preorder invariant (or is below the Auto threshold) is not re-walked
+   on every query. *)
+type entry = Indexed of index | Unindexable of Node.t
+
+let cache : (int, entry) Hashtbl.t = Hashtbl.create 8
+
+let entry_root = function Indexed ix -> ix.ix_root | Unindexable r -> r
+
+let cache_size () = Hashtbl.length cache
+let clear () = Hashtbl.reset cache
+
+(* Entries whose root has been renumbered since build can never be
+   looked up again (the key is the old nid); drop them so the cache does
+   not keep dead trees alive. *)
+let purge_stale () =
+  let stale =
+    Hashtbl.fold
+      (fun key e acc -> if (entry_root e).Node.nid <> key then key :: acc else acc)
+      cache []
+  in
+  List.iter (Hashtbl.remove cache) stale
+
+let empty_array : Node.t array = [||]
+
+let build (root : Node.t) : entry =
+  purge_stale ();
+  let elems : (string, Node.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let attrs : (string, Node.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  let all_elems = ref [] in
+  let push tbl name n =
+    match Hashtbl.find_opt tbl name with
+    | Some l -> l := n :: !l
+    | None -> Hashtbl.add tbl name (ref [ n ])
+  in
+  let last = ref (root.Node.nid - 1) in
+  let preorder = ref true in
+  let count = ref 0 in
+  (* one preorder walk: collect per-name node lists, re-derive subtree
+     extents (covering trees numbered before extent caching existed),
+     and verify that nids are strictly ascending *)
+  let rec go n =
+    if n.Node.nid <= !last then preorder := false;
+    last := n.Node.nid;
+    let start = !count in
+    incr count;
+    (match n.Node.desc with
+    | Node.Element e ->
+        push elems e.ename n;
+        all_elems := n :: !all_elems
+    | Node.Attribute a -> push attrs a.aname n
+    | Node.Document _ | Node.Text _ | Node.Comment _ | Node.Pi _ -> ());
+    List.iter go (Node.attributes n);
+    List.iter go (Node.children n);
+    n.Node.extent <- !count - start
+  in
+  go root;
+  if not !preorder then Unindexable root
+  else begin
+    let finalize tbl =
+      let out = Hashtbl.create (Hashtbl.length tbl) in
+      Hashtbl.iter (fun name l -> Hashtbl.add out name (Array.of_list (List.rev !l))) tbl;
+      out
+    in
+    let ix_elems = finalize elems in
+    Hashtbl.replace ix_elems "*" (Array.of_list (List.rev !all_elems));
+    Obs.incr_counter c_builds;
+    Obs.add_counter c_build_nodes !count;
+    Indexed { ix_root = root; ix_elems; ix_attrs = finalize attrs; ix_nodes = !count }
+  end
+
+let entry_for (root : Node.t) : entry =
+  match Hashtbl.find_opt cache root.Node.nid with
+  | Some e when entry_root e == root -> e
+  | _ ->
+      let e =
+        if !mode = Auto && root.Node.extent > 0 && root.Node.extent < !min_index_size
+        then Unindexable root
+        else build root
+      in
+      Hashtbl.replace cache root.Node.nid e;
+      e
+
+(* Resolve the index serving [n]'s tree, building it on first use.
+   [None] means the caller must walk (mode off, tree unindexable, or
+   below the Auto threshold). *)
+let index_for (n : Node.t) : index option =
+  match !mode with
+  | Off -> None
+  | Auto | Force -> (
+      match entry_for (Node.root n) with
+      | Indexed ix ->
+          Obs.incr_counter c_hits;
+          Some ix
+      | Unindexable _ ->
+          Obs.incr_counter c_fallbacks;
+          None)
+
+(* Smallest i with arr.(i).nid >= lo. *)
+let lower_bound (arr : Node.t array) (lo : int) : int =
+  let a = ref 0 and b = ref (Array.length arr) in
+  while !a < !b do
+    let m = (!a + !b) / 2 in
+    if arr.(m).Node.nid < lo then a := m + 1 else b := m
+  done;
+  !a
+
+(* The qname's occurrence range inside [n]'s subtree interval:
+   [(arr, i, j)] with the matches at positions [i, j).  [self] closes
+   the lower bound (descendant-or-self).  [None] only when no index
+   serves the tree or [n]'s extent is unknown. *)
+let name_range ?(self = false) (tbl : index -> (string, Node.t array) Hashtbl.t)
+    (n : Node.t) (name : string) : (Node.t array * int * int) option =
+  match index_for n with
+  | None -> None
+  | Some ix ->
+      if n.Node.extent <= 0 then begin
+        (* not part of the indexed interval numbering: fall back *)
+        Obs.incr_counter c_fallbacks;
+        None
+      end
+      else
+        let arr =
+          match Hashtbl.find_opt (tbl ix) name with Some a -> a | None -> empty_array
+        in
+        let lo = if self then n.Node.nid else n.Node.nid + 1 in
+        let hi = n.Node.nid + n.Node.extent in
+        let i = lower_bound arr lo in
+        let j = lower_bound arr hi in
+        Some (arr, i, j)
+
+let elems ix = ix.ix_elems
+let attrs ix = ix.ix_attrs
+
+let slice_list arr i j =
+  let out = ref [] in
+  for k = j - 1 downto i do
+    out := arr.(k) :: !out
+  done;
+  !out
+
+let slice_seq (arr : Node.t array) i j : Node.t Seq.t =
+  let rec go k () = if k >= j then Seq.Nil else Seq.Cons (arr.(k), go (k + 1)) in
+  go i
+
+(* ------------------------------------------------------------------ *)
+(* Axis queries (None = caller falls back to the walking path)         *)
+(* ------------------------------------------------------------------ *)
+
+let descendants_by_name n name : Node.t list option =
+  Option.map (fun (arr, i, j) -> slice_list arr i j) (name_range elems n name)
+
+let descendants_by_name_seq n name : Node.t Seq.t option =
+  Option.map (fun (arr, i, j) -> slice_seq arr i j) (name_range elems n name)
+
+let descendant_or_self_by_name n name : Node.t list option =
+  Option.map (fun (arr, i, j) -> slice_list arr i j) (name_range ~self:true elems n name)
+
+let descendant_or_self_by_name_seq n name : Node.t Seq.t option =
+  Option.map (fun (arr, i, j) -> slice_seq arr i j) (name_range ~self:true elems n name)
+
+let count_descendants_by_name ?self n name : int option =
+  Option.map (fun (_, i, j) -> j - i) (name_range ?self elems n name)
+
+let exists_descendant_by_name ?self n name : bool option =
+  Option.map (fun (_, i, j) -> j > i) (name_range ?self elems n name)
+
+let is_child_of ~parent m =
+  match Node.parent m with Some p -> p == parent | None -> false
+
+(* Below this subtree size a direct scan of the child/attribute list
+   beats two binary searches over document-sized arrays. *)
+let small_subtree = ref 32
+
+(* child::t through the descendant range, filtered by parent identity.
+   Only worthwhile when the subtree holds few nodes of that name; when
+   the range is larger than the child list — or the whole subtree is
+   small enough to scan outright — the plain walk is cheaper, so the
+   caller is sent back to it. *)
+let children_by_name n name : Node.t list option =
+  if n.Node.extent > 0 && n.Node.extent <= !small_subtree then None
+  else
+  match name_range elems n name with
+  | None -> None
+  | Some (arr, i, j) ->
+      let r = j - i in
+      (* r <= |children n| without computing the full length *)
+      let rec at_least k l =
+        k <= 0 || match l with [] -> false | _ :: rest -> at_least (k - 1) rest
+      in
+      if not (at_least r (Node.children n)) then begin
+        Obs.incr_counter c_fallbacks;
+        None
+      end
+      else Some (List.filter (is_child_of ~parent:n) (slice_list arr i j))
+
+let attributes_by_name n name : Node.t list option =
+  if n.Node.extent > 0 && n.Node.extent <= !small_subtree then None
+  else
+  match name_range attrs n name with
+  | None -> None
+  | Some (arr, i, j) ->
+      let r = j - i in
+      if r > List.length (Node.attributes n) then begin
+        Obs.incr_counter c_fallbacks;
+        None
+      end
+      else Some (List.filter (is_child_of ~parent:n) (slice_list arr i j))
+
+let index_nodes n : int option = Option.map (fun ix -> ix.ix_nodes) (index_for n)

@@ -1,0 +1,65 @@
+(** Indexed document store: per-root structural name indexes over the
+    pre/size interval encoding.
+
+    Every renumbered tree carries preorder ids plus cached subtree
+    extents, so the subtree of [n] is exactly the id interval
+    [n.nid, n.nid + n.extent).  This module lazily builds, per document
+    root, arrays of same-named element/attribute nodes in id order
+    (plus a ["*"] entry holding every element); an axis step then
+    resolves to two binary searches delimiting the name's range inside
+    the context node's interval, and [fn:count]/[fn:exists] over a
+    descendant step are answered from the range bounds without touching
+    a node.
+
+    Indexes are keyed by the root's nid at build time; [Node.renumber]
+    gives the root a fresh nid, so stale indexes can never be looked up
+    and are purged opportunistically.  Trees violating the preorder
+    invariant are recorded as unindexable and served by the walking
+    fallback.  All query functions return [None] when the caller should
+    walk instead (mode off, unindexable tree, below the Auto threshold,
+    or the index would be slower — e.g. [child::t] with more same-named
+    descendants than children).  Builds, hits and fallbacks are recorded
+    in the obs global counters (index_builds / index_build_nodes /
+    index_hits / index_fallbacks). *)
+
+open Xqc_xml
+
+(** [Auto] indexes roots with at least [min_index_size] nodes, [Force]
+    indexes everything, [Off] disables index lookups.  Seeded from the
+    [XQC_INDEX] environment variable ("off"/"force"). *)
+type mode = Auto | Off | Force
+
+val mode : mode ref
+val min_index_size : int ref
+
+val small_subtree : int ref
+(** Context nodes whose subtree is at most this many nodes answer
+    [child::]/attribute queries by scanning, not through the index. *)
+
+(** {1 Axis queries} — [None] means: walk instead. *)
+
+val descendants_by_name : Node.t -> string -> Node.t list option
+val descendants_by_name_seq : Node.t -> string -> Node.t Seq.t option
+val descendant_or_self_by_name : Node.t -> string -> Node.t list option
+val descendant_or_self_by_name_seq : Node.t -> string -> Node.t Seq.t option
+
+val count_descendants_by_name : ?self:bool -> Node.t -> string -> int option
+(** Cardinality of descendant[-or-self]::name, from the range bounds
+    alone. *)
+
+val exists_descendant_by_name : ?self:bool -> Node.t -> string -> bool option
+
+val children_by_name : Node.t -> string -> Node.t list option
+(** The descendant range filtered by parent identity; falls back
+    ([None]) when the range is larger than the child list. *)
+
+val attributes_by_name : Node.t -> string -> Node.t list option
+
+(** {1 Cache management} *)
+
+val index_nodes : Node.t -> int option
+(** Size (in nodes) of the index serving this node's tree, building it
+    if needed; [None] when unindexed. *)
+
+val cache_size : unit -> int
+val clear : unit -> unit

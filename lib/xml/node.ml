@@ -15,6 +15,12 @@ type qname = string
 type t = {
   mutable nid : int;
   mutable parent : t option;
+  mutable extent : int;
+      (* number of nodes in the subtree (self + attributes + descendants),
+         cached by [renumber]; 0 = not yet computed.  Together with [nid]
+         this is the pre/size interval encoding: after a renumber of the
+         containing root, the subtree of [n] occupies exactly the nids
+         [n.nid, n.nid + n.extent). *)
   mutable desc : desc;
 }
 
@@ -37,7 +43,7 @@ let fresh_id () =
   incr counter;
   !counter
 
-let mk desc = { nid = fresh_id (); parent = None; desc }
+let mk desc = { nid = fresh_id (); parent = None; extent = 0; desc }
 
 let document ?uri children =
   let d = mk (Document { dchildren = children; duri = uri }) in
@@ -158,14 +164,23 @@ let rec copy n =
 (* Re-assign node ids in document order (preorder; attributes between the
    element and its children).  Trees are built bottom-up by the parser,
    the constructors and the generators, so each construction boundary
-   renumbers the finished subtree to restore the preorder invariant. *)
+   renumbers the finished subtree to restore the preorder invariant.
+
+   The same pass caches each node's subtree extent: ids are drawn
+   consecutively from the global counter, so after renumbering the
+   subtree of [n] occupies exactly the id interval
+   [n.nid, n.nid + n.extent) — the pre/size encoding the indexed store
+   answers axis steps against, and an O(1) [size]. *)
 let renumber (root : t) : unit =
   let rec go n =
     n.nid <- fresh_id ();
-    List.iter go (attributes n);
-    List.iter go (children n)
+    let sub = ref 1 in
+    List.iter (fun a -> sub := !sub + go a) (attributes n);
+    List.iter (fun c -> sub := !sub + go c) (children n);
+    n.extent <- !sub;
+    !sub
   in
-  go root
+  ignore (go root)
 
 let doc_order_compare a b = compare a.nid b.nid
 
@@ -241,5 +256,14 @@ let preceding_siblings n =
       in
       before [] (children p)
 
-(* Count of nodes in the subtree, used by tests and the workload report. *)
-let rec size n = 1 + List.length (attributes n) + List.fold_left (fun acc c -> acc + size c) 0 (children n)
+(* Count of nodes in the subtree (attributes included).  O(1) once
+   [renumber] has cached the extent; the walk remains for trees (or
+   freshly copied subtrees) that have not been numbered yet, and does
+   not write the cache — only [renumber], which controls the ids the
+   extent is an interval over, is allowed to. *)
+let rec size n =
+  if n.extent > 0 then n.extent
+  else 1 + List.length (attributes n) + List.fold_left (fun acc c -> acc + size c) 0 (children n)
+
+(* The pre/size interval of the subtree, when cached by [renumber]. *)
+let subtree_interval n = if n.extent > 0 then Some (n.nid, n.nid + n.extent) else None

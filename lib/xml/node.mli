@@ -9,7 +9,16 @@
 
 type qname = string
 
-type t = { mutable nid : int; mutable parent : t option; mutable desc : desc }
+type t = {
+  mutable nid : int;
+  mutable parent : t option;
+  mutable extent : int;
+      (** subtree node count (self + attributes + descendants) cached by
+          {!renumber}; 0 until computed.  After a renumber of the
+          containing root, the subtree of [n] occupies exactly the id
+          interval [n.nid, n.nid + n.extent) — the pre/size encoding. *)
+  mutable desc : desc;
+}
 
 and desc =
   | Document of { mutable dchildren : t list; duri : string option }
@@ -42,7 +51,10 @@ val copy : t -> t
 
 val renumber : t -> unit
 (** Re-assign ids across the subtree in document order (node, then its
-    attributes, then its children). *)
+    attributes, then its children).  Ids are drawn consecutively, and the
+    same pass caches every node's subtree [extent], making {!size} O(1)
+    and enabling the interval descendant test
+    [anc.nid < n.nid && n.nid < anc.nid + anc.extent]. *)
 
 (** {1 Observation} *)
 
@@ -94,4 +106,10 @@ val following_siblings : t -> t list
 val preceding_siblings : t -> t list
 
 val size : t -> int
-(** Number of nodes in the subtree (attributes included). *)
+(** Number of nodes in the subtree (attributes included).  O(1) after
+    {!renumber} has cached the extent; otherwise a full walk. *)
+
+val subtree_interval : t -> (int * int) option
+(** [Some (lo, hi)] when the extent is cached: the subtree occupies
+    exactly the ids [lo <= nid < hi] (valid as long as the containing
+    root has not been renumbered since). *)

@@ -105,6 +105,23 @@ let run_one ?(materialize = false) strategy doc q =
   | items -> "OK:" ^ Xqc.serialize items
   | exception Xqc.Error _ -> "ERROR"
 
+(* Run [f] with the structural-index store pinned to [mode] (threshold
+   dropped so Force really indexes the tiny random documents), restoring
+   the ambient configuration afterwards. *)
+let with_index_mode mode f =
+  let saved_mode = !Xqc.Store.mode
+  and saved_min = !Xqc.Store.min_index_size
+  and saved_small = !Xqc.Store.small_subtree in
+  Xqc.Store.mode := mode;
+  Xqc.Store.min_index_size := 0;
+  Xqc.Store.small_subtree := 0;
+  Fun.protect
+    ~finally:(fun () ->
+      Xqc.Store.mode := saved_mode;
+      Xqc.Store.min_index_size := saved_min;
+      Xqc.Store.small_subtree := saved_small)
+    f
+
 let prop_all_strategies_agree =
   QCheck.Test.make ~name:"all strategies agree on random query/doc pairs"
     ~count:500 arb (fun (qi, doc) ->
@@ -123,6 +140,20 @@ let prop_streaming_is_transparent =
       List.for_all
         (fun s ->
           String.equal (run_one s doc q) (run_one ~materialize:true s doc q))
+        strategies)
+
+(* The structural-index store against the walking axis code: forcing
+   indexes on and off must never change a result, under any strategy.
+   This is the index analogue of the streaming-transparency property. *)
+let prop_index_is_transparent =
+  QCheck.Test.make ~name:"indexed and walked axes agree" ~count:250 arb
+    (fun (qi, doc) ->
+      let q = queries.(qi) in
+      List.for_all
+        (fun s ->
+          String.equal
+            (with_index_mode Xqc.Store.Force (fun () -> run_one s doc q))
+            (with_index_mode Xqc.Store.Off (fun () -> run_one s doc q)))
         strategies)
 
 (* -------- bounded pulls: the early-termination property itself -------- *)
@@ -190,6 +221,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_all_strategies_agree;
           QCheck_alcotest.to_alcotest prop_streaming_is_transparent;
+          QCheck_alcotest.to_alcotest prop_index_is_transparent;
         ] );
       ( "streaming",
         [
@@ -236,6 +268,31 @@ let () =
                       if not (String.equal (go false) (go true)) then
                         Alcotest.failf
                           "XMark %s / %s: streamed and materialized disagree"
+                          name (Xqc.strategy_name s))
+                    strategies)
+                xmark_queries);
+          Alcotest.test_case "xmark indexed vs walk" `Slow (fun () ->
+              let doc = xmark_doc () in
+              List.iter
+                (fun (name, q) ->
+                  List.iter
+                    (fun s ->
+                      let go mode =
+                        with_index_mode mode (fun () ->
+                            match
+                              Xqc.eval_string ~strategy:s
+                                ~variables:[ ("auction", [ Xqc.Item.Node doc ]) ]
+                                q
+                            with
+                            | items -> "OK:" ^ Xqc.serialize items
+                            | exception Xqc.Error m -> "ERROR:" ^ m)
+                      in
+                      if
+                        not
+                          (String.equal (go Xqc.Store.Force) (go Xqc.Store.Off))
+                      then
+                        Alcotest.failf
+                          "XMark %s / %s: indexed and walked results disagree"
                           name (Xqc.strategy_name s))
                     strategies)
                 xmark_queries);
