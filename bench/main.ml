@@ -621,6 +621,99 @@ let axis_index () =
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Planner benchmark                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The cost-based physical planner against each forced join algorithm on
+   the join-heavy workload queries.  Per query: the operators the planner
+   actually planned (from the physical plan), then warm wall time under
+   the planner's choice and under each forced algorithm — the planner
+   column should track the best forced column. *)
+let planner_bench () =
+  let module Obs = Xqc_obs.Obs in
+  let size = 1_000_000 in
+  let warm_runs = 3 in
+  let doc = Xqc_workload.Xmark.generate ~target_bytes:size () in
+  let ctx = make_xmark_ctx doc in
+  let queries =
+    [
+      ("Q8", Xqc_workload.Xmark_queries.q8);
+      ("Q9", Xqc_workload.Xmark_queries.q9);
+      ("Q12", Xqc_workload.Xmark_queries.q12);
+    ]
+  in
+  let out, close_out_fn =
+    match !metrics_json_file with
+    | None -> (stdout, fun () -> ())
+    | Some path ->
+        let oc = open_out_bin path in
+        (oc, fun () -> close_out oc)
+  in
+  let emit record =
+    output_string out (Obs.json_to_string record);
+    output_char out '\n'
+  in
+  let joins_of prepared =
+    match Xqc.physical_plan prepared with
+    | None -> "-"
+    | Some pq ->
+        let count pred =
+          Xqc.Physical.fold
+            (fun n t -> if pred t.Xqc.Physical.pop then n + 1 else n)
+            0 pq.Xqc.Physical.pmain
+        in
+        let h = count (function Xqc.Physical.PHashJoin _ -> true | _ -> false)
+        and s = count (function Xqc.Physical.PSortJoin _ -> true | _ -> false)
+        and n =
+          count (function Xqc.Physical.PNestedLoop _ -> true | _ -> false)
+        in
+        Printf.sprintf "hash=%d sort=%d nl=%d" h s n
+  in
+  let time prepared =
+    ignore (Xqc.run prepared ctx);
+    let warm = ref infinity in
+    for _ = 1 to warm_runs do
+      let t0 = Unix.gettimeofday () in
+      ignore (Xqc.run prepared ctx);
+      warm := Float.min !warm ((Unix.gettimeofday () -. t0) *. 1000.0)
+    done;
+    !warm
+  in
+  Printf.eprintf
+    "=== Planner benchmark: %dKB XMark, cost-based vs forced joins ===\n"
+    (size / 1000);
+  Printf.eprintf "%-6s %-22s %10s %10s %10s %10s\n" "query" "planner choice"
+    "planned" "force-nl" "force-hash" "force-sort";
+  List.iter
+    (fun (qname, q) ->
+      let planned = Xqc.prepare q in
+      let choice = joins_of planned in
+      let t_planned = time planned in
+      let forced alg = time (Xqc.prepare ~force_join:alg q) in
+      let t_nl = forced Xqc.Physical.Nested_loop in
+      let t_hash = forced Xqc.Physical.Hash in
+      let t_sort = forced Xqc.Physical.Sort in
+      Printf.eprintf "%-6s %-22s %9.2fms %9.2fms %9.2fms %9.2fms\n" qname
+        choice t_planned t_nl t_hash t_sort;
+      emit
+        (Obs.Obj
+           [
+             ("bench", Obs.Str "planner");
+             ("query", Obs.Str qname);
+             ("planner_choice", Obs.Str choice);
+             ("planned_ms", Obs.Float t_planned);
+             ("forced_nl_ms", Obs.Float t_nl);
+             ("forced_hash_ms", Obs.Float t_hash);
+             ("forced_sort_ms", Obs.Float t_sort);
+           ]))
+    queries;
+  flush out;
+  close_out_fn ();
+  match !metrics_json_file with
+  | Some path -> Printf.eprintf "wrote planner records to %s\n" path
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the join kernels                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -701,6 +794,7 @@ let () =
     | "metrics" -> metrics ()
     | "early-exit" -> early_exit ()
     | "axis-index" -> axis_index ()
+    | "planner" -> planner_bench ()
     | "micro" -> micro ()
     | "all" ->
         figure4 ();
@@ -711,7 +805,7 @@ let () =
         ablation ()
     | other ->
         Printf.eprintf
-          "unknown benchmark %S (expected table3|table4|table5|figure4|saxon|ablation|metrics|early-exit|axis-index|micro|all)\n"
+          "unknown benchmark %S (expected table3|table4|table5|figure4|saxon|ablation|metrics|early-exit|axis-index|planner|micro|all)\n"
           other;
         Stdlib.exit 1
   in

@@ -15,11 +15,6 @@ open Xqc_frontend
 
 type field = string
 
-type join_algorithm = Nested_loop | Hash | Sort
-(** Physical annotation on Join/LOuterJoin, chosen by the optimizer's
-    physical phase; Nested_loop is always sound, Hash requires an
-    equality predicate split across the two inputs, Sort an inequality. *)
-
 type sort_spec = { skey : plan; sdir : Ast.sort_dir; sempty : Ast.empty_order }
 
 and group_spec = {
@@ -78,8 +73,8 @@ and plan =
   (* --- select, project, join --- *)
   | Select of plan * plan  (** Select{pred}(input) *)
   | Product of plan * plan
-  | Join of join_algorithm * join_pred * plan * plan
-  | LOuterJoin of join_algorithm * field * join_pred * plan * plan
+  | Join of join_pred * plan * plan
+  | LOuterJoin of field * join_pred * plan * plan
   (* --- maps --- *)
   | Map of plan * plan  (** Map{dep: τ1 -> τ2}(input) *)
   | OMap of field * plan
@@ -119,10 +114,10 @@ let children_of (p : plan) : plan list =
   | TupleConstruct fields -> List.map snd fields
   | Select (d, i) -> [ d; i ]
   | Product (a, b) -> [ a; b ]
-  | Join (_, Pred d, a, b) -> [ d; a; b ]
-  | Join (_, Split_pred { left_key; right_key; _ }, a, b) -> [ left_key; right_key; a; b ]
-  | LOuterJoin (_, _, Pred d, a, b) -> [ d; a; b ]
-  | LOuterJoin (_, _, Split_pred { left_key; right_key; _ }, a, b) ->
+  | Join (Pred d, a, b) -> [ d; a; b ]
+  | Join (Split_pred { left_key; right_key; _ }, a, b) -> [ left_key; right_key; a; b ]
+  | LOuterJoin (_, Pred d, a, b) -> [ d; a; b ]
+  | LOuterJoin (_, Split_pred { left_key; right_key; _ }, a, b) ->
       [ left_key; right_key; a; b ]
   | Map (d, i) | MapConcat (d, i) -> [ d; i ]
   | OMap (_, i) -> [ i ]
@@ -157,8 +152,8 @@ let rec map_children (f : plan -> plan) (p : plan) : plan =
   | TupleConstruct fields -> TupleConstruct (List.map (fun (q, p) -> (q, f p)) fields)
   | Select (d, i) -> Select (f d, f i)
   | Product (a, b) -> Product (f a, f b)
-  | Join (alg, pred, a, b) -> Join (alg, map_pred f pred, f a, f b)
-  | LOuterJoin (alg, q, pred, a, b) -> LOuterJoin (alg, q, map_pred f pred, f a, f b)
+  | Join (pred, a, b) -> Join (map_pred f pred, f a, f b)
+  | LOuterJoin (q, pred, a, b) -> LOuterJoin (q, map_pred f pred, f a, f b)
   | Map (d, i) -> Map (f d, f i)
   | OMap (q, i) -> OMap (q, f i)
   | MapConcat (d, i) -> MapConcat (f d, f i)
@@ -200,7 +195,7 @@ let rec input_fields (p : plan) : field list =
       input_fields i
   | OrderBy (_, i) -> input_fields i
   | GroupBy (_, i) -> input_fields i
-  | Join (_, _, a, b) | LOuterJoin (_, _, _, a, b) ->
+  | Join (_, a, b) | LOuterJoin (_, _, a, b) ->
       input_fields a @ input_fields b
   | other -> List.concat_map input_fields (children_of other)
 
@@ -221,7 +216,7 @@ let rec uses_input (p : plan) : bool =
   | OrderBy (_, i)
   | GroupBy (_, i) ->
       uses_input i
-  | Join (_, _, a, b) | LOuterJoin (_, _, _, a, b) -> uses_input a || uses_input b
+  | Join (_, a, b) | LOuterJoin (_, _, a, b) -> uses_input a || uses_input b
   | other -> List.exists uses_input (children_of other)
 
 (* Does the plan use IN as a whole (the bare Input leaf, e.g. as the
@@ -243,7 +238,7 @@ let rec uses_bare_input (p : plan) : bool =
   | OrderBy (_, i)
   | GroupBy (_, i) ->
       uses_bare_input i
-  | Join (_, _, a, b) | LOuterJoin (_, _, _, a, b) ->
+  | Join (_, a, b) | LOuterJoin (_, _, a, b) ->
       uses_bare_input a || uses_bare_input b
   | other -> List.exists uses_bare_input (children_of other)
 
@@ -255,8 +250,8 @@ let rec output_fields (p : plan) : field list =
   | TupleConstruct fields -> List.map fst fields
   | Select (_, i) | OrderBy (_, i) -> output_fields i
   | Product (a, b) -> output_fields a @ output_fields b
-  | Join (_, _, a, b) -> output_fields a @ output_fields b
-  | LOuterJoin (_, q, _, a, b) -> (q :: output_fields a) @ output_fields b
+  | Join (_, a, b) -> output_fields a @ output_fields b
+  | LOuterJoin (q, _, a, b) -> (q :: output_fields a) @ output_fields b
   | Map (d, _) -> output_fields d
   | OMap (q, i) -> q :: output_fields i
   | MapConcat (d, i) -> output_fields i @ output_fields d

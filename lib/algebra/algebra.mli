@@ -15,12 +15,6 @@ type field = string
 (** Tuple field names (the paper's q).  Normalization alpha-renames all
     variables, so fields are globally unique within a plan. *)
 
-(** Physical annotation on joins, chosen by the optimizer's physical
-    phase.  [Nested_loop] is always sound; [Hash] requires an equality
-    predicate split across the two inputs (Section 6, Figure 6); [Sort]
-    an inequality. *)
-type join_algorithm = Nested_loop | Hash | Sort
-
 type sort_spec = {
   skey : plan;  (** dependent key plan, atomized per tuple *)
   sdir : Ast.sort_dir;
@@ -93,10 +87,13 @@ and plan =
   (* selection, product, joins *)
   | Select of plan * plan
   | Product of plan * plan  (** left-major pair order *)
-  | Join of join_algorithm * join_pred * plan * plan
+  | Join of join_pred * plan * plan
       (** order-preserving: left-major, matches in right order,
-          de-duplicated per the existential predicate semantics *)
-  | LOuterJoin of join_algorithm * field * join_pred * plan * plan
+          de-duplicated per the existential predicate semantics.  The
+          logical operator carries no execution strategy: the join
+          algorithm, build side and materialization points are chosen by
+          the physical planner (see {!Physical}). *)
+  | LOuterJoin of field * join_pred * plan * plan
       (** adds a boolean null-flag field (true on unmatched left rows,
           whose right fields are empty sequences) *)
   (* maps *)

@@ -6,11 +6,6 @@ open Xqc_types
 open Xqc_frontend
 open Algebra
 
-let join_alg_to_string = function
-  | Nested_loop -> "nl"
-  | Hash -> "hash"
-  | Sort -> "sort"
-
 let pred_params = function
   | Pred _ -> ""
   | Split_pred { op; _ } -> Printf.sprintf "<%s>" (Promotion.cmp_op_name op)
@@ -74,13 +69,11 @@ let rec pp ?(indent = 0) ppf (p : plan) =
   | FieldAccess q -> line "IN#%s" q
   | Select (d, i) -> op "Select" "" [ d ] [ i ]
   | Product (a, b) -> op "Product" "" [] [ a; b ]
-  | Join (alg, pred, a, b) ->
+  | Join (pred, a, b) ->
+      op (Printf.sprintf "Join%s" (pred_params pred)) "" (pred_plans pred) [ a; b ]
+  | LOuterJoin (q, pred, a, b) ->
       op
-        (Printf.sprintf "Join<%s>%s" (join_alg_to_string alg) (pred_params pred))
-        "" (pred_plans pred) [ a; b ]
-  | LOuterJoin (alg, q, pred, a, b) ->
-      op
-        (Printf.sprintf "LOuterJoin<%s>%s" (join_alg_to_string alg) (pred_params pred))
+        (Printf.sprintf "LOuterJoin%s" (pred_params pred))
         q (pred_plans pred) [ a; b ]
   | Map (d, i) -> op "Map" "" [ d ] [ i ]
   | OMap (q, i) -> op "OMap" q [] [ i ]
@@ -152,10 +145,9 @@ let node_label (p : plan) : string =
   | FieldAccess q -> Printf.sprintf "IN#%s" q
   | Select _ -> "Select"
   | Product _ -> "Product"
-  | Join (alg, pred, _, _) ->
-      Printf.sprintf "Join<%s>%s" (join_alg_to_string alg) (pred_params pred)
-  | LOuterJoin (alg, q, pred, _, _) ->
-      Printf.sprintf "LOuterJoin<%s>%s[%s]" (join_alg_to_string alg) (pred_params pred) q
+  | Join (pred, _, _) -> Printf.sprintf "Join%s" (pred_params pred)
+  | LOuterJoin (q, pred, _, _) ->
+      Printf.sprintf "LOuterJoin%s[%s]" (pred_params pred) q
   | Map _ -> "Map"
   | OMap (q, _) -> Printf.sprintf "OMap[%s]" q
   | MapConcat _ -> "MapConcat"
@@ -180,7 +172,8 @@ let node_label (p : plan) : string =
 
 (* EXPLAIN ANALYZE rendering of an instrumented plan: the indented
    operator tree annotated with call counts, cumulative (inclusive)
-   time, output cardinality and, on joins, build/probe statistics. *)
+   time, output cardinality (estimated vs actual when the planner
+   annotated the operator) and, on joins, build/probe statistics. *)
 let analyze_to_string (root : Xqc_obs.Obs.op_node) : string =
   let open Xqc_obs in
   let buf = Buffer.create 1024 in
@@ -191,6 +184,11 @@ let analyze_to_string (root : Xqc_obs.Obs.op_node) : string =
     | 0, i -> Printf.sprintf "items=%d" i
     | t, i -> Printf.sprintf "tuples=%d items=%d" t i
   in
+  let estimate (n : Obs.op_node) =
+    match n.Obs.on_est with
+    | None -> ""
+    | Some e -> Printf.sprintf " est=%.0f" e
+  in
   let mode (n : Obs.op_node) =
     match n.Obs.on_stream with
     | Obs.Opaque -> ""
@@ -199,9 +197,9 @@ let analyze_to_string (root : Xqc_obs.Obs.op_node) : string =
   let rec go indent (n : Obs.op_node) =
     let st = n.Obs.on_stats in
     Buffer.add_string buf
-      (Printf.sprintf "%s%s  (calls=%d time=%.3fms %s%s)" (String.make indent ' ')
+      (Printf.sprintf "%s%s  (calls=%d time=%.3fms %s%s%s)" (String.make indent ' ')
          n.Obs.on_label st.Obs.op_calls (Obs.ms st.Obs.op_secs) (cardinality st)
-         (mode n));
+         (estimate n) (mode n));
     (match n.Obs.on_join with
     | Some js -> Buffer.add_string buf ("  [" ^ Obs.join_stats_to_string js ^ "]")
     | None -> ());
@@ -263,3 +261,155 @@ let rec operator_names (p : plan) : string list =
     | MapEvery _ -> "MapEvery"
   in
   name :: List.concat_map operator_names (children_of p)
+
+(* ------------------------------------------------------------------ *)
+(* Physical plans                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cmp_tag op = Printf.sprintf "<%s>" (Promotion.cmp_op_name op)
+
+let pstep_label (s : Physical.pstep) : string =
+  Printf.sprintf "%s[%s::%s]"
+    (match s.Physical.ps_impl with
+    | Physical.Index_scan -> "IndexScan"
+    | Physical.Tree_walk -> "TreeWalk")
+    (Ast.axis_to_string s.Physical.ps_axis)
+    (Ast.node_test_to_string s.Physical.ps_test)
+
+let stream_call_tag (sc : Physical.stream_call) : string =
+  match sc with
+  | Physical.SExists _ -> "early-exit"
+  | Physical.SCount -> "index-count"
+  | Physical.SSubseq -> "prefix"
+
+let outer_tag = function
+  | None -> ""
+  | Some q -> Printf.sprintf "[outer %s]" q
+
+(* One-line label of a physical operator.  Mirror operators reuse the
+   logical labels (so instrumented cardinality reports stay comparable
+   across the two algebras); the strategy-carrying operators name their
+   choice: PHashJoin<eq>[build=left], StreamSelect[limit=1], ... *)
+let physical_label (p : Physical.t) : string =
+  let open Physical in
+  match p.pop with
+  | PInput -> "IN"
+  | PEmpty -> "Empty"
+  | PScalar a -> Printf.sprintf "Scalar[%s]" (Atomic.to_string a)
+  | PSeq _ -> "Sequence"
+  | PElement (n, _) -> Printf.sprintf "Element[%s]" n
+  | PAttribute (n, _) -> Printf.sprintf "Attribute[%s]" n
+  | PText _ -> "Text"
+  | PComment _ -> "Comment"
+  | PPi (n, _) -> Printf.sprintf "PI[%s]" n
+  | PSteps { steps; ordered; _ } ->
+      Printf.sprintf "Steps[%d%s]" (List.length steps)
+        (if ordered then ",ordered" else "")
+  | PTreeProject _ -> "TreeProject[paths]"
+  | PCastable (tn, _, _) ->
+      Printf.sprintf "Castable[%s]" (Atomic.type_name_to_string tn)
+  | PCast (tn, _, _) -> Printf.sprintf "Cast[%s]" (Atomic.type_name_to_string tn)
+  | PValidate _ -> "Validate"
+  | PTypeMatches (ty, _) ->
+      Printf.sprintf "TypeMatches[%s]" (Seqtype.to_string ty)
+  | PTypeAssert (ty, _) -> Printf.sprintf "TypeAssert[%s]" (Seqtype.to_string ty)
+  | PVar q -> Printf.sprintf "Var[%s]" q
+  | PCall (f, _) -> Printf.sprintf "Call[%s]" f
+  | PCallStream (sc, f, _) ->
+      Printf.sprintf "StreamCall[%s,%s]" f (stream_call_tag sc)
+  | PCond _ -> "Cond"
+  | PQuantified (q, v, _, _) ->
+      Printf.sprintf "%s[%s]"
+        (match q with Ast.Some_quant -> "Some" | Ast.Every_quant -> "Every")
+        v
+  | PParse _ -> "Parse"
+  | PSerialize (uri, _) -> Printf.sprintf "Serialize[%s]" uri
+  | PTupleConstruct [] -> "[]"
+  | PTupleConstruct fields ->
+      Printf.sprintf "[%s]" (String.concat ";" (List.map fst fields))
+  | PFieldAccess q -> Printf.sprintf "IN#%s" q
+  | PSelect _ -> "Select"
+  | PStreamSelect { bound; _ } -> Printf.sprintf "StreamSelect[limit=%d]" bound
+  | PProduct _ -> "Product"
+  | PNestedLoop { outer; pred; _ } ->
+      Printf.sprintf "PNestedLoop%s%s"
+        (match pred with PWholePred _ -> "" | PSplitPred { op; _ } -> cmp_tag op)
+        (outer_tag outer)
+  | PHashJoin { outer; build; _ } ->
+      Printf.sprintf "PHashJoin<eq>[build=%s]%s" (build_side_name build)
+        (outer_tag outer)
+  | PSortJoin { outer; op; _ } ->
+      Printf.sprintf "PSortJoin%s%s" (cmp_tag op) (outer_tag outer)
+  | PMaterialize _ -> "Materialize"
+  | PMap _ -> "Map"
+  | POMap (q, _) -> Printf.sprintf "OMap[%s]" q
+  | PMapConcat _ -> "MapConcat"
+  | POMapConcat (q, _, _) -> Printf.sprintf "OMapConcat[%s]" q
+  | PMapIndex (q, _) -> Printf.sprintf "MapIndex[%s]" q
+  | PMapIndexStep (q, _) -> Printf.sprintf "MapIndexStep[%s]" q
+  | POrderBy (specs, _) ->
+      Printf.sprintf "OrderBy[%s]"
+        (String.concat ","
+           (List.map
+              (fun s ->
+                match s.psdir with
+                | Ast.Ascending -> "asc"
+                | Ast.Descending -> "desc")
+              specs))
+  | PGroupBy (g, _) ->
+      Printf.sprintf "GroupBy[%s,[%s],[%s]]" g.pg_agg
+        (String.concat ";" g.pg_indices)
+        (String.concat ";" g.pg_nulls)
+  | PMapFromItem _ -> "MapFromItem"
+  | PMapToItem _ -> "MapToItem"
+  | PMapSome _ -> "MapSome"
+  | PMapEvery _ -> "MapEvery"
+
+let est_num (x : float) : string =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.1f" x
+
+(* The physical plan, one operator per line with the planner's estimated
+   output cardinality and cumulative cost; fused navigation chains list
+   their steps (with per-step estimates) under the Steps node. *)
+let physical_to_string (p : Physical.t) : string =
+  let buf = Buffer.create 1024 in
+  let rec go indent (p : Physical.t) =
+    let e = p.Physical.pest in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s  (est_rows=%s cost=%s)\n" (String.make indent ' ')
+         (physical_label p) (est_num e.Physical.est_rows)
+         (est_num e.Physical.est_cost));
+    (match p.Physical.pop with
+    | Physical.PSteps { steps; _ } ->
+        List.iter
+          (fun s ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s  (est_rows=%s)\n"
+                 (String.make (indent + 2) ' ')
+                 (pstep_label s)
+                 (est_num s.Physical.ps_est)))
+          steps
+    | _ -> ());
+    List.iter (go (indent + 2)) (Physical.children p)
+  in
+  go 0 p;
+  Buffer.contents buf
+
+let physical_query_to_string (q : Physical.query) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "function %s(%s):\n%s" f.Physical.pf_name
+           (String.concat ", " f.Physical.pf_params)
+           (physical_to_string f.Physical.pf_body)))
+    q.Physical.pfunctions;
+  List.iter
+    (fun (v, p) ->
+      Buffer.add_string buf
+        (Printf.sprintf "global $%s:\n%s" v (physical_to_string p)))
+    q.Physical.pglobals;
+  Buffer.add_string buf (physical_to_string q.Physical.pmain);
+  Buffer.contents buf

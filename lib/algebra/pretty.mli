@@ -2,8 +2,6 @@
     [Op\[params\]{dependents}(inputs)] — indented one operator per line as
     in the paper's plan listings (P1, P1', P2, ...). *)
 
-val join_alg_to_string : Algebra.join_algorithm -> string
-
 val pp : ?indent:int -> Format.formatter -> Algebra.plan -> unit
 
 val to_string : Algebra.plan -> string
@@ -23,3 +21,20 @@ val size : Algebra.plan -> int
 val operator_names : Algebra.plan -> string list
 (** The multiset of operator names, preorder — used by tests to assert
     plan shapes (e.g. one GroupBy, one LOuterJoin, no MapConcat). *)
+
+(** {1 Physical plans} *)
+
+val pstep_label : Physical.pstep -> string
+(** [IndexScan\[descendant::item\]] / [TreeWalk\[child::name\]]. *)
+
+val physical_label : Physical.t -> string
+(** One-line label of a physical operator.  Mirror operators reuse the
+    logical labels; strategy-carrying operators name their choice
+    ([PHashJoin<eq>\[build=left\]], [StreamSelect\[limit=1\]], ...). *)
+
+val physical_to_string : Physical.t -> string
+(** The physical plan, one operator per line with the planner's
+    estimated output cardinality and cumulative cost. *)
+
+val physical_query_to_string : Physical.query -> string
+(** All planned plans of a query (functions, globals, main). *)

@@ -2,7 +2,8 @@
 
    The pipeline is the paper's: parse -> normalize (XQuery Core) ->
    algebraic compilation (Section 4) -> logical rewriting (Section 5) ->
-   physical join selection (Section 6) -> evaluation.  The [strategy]
+   cost-based physical planning (Section 6, join algorithms and build
+   sides chosen from index statistics) -> evaluation.  The [strategy]
    type exposes the four engine configurations measured in Table 3, plus
    the indexed interpreter that stands in for Saxon in Table 5.
 
@@ -29,9 +30,11 @@ module Xq_parser = Xqc_frontend.Xq_parser
 module Core_ast = Xqc_frontend.Core_ast
 module Normalize = Xqc_frontend.Normalize
 module Algebra = Xqc_algebra.Algebra
+module Physical = Xqc_algebra.Physical
 module Pretty = Xqc_algebra.Pretty
 module Compile = Xqc_compiler.Compile
 module Rewrite = Xqc_optimizer.Rewrite
+module Planner = Xqc_optimizer.Planner
 module Doc_paths = Xqc_optimizer.Doc_paths
 module Eval = Xqc_runtime.Eval
 module Projection = Xqc_runtime.Projection
@@ -65,7 +68,9 @@ type prepared = {
   source : string;
   strategy : strategy;
   core : Core_ast.cquery;
-  plan : Algebra.plan option;  (** main plan, after this strategy's rewriting *)
+  plan : Algebra.plan option;  (** logical main plan, after this strategy's rewriting *)
+  pplan : Physical.query option;
+      (** the cost-based planner's physical plans (algebraic strategies) *)
   projection : (string * Doc_paths.spec list option) list;
       (** per-free-variable projection paths (empty unless ~project) *)
   runner : Dynamic_ctx.t -> Item.sequence;
@@ -79,13 +84,41 @@ exception Error of string
 
 let optimizer_options = function
   | Optimized -> Some Rewrite.default_options
-  | Optimized_nl -> Some { Rewrite.unnest = true; physical_joins = false; static_types = true }
-  | Algebra_unoptimized -> Some { Rewrite.unnest = false; physical_joins = false; static_types = false }
+  | Optimized_nl -> Some { Rewrite.unnest = true; split_preds = false; static_types = true }
+  | Algebra_unoptimized -> Some { Rewrite.unnest = false; split_preds = false; static_types = false }
   | No_algebra | Saxon_like -> None
+
+(* The physical planner's configuration per strategy: the nested-loop
+   strategies pin the join algorithm (their predicates are unsplit
+   anyway, so this is belt and braces); [~force_join] overrides for the
+   planner-agreement tests and benchmarks. *)
+let planner_config strategy force_join : Planner.config =
+  let default =
+    match strategy with
+    | Optimized_nl | Algebra_unoptimized -> Some Physical.Nested_loop
+    | No_algebra | Saxon_like | Optimized -> None
+  in
+  { Planner.force_join = (match force_join with Some _ as f -> f | None -> default) }
+
+let plan_query config (q : Compile.compiled_query) : Physical.query =
+  {
+    Physical.pfunctions =
+      List.map
+        (fun (f : Compile.compiled_function) ->
+          {
+            Physical.pf_name = f.Compile.fn_name;
+            pf_params = f.Compile.fn_params;
+            pf_body = Planner.plan ~config f.Compile.fn_body;
+          })
+        q.Compile.cfunctions;
+    pglobals =
+      List.map (fun (v, p) -> (v, Planner.plan ~config p)) q.Compile.cglobals;
+    pmain = Planner.plan ~config q.Compile.cmain;
+  }
 
 let optimize_query ?trace strategy (q : Compile.compiled_query) : Compile.compiled_query =
   match optimizer_options strategy with
-  | None | Some { Rewrite.unnest = false; physical_joins = false; static_types = false } -> q
+  | None | Some { Rewrite.unnest = false; split_preds = false; static_types = false } -> q
   | Some options ->
       {
         Compile.cmain = Rewrite.optimize ~options ?trace q.Compile.cmain;
@@ -140,7 +173,7 @@ let with_projection ?(ph = fun _name f -> f ())
    inferred projection paths before evaluation (Marian-Siméon document
    projection). *)
 let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
-    ?(materialize = false) (source : string) : prepared =
+    ?(materialize = false) ?force_join (source : string) : prepared =
   let collector = if stats then Some (Obs.collector ()) else None in
   (* time a prepare-side phase *)
   let ph name f = match collector with Some c -> Obs.phase c name f | None -> f () in
@@ -164,16 +197,18 @@ let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
         if project then ph "projection analysis" (fun () -> Doc_paths.analyze core)
         else []
       in
-      let finish runner plan =
+      let finish runner plan pplan =
         let runner =
           if project then with_projection ~ph:(fun n f -> ph n f) projection runner
           else runner
         in
-        { source; strategy; core; plan; projection; runner; stats = collector }
+        { source; strategy; core; plan; pplan; projection; runner; stats = collector }
       in
       match strategy with
-      | No_algebra -> finish (timed_runner "eval" (fun ctx -> Interp.run ctx core)) None
-      | Saxon_like -> finish (timed_runner "eval" (fun ctx -> Indexed.run ctx core)) None
+      | No_algebra ->
+          finish (timed_runner "eval" (fun ctx -> Interp.run ctx core)) None None
+      | Saxon_like ->
+          finish (timed_runner "eval" (fun ctx -> Indexed.run ctx core)) None None
       | Algebra_unoptimized | Optimized_nl | Optimized ->
           let compiled = ph "compile" (fun () -> Compile.compile_query core) in
           let compiled =
@@ -181,6 +216,14 @@ let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
                 optimize_query
                   ?trace:(Option.map (fun c -> c.Obs.co_rewrite) collector)
                   strategy compiled)
+          in
+          (* cost-based physical planning: every execution-strategy
+             decision (join algorithm, build side, index-vs-walk,
+             streaming bounds, materialization points) is made here,
+             fed by the store's index statistics *)
+          let planned =
+            ph "plan" (fun () ->
+                plan_query (planner_config strategy force_join) compiled)
           in
           (* [Eval.run] recompiles closures per run, so toggling the
              materialization knob around it covers the whole plan *)
@@ -190,24 +233,27 @@ let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
               Eval.force_materialize := true;
               Fun.protect
                 ~finally:(fun () -> Eval.force_materialize := saved)
-                (fun () -> Eval.run ?stats:collector ctx compiled)
+                (fun () -> Eval.run ?stats:collector ctx planned)
             end
-            else Eval.run ?stats:collector ctx compiled
+            else Eval.run ?stats:collector ctx planned
           in
-          finish run_compiled (Some compiled.Compile.cmain))
+          finish run_compiled (Some compiled.Compile.cmain) (Some planned))
 
 (* ------------------------------------------------------------------ *)
 (* Prepared-plan cache                                                 *)
 (* ------------------------------------------------------------------ *)
 
 (* LRU cache over [prepare], keyed by everything that shapes the
-   compiled plan: query text, strategy, and the projection and
-   materialization knobs.  Stats-collecting preparations are never
-   cached — each caller of [~stats:true] expects its own collector.
-   Recency is a global tick; eviction scans for the minimum (the cache
-   is small, capacity beats constant factors). *)
+   compiled plan: query text, strategy, the projection and
+   materialization knobs, and the store's index mode — physical planning
+   is statistics-sensitive, so a plan prepared with indexing off must not
+   be reused once indexes are available (and vice versa).
+   Stats-collecting preparations are never cached — each caller of
+   [~stats:true] expects its own collector.  Recency is a global tick;
+   eviction scans for the minimum (the cache is small, capacity beats
+   constant factors). *)
 
-type plan_key = string * strategy * bool * bool
+type plan_key = string * strategy * bool * bool * Store.mode
 
 let plan_cache : (plan_key, prepared * int ref) Hashtbl.t = Hashtbl.create 32
 let plan_cache_capacity = ref 128
@@ -235,7 +281,7 @@ let evict_lru () =
 
 let prepare_cached ?(strategy = Optimized) ?(project = false)
     ?(materialize = false) (source : string) : prepared =
-  let key = (source, strategy, project, materialize) in
+  let key = (source, strategy, project, materialize, !Store.mode) in
   incr plan_tick;
   match Hashtbl.find_opt plan_cache key with
   | Some (p, tick) ->
@@ -273,12 +319,12 @@ let parse_document ?uri (xml : string) : Node.t = Xml_parser.parse_string ?uri x
 let serialize (s : Item.sequence) : string = Serializer.sequence_to_string s
 
 (* One-shot evaluation with optional bindings. *)
-let eval_string ?strategy ?project ?materialize ?schema ?(variables = [])
-    ?(documents = []) (source : string) : Item.sequence =
+let eval_string ?strategy ?project ?materialize ?force_join ?schema
+    ?(variables = []) ?(documents = []) (source : string) : Item.sequence =
   let ctx = context ?schema () in
   List.iter (fun (name, value) -> bind_variable ctx name value) variables;
   List.iter (fun (uri, doc) -> bind_document ctx uri doc) documents;
-  run (prepare ?strategy ?project ?materialize source) ctx
+  run (prepare ?strategy ?project ?materialize ?force_join source) ctx
 
 (* A multi-section compilation report: the Core form and the logical plan
    before and after optimization, in the paper's notation, plus the
@@ -318,9 +364,13 @@ let explain ?(strategy = Optimized) (source : string) : string =
   | None -> ()
   | Some options ->
       let trace = Obs.rewrite_trace () in
+      let optimized = Rewrite.optimize ~options ~trace compiled.Compile.cmain in
       Buffer.add_string buf "\n\n=== Optimized plan ===\n";
+      Buffer.add_string buf (Pretty.to_string optimized);
+      Buffer.add_string buf "\n\n=== Physical plan ===\n";
+      let config = planner_config strategy None in
       Buffer.add_string buf
-        (Pretty.to_string (Rewrite.optimize ~options ~trace compiled.Compile.cmain));
+        (Pretty.physical_to_string (Planner.plan ~config optimized));
       if Obs.total_firings trace > 0 then begin
         Buffer.add_string buf "\n\n=== Rewrite trace ===\n";
         Buffer.add_string buf (Obs.rewrite_to_string trace)
@@ -333,6 +383,8 @@ let explain ?(strategy = Optimized) (source : string) : string =
 (* ------------------------------------------------------------------ *)
 
 let stats (p : prepared) : Obs.collector option = p.stats
+
+let physical_plan (p : prepared) : Physical.query option = p.pplan
 
 (* Render the statistics a [~stats:true] prepared query has collected so
    far: pipeline phase timings, the rewrite-rule trace, and (after at

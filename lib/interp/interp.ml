@@ -124,6 +124,15 @@ and eval_flwor h ctx env clauses orders ret =
             [])
       in
       let envs = List.rev !envs in
+      (* keys are classified once into typed comparison classes — the
+         same [Promotion.order_key] ordering the algebraic evaluator
+         uses, so all strategies sort mixed-type keys identically *)
+      let classify a =
+        match Promotion.order_key a with
+        | k -> k
+        | exception Promotion.Type_mismatch _ ->
+            Dynamic_ctx.dynamic_error "order by: incomparable values"
+      in
       let keyed =
         List.map
           (fun env ->
@@ -132,7 +141,7 @@ and eval_flwor h ctx env clauses orders ret =
                 (fun o ->
                   match Item.atomize (eval h ctx env o.ckey) with
                   | [] -> None
-                  | [ a ] -> Some a
+                  | [ a ] -> Some (classify a)
                   | _ -> Dynamic_ctx.dynamic_error "order by key is not a singleton")
                 orders
             in
@@ -151,9 +160,11 @@ and eval_flwor h ctx env clauses orders ret =
                     match o.cempty with Ast.Empty_least -> -1 | Ast.Empty_greatest -> 1)
                 | Some _, None -> (
                     match o.cempty with Ast.Empty_least -> 1 | Ast.Empty_greatest -> -1)
-                | Some a, Some b ->
-                    Atomic.compare_same_type (Promotion.convert_operand a b)
-                      (Promotion.convert_operand b a)
+                | Some a, Some b -> (
+                    match Promotion.compare_order_keys a b with
+                    | c -> c
+                    | exception Promotion.Type_mismatch _ ->
+                        Dynamic_ctx.dynamic_error "order by: incomparable values")
               in
               let c = match o.cdir with Ast.Ascending -> c | Ast.Descending -> -c in
               if c <> 0 then c else go r1 r2 rs

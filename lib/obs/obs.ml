@@ -266,6 +266,7 @@ type op_node = {
   on_stats : op_stats;
   on_join : join_stats option;
   on_stream : stream_kind;
+  on_est : float option;  (* planner's estimated output cardinality *)
   mutable on_children : op_node list;
 }
 
@@ -276,10 +277,11 @@ type builder = { mutable bd_stack : op_node list; mutable bd_root : op_node opti
 
 let builder () = { bd_stack = []; bd_root = None }
 
-let push_node (b : builder) ?join ?(stream = Opaque) (label : string) : op_node =
+let push_node (b : builder) ?join ?(stream = Opaque) ?est (label : string) :
+    op_node =
   let n =
     { on_label = label; on_stats = op_stats (); on_join = join; on_stream = stream;
-      on_children = [] }
+      on_est = est; on_children = [] }
   in
   (match b.bd_stack with
   | parent :: _ -> parent.on_children <- n :: parent.on_children
@@ -473,6 +475,9 @@ let rec op_node_to_json (n : op_node) : json =
        ("time_ms", Float (ms st.op_secs));
        ("tuples", Int st.op_tuples);
        ("items", Int st.op_items);
+       ( "estimated_rows",
+         match n.on_est with Some e -> Float e | None -> Null );
+       ("actual_rows", Int (st.op_tuples + st.op_items));
      ]
     @ (match n.on_stream with
       | Opaque -> []

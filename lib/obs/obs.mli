@@ -128,6 +128,9 @@ type op_node = {
   on_stats : op_stats;
   on_join : join_stats option;
   on_stream : stream_kind;
+  on_est : float option;
+      (** the physical planner's estimated output cardinality, rendered
+          as estimated-vs-actual in EXPLAIN ANALYZE and the stats JSON *)
   mutable on_children : op_node list;
 }
 
@@ -137,9 +140,11 @@ type builder
 
 val builder : unit -> builder
 
-val push_node : builder -> ?join:join_stats -> ?stream:stream_kind -> string -> op_node
+val push_node :
+  builder -> ?join:join_stats -> ?stream:stream_kind -> ?est:float -> string -> op_node
 (** Create a node, attach it under the current parent (or as root), and
-    make it the current parent.  [stream] defaults to [Opaque]. *)
+    make it the current parent.  [stream] defaults to [Opaque]; [est] is
+    the planner's cardinality estimate, if the operator has one. *)
 
 val pop_node : builder -> unit
 (** Close the current node, restoring its children to source order. *)

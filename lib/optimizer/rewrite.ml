@@ -24,9 +24,12 @@
          => LOuterJoin[null]{p}(Op2, Op1)
 
    The driver applies rules top-down (outer nesting levels first) to a
-   fixpoint; see the note at rewrite_pass.  A separate physical pass
-   (choose_join_algorithms) splits join predicates whose two sides touch
-   disjoint inputs and picks the hash or sort algorithm of Section 6, and
+   fixpoint; see the note at rewrite_pass.  A separate pass
+   (split_join_predicates) splits join predicates whose two sides touch
+   disjoint inputs into independent key plans — the shape the Section 6
+   hash/sort joins can execute.  Which algorithm actually runs (and on
+   which build side) is decided later by the cost-based physical planner
+   (Planner); the logical plan carries no algorithm annotation.
    Static_type.simplify removes provable dynamic type tests. *)
 
 open Xqc_algebra
@@ -174,7 +177,6 @@ type chain = {
   ch_context : plan -> plan;  (** rebuild the chain around a replacement *)
   ch_right : plan;  (** the independent right input of the buried join *)
   ch_pred : plan option;  (** predicate collected from the buried Join/Selects *)
-  ch_alg : join_algorithm;
   ch_mis_below : field list;  (** MapIndexStep fields introduced below *)
   ch_introduced : field list;  (** all fields the chain adds to tuples *)
 }
@@ -186,13 +188,12 @@ let and_pred (a : plan option) (b : plan) : plan option =
 
 let rec find_input_join (d : plan) : chain option =
   match d with
-  | Join (alg, Pred jp, Input, x) when not (uses_input x) ->
+  | Join (Pred jp, Input, x) when not (uses_input x) ->
       Some
         {
           ch_context = (fun h -> h);
           ch_right = x;
           ch_pred = Some jp;
-          ch_alg = alg;
           ch_mis_below = [];
           ch_introduced = [];
         }
@@ -202,7 +203,6 @@ let rec find_input_join (d : plan) : chain option =
           ch_context = (fun h -> h);
           ch_right = x;
           ch_pred = None;
-          ch_alg = Nested_loop;
           ch_mis_below = [];
           ch_introduced = [];
         }
@@ -239,12 +239,12 @@ let rec find_input_join (d : plan) : chain option =
               ch_introduced = g.g_agg :: ch.ch_introduced;
             }
       | Some _ | None -> None)
-  | LOuterJoin (alg2, q2, pred2, left, right) when not (uses_input right) ->
+  | LOuterJoin (q2, pred2, left, right) when not (uses_input right) ->
       Option.map
         (fun ch ->
           {
             ch with
-            ch_context = (fun h -> LOuterJoin (alg2, q2, pred2, ch.ch_context h, right));
+            ch_context = (fun h -> LOuterJoin (q2, pred2, ch.ch_context h, right));
             ch_introduced = (q2 :: output_fields right) @ ch.ch_introduced;
           })
         (find_input_join left)
@@ -339,7 +339,7 @@ let rewrite_at (p : plan) : (string * plan) option =
       Some ("insert product", Product (input, dep))
   (* (insert join) *)
   | Select (pred, Product (a, b)) ->
-      Some ("insert join", Join (Nested_loop, Pred pred, a, b))
+      Some ("insert join", Join (Pred pred, a, b))
   (* (select / map-index-step commutation): sound for MapIndexStep, whose
      contract is only distinct ascending integers *)
   | Select (pred, MapIndexStep (q, input))
@@ -357,7 +357,7 @@ let rewrite_at (p : plan) : (string * plan) option =
           in
           Some
             ( "insert outer-join",
-              ch.ch_context (LOuterJoin (ch.ch_alg, null, pred, op2, ch.ch_right)) )
+              ch.ch_context (LOuterJoin (null, pred, op2, ch.ch_right)) )
       | None -> None)
   | _ -> None
 
@@ -401,7 +401,7 @@ let rewrite ?trace (p : plan) : plan =
   fix p max_passes
 
 (* ------------------------------------------------------------------ *)
-(* Physical join selection (Section 6)                                 *)
+(* Join-predicate splitting (Section 6)                                *)
 (* ------------------------------------------------------------------ *)
 
 open Xqc_types
@@ -423,19 +423,13 @@ let op_of_name = function
   | "op:general-ge" -> Some Promotion.Ge
   | _ -> None
 
-let algorithm_for = function
-  | Promotion.Eq -> Hash
-  | Promotion.Lt | Promotion.Le | Promotion.Gt | Promotion.Ge -> Sort
-  | Promotion.Ne -> Nested_loop
-
 let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
 
 (* Split a Pred into a Split_pred when it is a general comparison whose
    sides read disjoint halves of the concatenated tuple. *)
-let split_pred (pred : join_pred) (left : plan) (right : plan) :
-    (join_algorithm * join_pred) option =
+let split_pred (pred : join_pred) (left : plan) (right : plan) : join_pred option =
   match pred with
-  | Split_pred { op; _ } -> Some (algorithm_for op, pred)
+  | Split_pred _ -> Some pred
   | Pred p -> (
       let p = match p with Call ("fn:boolean", [ inner ]) -> inner | other -> other in
       match p with
@@ -446,53 +440,55 @@ let split_pred (pred : join_pred) (left : plan) (right : plan) :
               let fl = input_fields l and fr = input_fields r in
               let fa = output_fields left and fb = output_fields right in
               if subset fl fa && subset fr fb then
-                Some (algorithm_for op, Split_pred { op; left_key = l; right_key = r })
+                Some (Split_pred { op; left_key = l; right_key = r })
               else if subset fl fb && subset fr fa then
-                Some
-                  ( algorithm_for (mirror_op op),
-                    Split_pred { op = mirror_op op; left_key = r; right_key = l } )
+                Some (Split_pred { op = mirror_op op; left_key = r; right_key = l })
               else None)
       | _ -> None)
 
-let rec choose_join_algorithms ?trace (p : plan) : plan =
-  let p = map_children (choose_join_algorithms ?trace) p in
-  let note alg =
+(* The rule names record which Section 6 algorithm the split enables; the
+   cost-based planner makes the final call (and may still pick a nested
+   loop when the inputs are tiny). *)
+let rec split_join_predicates ?trace (p : plan) : plan =
+  let p = map_children (split_join_predicates ?trace) p in
+  let note op =
     match trace with
     | None -> ()
     | Some t ->
         Obs.fire t
-          (match alg with
-          | Hash -> "choose hash join"
-          | Sort -> "choose sort join"
-          | Nested_loop -> "split nested-loop predicate")
+          (match op with
+          | Promotion.Eq -> "choose hash join"
+          | Promotion.Lt | Promotion.Le | Promotion.Gt | Promotion.Ge ->
+              "choose sort join"
+          | Promotion.Ne -> "split nested-loop predicate")
   in
   match p with
-  | Join (Nested_loop, pred, a, b) -> (
+  | Join ((Pred _ as pred), a, b) -> (
       match split_pred pred a b with
-      | Some (alg, pred') ->
-          note alg;
-          Join (alg, pred', a, b)
-      | None -> p)
-  | LOuterJoin (Nested_loop, q, pred, a, b) -> (
+      | Some (Split_pred { op; _ } as pred') ->
+          note op;
+          Join (pred', a, b)
+      | Some _ | None -> p)
+  | LOuterJoin (q, (Pred _ as pred), a, b) -> (
       match split_pred pred a b with
-      | Some (alg, pred') ->
-          note alg;
-          LOuterJoin (alg, q, pred', a, b)
-      | None -> p)
+      | Some (Split_pred { op; _ } as pred') ->
+          note op;
+          LOuterJoin (q, pred', a, b)
+      | Some _ | None -> p)
   | other -> other
 
 (* ------------------------------------------------------------------ *)
 
 type options = {
   unnest : bool;  (** apply the Figure 5 rewritings *)
-  physical_joins : bool;  (** pick hash/sort join algorithms *)
+  split_preds : bool;  (** split disjoint join predicates (Section 6) *)
   static_types : bool;  (** type-driven simplification (Static_type) *)
 }
 
-let default_options = { unnest = true; physical_joins = true; static_types = true }
+let default_options = { unnest = true; split_preds = true; static_types = true }
 
 let optimize ?(options = default_options) ?trace (p : plan) : plan =
   let p = if options.unnest then rewrite ?trace p else p in
   let p = if options.static_types then Static_type.simplify p else p in
-  let p = if options.physical_joins then choose_join_algorithms ?trace p else p in
+  let p = if options.split_preds then split_join_predicates ?trace p else p in
   p

@@ -1,5 +1,5 @@
-(** Logical optimization — the rewritings of Figure 5 — plus the physical
-    join selection of Section 6.
+(** Logical optimization — the rewritings of Figure 5 — plus the
+    join-predicate splitting of Section 6.
 
     Standard rules: (remove map), (insert product), (insert join).
     New rules: (insert group-by), (map through group-by),
@@ -14,7 +14,13 @@
     selections into the join predicate.
 
     Rules are applied top-down (outer nesting levels first) to a
-    fixpoint; see DESIGN.md for why the order matters. *)
+    fixpoint; see DESIGN.md for why the order matters.
+
+    The output stays purely logical: joins carry no algorithm
+    annotation.  {!split_join_predicates} only rewrites predicates into
+    the [Split_pred] shape the Section 6 hash/sort joins can execute;
+    the cost-based physical planner (Planner) chooses the actual
+    algorithm, build side and materialization points. *)
 
 open Xqc_algebra
 open Xqc_types
@@ -31,28 +37,23 @@ val rewrite : ?trace:Xqc_obs.Obs.rewrite_trace -> Algebra.plan -> Algebra.plan
     of fixpoint passes is recorded. *)
 
 val split_pred :
-  Algebra.join_pred ->
-  Algebra.plan ->
-  Algebra.plan ->
-  (Algebra.join_algorithm * Algebra.join_pred) option
+  Algebra.join_pred -> Algebra.plan -> Algebra.plan -> Algebra.join_pred option
 (** Split a [Pred] into a [Split_pred] when it is a general comparison
     whose two sides read disjoint halves of the concatenated tuple
-    (mirroring the operator when the sides are swapped), and pick the
-    algorithm: hash for equality, sort for inequalities, nested-loop for
-    [!=]. *)
+    (mirroring the operator when the sides are swapped). *)
 
-val choose_join_algorithms :
+val split_join_predicates :
   ?trace:Xqc_obs.Obs.rewrite_trace -> Algebra.plan -> Algebra.plan
-(** The physical pass: apply {!split_pred} to every nested-loop join.
-    With [~trace], each algorithm choice is recorded as a firing of
-    "choose hash join" / "choose sort join". *)
+(** Apply {!split_pred} to every join.  With [~trace], each split is
+    recorded under the algorithm it enables: "choose hash join" for
+    equality, "choose sort join" for inequalities, "split nested-loop
+    predicate" for [!=]. *)
 
 val mirror_op : Promotion.cmp_op -> Promotion.cmp_op
-val algorithm_for : Promotion.cmp_op -> Algebra.join_algorithm
 
 type options = {
   unnest : bool;  (** apply the Figure 5 rewritings *)
-  physical_joins : bool;  (** pick hash/sort join algorithms *)
+  split_preds : bool;  (** split disjoint join predicates (Section 6) *)
   static_types : bool;  (** type-driven simplification (Static_type) *)
 }
 

@@ -195,8 +195,8 @@ and infer_fields (env : env) (p : plan) : (field * t) list =
   match p with
   | TupleConstruct fields -> List.map (fun (q, fp) -> (q, infer env fp)) fields
   | Select (_, i) | OrderBy (_, i) -> infer_fields env i
-  | Product (a, b) | Join (_, _, a, b) -> infer_fields env a @ infer_fields env b
-  | LOuterJoin (q, _, _, a, b) ->
+  | Product (a, b) | Join (_, a, b) -> infer_fields env a @ infer_fields env b
+  | LOuterJoin (q, _, a, b) ->
       ignore q;
       (* the null flag and the weakening of the right side's occurrences
          are ignored: a right field's kind is unchanged, and occurrences

@@ -1,4 +1,4 @@
-(* Physical evaluation of algebraic plans.
+(* Physical evaluation of planned (physical) algebra plans.
 
    Plans are compiled to OCaml closures.  Tuples are value arrays and every
    IN#q access is resolved to an integer slot at compile time — the paper
@@ -6,15 +6,22 @@
    this "replacement of dynamic lookups in the dynamic context by direct
    compiled memory access".
 
+   The evaluator dispatches on the physical algebra produced by the
+   cost-based planner and re-makes no strategy decision: the join
+   algorithm and its build side, index-vs-walk per axis step, positional
+   take-while bounds, streaming builtin calls and explicit
+   materialization points all arrive encoded in the plan.
+
    The tabular arm of [dval] is a pull-based cursor ([tuple Seq.t]):
    Select/Map/MapConcat/OMapConcat/MapIndex chains fuse into lazy stream
    transformers that never materialize intermediate tables, and tuples
-   flow only as the consumer pulls.  Materialization happens only at the
-   genuinely blocking points — OrderBy, GroupBy, join and Product build
-   sides, and the item-producing sinks (MapToItem, serialization).
-   Existential consumers (MapSome/MapEvery, fn:exists/fn:empty, positional
-   [1]-style Selects, fn:subsequence) stop pulling after the prefix they
-   need, turning O(document) scans into O(answer).
+   flow only as the consumer pulls.  Materialization happens at the
+   planner's explicit [PMaterialize] cuts (join and product build sides)
+   and at the genuinely blocking operators — OrderBy, GroupBy, and the
+   item-producing sinks (MapToItem, serialization).  Existential
+   consumers (MapSome/MapEvery, streamed fn:exists/fn:empty, bounded
+   positional selections, streamed fn:subsequence) stop pulling after
+   the prefix they need, turning O(document) scans into O(answer).
 
    Laziness is confined to within one strict consumer call: every scope
    boundary (function bodies, quantifier tests, globals, all Xml-producing
@@ -32,10 +39,10 @@ open Xqc_xml
 open Xqc_types
 open Xqc_frontend
 open Xqc_algebra
-open Algebra
 open Dynamic_ctx
 module Obs = Xqc_obs.Obs
 module Store = Xqc_store.Store
+module P = Physical
 
 exception Compile_error of string
 
@@ -177,6 +184,31 @@ let tree_join schema axis test (input : Item.sequence) : Item.sequence =
     input;
   List.map (fun n -> Item.Node n) (Node.sort_doc_order (List.rev !out))
 
+(* One planned step: honours the planner's [ps_impl] — an [Index_scan]
+   still degrades to a walk per node when the store cannot serve that
+   tree, a [Tree_walk] never consults the index. *)
+let step_join schema (s : P.pstep) (input : Item.sequence) : Item.sequence =
+  let axis = s.P.ps_axis and test = s.P.ps_test in
+  let out = ref [] in
+  List.iter
+    (fun it ->
+      match it with
+      | Item.Node n -> (
+          let indexed =
+            match s.P.ps_impl with
+            | P.Index_scan -> indexed_axis_nodes axis test n
+            | P.Tree_walk -> None
+          in
+          match indexed with
+          | Some ms -> List.iter (fun m -> out := m :: !out) ms
+          | None ->
+              List.iter
+                (fun m -> if test_matches schema axis test m then out := m :: !out)
+                (apply_axis axis n))
+      | Item.Atom _ -> dynamic_error "path step applied to an atomic value")
+    input;
+  List.map (fun n -> Item.Node n) (Node.sort_doc_order (List.rev !out))
+
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -236,7 +268,8 @@ let dynamic_field_lookup = ref false
    disabled, restoring the fully materialized evaluation the streaming
    pipeline replaced.  Used by the equivalence tests (streamed and
    materialized runs must agree) and by the bench early-exit baseline.
-   Affects plans compiled while the flag is set. *)
+   Affects plans compiled while the flag is set; the physical plan itself
+   is unchanged, only its execution is strict. *)
 let force_materialize = ref false
 
 let materialize_comp (c : comp) : comp =
@@ -246,24 +279,27 @@ let materialize_comp (c : comp) : comp =
   | Tab s -> tab_list (List.of_seq s)
 
 (* How each operator moves tuples, for the EXPLAIN ANALYZE annotation. *)
-let stream_kind_of (p : plan) : Obs.stream_kind =
-  match p with
-  | Select _ | Map _ | OMap _ | MapConcat _ | OMapConcat _ | MapIndex _
-  | MapIndexStep _ | MapFromItem _ | TupleConstruct _ | MapSome _ | MapEvery _ ->
+let stream_kind_of (pop : P.pop) : Obs.stream_kind =
+  match pop with
+  | P.PSelect _ | P.PStreamSelect _ | P.PMap _ | P.POMap _ | P.PMapConcat _
+  | P.POMapConcat _ | P.PMapIndex _ | P.PMapIndexStep _ | P.PMapFromItem _
+  | P.PTupleConstruct _ | P.PMapSome _ | P.PMapEvery _ ->
       Obs.Streamed
-  | OrderBy _ | GroupBy _ | Join _ | LOuterJoin _ | Product _ | MapToItem _ ->
+  | P.POrderBy _ | P.PGroupBy _ | P.PNestedLoop _ | P.PHashJoin _
+  | P.PSortJoin _ | P.PProduct _ | P.PMapToItem _ | P.PMaterialize _ ->
       Obs.Blocking
   | _ -> Obs.Opaque
 
 (* Instrumentation (EXPLAIN ANALYZE).  While [current_builder] is set,
-   every [compile] call mirrors the plan node into an [Obs.op_node] and
-   wraps the compiled closure to record invocation count, cumulative
-   (inclusive) time and output cardinality.  Tabular results are lazy, so
-   their cardinality is counted per pull (a never-pulled tuple is never
-   counted — this is exactly the quantity early termination bounds), with
-   each pull timed into the operator's inclusive time.  With the builder
-   unset — the default — [compile] returns the raw closure: the
-   uninstrumented hot path is byte-for-byte the same code as before. *)
+   every [compile] call mirrors the plan node into an [Obs.op_node] —
+   carrying the planner's cardinality estimate — and wraps the compiled
+   closure to record invocation count, cumulative (inclusive) time and
+   output cardinality.  Tabular results are lazy, so their cardinality is
+   counted per pull (a never-pulled tuple is never counted — this is
+   exactly the quantity early termination bounds), with each pull timed
+   into the operator's inclusive time.  With the builder unset — the
+   default — [compile] returns the raw closure: the uninstrumented hot
+   path is byte-for-byte the same code as before. *)
 let current_builder : Obs.builder option ref = ref None
 
 let instrument (st : Obs.op_stats) (c : comp) : comp =
@@ -290,53 +326,6 @@ let axis_seq (axis : Ast.axis) (n : Node.t) : Node.t Seq.t =
   | Ast.Descendant_or_self -> Node.descendant_or_self_seq n
   | a -> List.to_seq (apply_axis a n)
 
-(* descendant-or-self::node()/child::t ≡ descendant::t — the expansion of
-   the // abbreviation.  Fusing the pair leaves a chain the ordered
-   cursor can stream (a descendant step is legal in final position, the
-   expanded form is not) and skips a full node()-walk either way. *)
-let rec fuse_steps (steps : (Ast.axis * Ast.node_test) list) =
-  match steps with
-  | (Ast.Descendant_or_self, Ast.Kind_test Seqtype.It_node) :: (Ast.Child, t) :: rest ->
-      fuse_steps ((Ast.Descendant, t) :: rest)
-  | s :: rest -> s :: fuse_steps rest
-  | [] -> []
-
-(* Decompose a chain of TreeJoin steps down to its source plan; steps are
-   returned in application order (innermost first). *)
-let cursor_steps (p : plan) : (Ast.axis * Ast.node_test) list * plan =
-  let rec go p =
-    match p with
-    | TreeJoin (axis, test, input) ->
-        let steps, src = go input in
-        (steps @ [ (axis, test) ], src)
-    | _ -> ([], p)
-  in
-  let steps, src = go p in
-  (fuse_steps steps, src)
-
-(* A step chain is order-preserving when fed sorted, duplicate-free,
-   mutually non-nesting nodes: child/attribute/self steps maintain that
-   invariant (subtree spans of such nodes are disjoint and ordered, and
-   siblings never nest), and a descendant step — whose output may nest —
-   is only allowed as the last step, where sortedness and uniqueness
-   still follow from the disjoint spans.  A single source node satisfies
-   the invariant trivially; the ordered cursor checks that at runtime. *)
-let ordered_chain (steps : (Ast.axis * Ast.node_test) list) : bool =
-  let rec go = function
-    | [] -> true
-    | [ (axis, _) ] -> (
-        match axis with
-        | Ast.Child | Ast.Attribute_axis | Ast.Self | Ast.Descendant
-        | Ast.Descendant_or_self ->
-            true
-        | _ -> false)
-    | (axis, _) :: rest -> (
-        match axis with
-        | Ast.Child | Ast.Attribute_axis | Ast.Self -> go rest
-        | _ -> false)
-  in
-  go steps
-
 (* Indexed single-step cursor: the lazy counterpart of
    [indexed_axis_nodes].  A [Some] sequence already satisfies the node
    test, so no further filtering is needed; [None] falls back to the
@@ -353,36 +342,59 @@ let indexed_axis_seq (axis : Ast.axis) (test : Ast.node_test) (n : Node.t) :
   | Ast.Kind_test _ -> None
 
 (* Compile the step chain of an item cursor.  Each step registers its own
-   op_node (streamed) so pull counts surface in EXPLAIN ANALYZE and in the
-   collector's pulled totals. *)
-let compile_cursor_steps (steps : (Ast.axis * Ast.node_test) list) :
+   op_node (streamed, with the planner's per-step estimate) so pull counts
+   surface in EXPLAIN ANALYZE and in the collector's pulled totals.  The
+   consuming operator passes the absorbed [PSteps] node as [~parent]: it
+   is registered too (counting the chain's final output, exactly as the
+   strict arm does), so a fully consumed cursor reports the same pull
+   totals as the materialized execution of the same plan. *)
+let compile_cursor_steps ?(parent : P.t option) (steps : P.pstep list) :
     Dynamic_ctx.t -> Item.t Seq.t -> Item.t Seq.t =
+  let parent_stats =
+    match (!current_builder, parent) with
+    | Some b, Some p ->
+        let n =
+          Obs.push_node b ~stream:Obs.Streamed ~est:p.P.pest.P.est_rows
+            (Pretty.physical_label p)
+        in
+        Some n.Obs.on_stats
+    | _ -> None
+  in
   let comps =
     List.map
-      (fun (axis, test) ->
+      (fun (s : P.pstep) ->
         let stats =
           match !current_builder with
           | Some b ->
               let n =
-                Obs.push_node b ~stream:Obs.Streamed
-                  (Pretty.node_label (TreeJoin (axis, test, Empty)))
+                Obs.push_node b ~stream:Obs.Streamed ~est:s.P.ps_est
+                  (Pretty.pstep_label s)
               in
               Obs.pop_node b;
               Some n.Obs.on_stats
           | None -> None
         in
-        (axis, test, stats))
+        (s, stats))
       steps
   in
+  (match (!current_builder, parent_stats) with
+  | Some b, Some _ -> Obs.pop_node b
+  | _ -> ());
   fun ctx s0 ->
     List.fold_left
-      (fun s (axis, test, stats) ->
+      (fun s ((ps : P.pstep), stats) ->
+        let axis = ps.P.ps_axis and test = ps.P.ps_test in
         let s' =
           Seq.concat_map
             (fun it ->
               match it with
               | Item.Node n -> (
-                  match indexed_axis_seq axis test n with
+                  let indexed =
+                    match ps.P.ps_impl with
+                    | P.Index_scan -> indexed_axis_seq axis test n
+                    | P.Tree_walk -> None
+                  in
+                  match indexed with
                   | Some ms -> Seq.map (fun m -> Item.Node m) ms
                   | None ->
                       Seq.filter_map
@@ -395,40 +407,71 @@ let compile_cursor_steps (steps : (Ast.axis * Ast.node_test) list) :
         in
         match stats with Some st -> Obs.item_counted_seq st s' | None -> s')
       s0 comps
+    |> fun out ->
+    match parent_stats with Some st -> Obs.item_counted_seq st out | None -> out
 
-(* Positional early termination: a Select over a MapIndex whose predicate
-   compares the freshly minted index field against an integer literal can
-   stop pulling once the position exceeds the bound — [1]-style
-   predicates and normalized fn:subsequence windows. *)
-let positional_bound (pred : plan) (input : plan) : int option =
-  match input with
-  | MapIndex (q, _) | MapIndexStep (q, _) -> (
-      match pred with
-      | Call (op, [ FieldAccess q'; Scalar (Atomic.Integer k) ])
-        when String.equal q q' -> (
-          match op with
-          | "op:eq" | "op:le" -> Some k
-          | "op:lt" -> Some (k - 1)
-          | _ -> None)
-      | Call (op, [ Scalar (Atomic.Integer k); FieldAccess q' ])
-        when String.equal q q' -> (
-          match op with
-          | "op:eq" | "op:ge" -> Some k
-          | "op:gt" -> Some (k - 1)
-          | _ -> None)
-      | _ -> None)
+(* Store probes for a one-step name chain: existence and cardinality of
+   descendant[-or-self]::t / child::t answered from the index's range
+   bounds without touching nodes.  [None] when the chain shape is not
+   probe-able; the probe itself returns [None] per node when the store
+   cannot serve that tree (caller streams instead). *)
+let step_shapes (steps : P.pstep list) : (Ast.axis * Ast.node_test) list =
+  List.map (fun (s : P.pstep) -> (s.P.ps_axis, s.P.ps_test)) steps
+
+let index_exists_probe (steps : P.pstep list) : (Node.t -> bool option) option =
+  match step_shapes steps with
+  | [ (Ast.Descendant, Ast.Name_test nm) ] ->
+      Some (fun n -> Store.exists_descendant_by_name n nm)
+  | [ (Ast.Descendant_or_self, Ast.Name_test nm) ] ->
+      Some (fun n -> Store.exists_descendant_by_name ~self:true n nm)
+  | [ (Ast.Child, Ast.Name_test nm) ] ->
+      Some (fun n -> Option.map (fun l -> l <> []) (Store.children_by_name n nm))
   | _ -> None
 
-let rec compile (env : cenv) (p : plan) : comp * layout =
+let index_count_probe (steps : P.pstep list) : (Node.t -> int option) option =
+  match step_shapes steps with
+  | [ (Ast.Descendant, Ast.Name_test nm) ] ->
+      Some (fun n -> Store.count_descendants_by_name n nm)
+  | [ (Ast.Descendant_or_self, Ast.Name_test nm) ] ->
+      Some (fun n -> Store.count_descendants_by_name ~self:true n nm)
+  | [ (Ast.Child, Ast.Name_test nm) ] ->
+      Some (fun n -> Option.map List.length (Store.children_by_name n nm))
+  | _ -> None
+
+(* Shared scaffolding of the three physical join operators: compiled
+   inputs, merged output layout, match/unmatched emitters (outer joins
+   prepend the null-flag field) and the left-major streaming driver.
+   The probe (left) side streams: each outer tuple is matched as the
+   consumer pulls.  The build side arrives wrapped in [PMaterialize] by
+   the planner and is drained eagerly at operator call, before any pull. *)
+type join_parts = {
+  jp_stats : Obs.join_stats option;
+  jp_left : comp;
+  jp_llayout : layout;
+  jp_right : comp;
+  jp_rlayout : layout;
+  jp_merged : layout;
+  jp_n1 : int;
+  jp_mwidth : int;
+  jp_moves : (int * int) array;
+  jp_out : layout;
+  jp_run : tuple Seq.t -> (tuple -> tuple list) -> dval;
+}
+
+let rec compile (env : cenv) (p : P.t) : comp * layout =
   let c, layout =
     match !current_builder with
     | None -> compile_node env p
     | Some b ->
         let join =
-          match p with Join _ | LOuterJoin _ -> Some (Obs.join_stats ()) | _ -> None
+          match p.P.pop with
+          | P.PNestedLoop _ | P.PHashJoin _ | P.PSortJoin _ ->
+              Some (Obs.join_stats ())
+          | _ -> None
         in
         let node =
-          Obs.push_node b ?join ~stream:(stream_kind_of p) (Pretty.node_label p)
+          Obs.push_node b ?join ~stream:(stream_kind_of p.P.pop)
+            ~est:p.P.pest.P.est_rows (Pretty.physical_label p)
         in
         let c, layout =
           match compile_node env p with
@@ -443,29 +486,29 @@ let rec compile (env : cenv) (p : plan) : comp * layout =
   in
   if !force_materialize then (materialize_comp c, layout) else (c, layout)
 
-and compile_node (env : cenv) (p : plan) : comp * layout =
-  match p with
-  | Input ->
+and compile_node (env : cenv) (p : P.t) : comp * layout =
+  match p.P.pop with
+  | P.PInput ->
       ( (fun _ctx inp ->
           match inp with
           | ITuple t -> Tab (Seq.return t)
           | IItems s -> Xml s
           | INone -> dynamic_error "IN used outside a dependent context"),
         env.layout )
-  | Empty -> ((fun _ _ -> Xml []), [])
-  | Scalar a ->
+  | P.PEmpty -> ((fun _ _ -> Xml []), [])
+  | P.PScalar a ->
       let v = Xml [ Item.Atom a ] in
       ((fun _ _ -> v), [])
-  | Seq (a, b) ->
+  | P.PSeq (a, b) ->
       let ca, _ = compile env a and cb, _ = compile env b in
       ((fun ctx inp -> Xml (as_items (ca ctx inp) @ as_items (cb ctx inp))), [])
-  | Element (name, content) ->
+  | P.PElement (name, content) ->
       let cc, _ = compile env content in
       ((fun ctx inp -> Xml [ construct_element name (as_items (cc ctx inp)) ]), [])
-  | Attribute (name, content) ->
+  | P.PAttribute (name, content) ->
       let cc, _ = compile env content in
       ((fun ctx inp -> Xml [ construct_attribute name (as_items (cc ctx inp)) ]), [])
-  | Text content ->
+  | P.PText content ->
       let cc, _ = compile env content in
       ( (fun ctx inp ->
           match as_items (cc ctx inp) with
@@ -473,23 +516,56 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
           | items ->
               Xml [ Item.Node (Node.text (String.concat " " (List.map Item.string_value items))) ]),
         [] )
-  | Comment content ->
+  | P.PComment content ->
       let cc, _ = compile env content in
       ( (fun ctx inp ->
           Xml [ Item.Node (Node.comment (String.concat " " (List.map Item.string_value (as_items (cc ctx inp))))) ]),
         [] )
-  | Pi (target, content) ->
+  | P.PPi (target, content) ->
       let cc, _ = compile env content in
       ( (fun ctx inp ->
           Xml [ Item.Node (Node.pi target (String.concat " " (List.map Item.string_value (as_items (cc ctx inp))))) ]),
         [] )
-  | TreeJoin (axis, test, input) ->
+  | P.PSteps { steps; input; _ } ->
+      (* strict step chain: each planned step runs in turn over the
+         accumulated node set, honouring its index-vs-walk choice; the
+         per-step op_nodes surface per-step output counts in EXPLAIN
+         ANALYZE even in strict mode *)
       let ci, _ = compile env input in
-      ((fun ctx inp -> Xml (tree_join ctx.schema axis test (as_items (ci ctx inp)))), [])
-  | TreeProject (paths, input) ->
+      let comps =
+        List.map
+          (fun (s : P.pstep) ->
+            let stats =
+              match !current_builder with
+              | Some b ->
+                  let n = Obs.push_node b ~est:s.P.ps_est (Pretty.pstep_label s) in
+                  Obs.pop_node b;
+                  Some n.Obs.on_stats
+              | None -> None
+            in
+            (s, stats))
+          steps
+      in
+      ( (fun ctx inp ->
+          Xml
+            (List.fold_left
+               (fun items (s, stats) ->
+                 match stats with
+                 | None -> step_join ctx.schema s items
+                 | Some st ->
+                     let t0 = Obs.now () in
+                     let out = step_join ctx.schema s items in
+                     st.Obs.op_secs <- st.Obs.op_secs +. (Obs.now () -. t0);
+                     st.Obs.op_calls <- st.Obs.op_calls + 1;
+                     st.Obs.op_items <- st.Obs.op_items + List.length out;
+                     out)
+               (as_items (ci ctx inp))
+               comps)),
+        [] )
+  | P.PTreeProject (paths, input) ->
       let ci, _ = compile env input in
       ((fun ctx inp -> Xml (Projection.project ctx.schema paths (as_items (ci ctx inp)))), [])
-  | Castable (tn, optional, input) ->
+  | P.PCastable (tn, optional, input) ->
       let ci, _ = compile env input in
       ( (fun ctx inp ->
           let ok =
@@ -500,7 +576,7 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
           in
           Xml [ Item.Atom (Atomic.Boolean ok) ]),
         [] )
-  | Cast (tn, optional, input) ->
+  | P.PCast (tn, optional, input) ->
       let ci, _ = compile env input in
       ( (fun ctx inp ->
           match Item.atomize (as_items (ci ctx inp)) with
@@ -510,41 +586,46 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
           | [ a ] -> Xml [ Item.Atom (Atomic.cast tn a) ]
           | _ -> dynamic_error "cast applied to a sequence of more than one item"),
         [] )
-  | Validate input ->
+  | P.PValidate input ->
       let ci, _ = compile env input in
       ( (fun ctx inp ->
           match as_items (ci ctx inp) with
           | [ Item.Node n ] -> Xml [ Item.Node (Schema.validate ctx.schema n) ]
           | _ -> dynamic_error "validate requires a single element or document node"),
         [] )
-  | TypeMatches (ty, input) ->
+  | P.PTypeMatches (ty, input) ->
       let ci, _ = compile env input in
       ( (fun ctx inp ->
           Xml [ Item.Atom (Atomic.Boolean (Seqtype.matches ctx.schema (as_items (ci ctx inp)) ty)) ]),
         [] )
-  | TypeAssert (ty, input) ->
+  | P.PTypeAssert (ty, input) ->
       let ci, _ = compile env input in
       ((fun ctx inp -> Xml (Seqtype.assert_matches ctx.schema (as_items (ci ctx inp)) ty)), [])
-  | Var q -> ((fun ctx _ -> Xml (lookup_variable ctx q)), [])
-  | Call (name, args) -> compile_call env name args
-  | Cond (c, t, e) ->
+  | P.PVar q -> ((fun ctx _ -> Xml (lookup_variable ctx q)), [])
+  | P.PCall (name, args) -> (generic_call env name args, [])
+  | P.PCallStream (kind, name, args) ->
+      (* the planner marked this call streamable; under the materialize
+         ablation it still runs, but as the plain generic call *)
+      if !force_materialize then (generic_call env name args, [])
+      else (compile_stream_call env kind name args, [])
+  | P.PCond (c, t, e) ->
       let cc, _ = compile env c in
       let ct, lt = compile env t in
       let ce, _ = compile env e in
       ((fun ctx inp -> if ebv (cc ctx inp) then ct ctx inp else ce ctx inp), lt)
-  | Quantified (q, v, source, body) -> (
-      (* existence doesn't care about order or duplicates, so any
-         TreeJoin-chain source streams lazily and the quantifier stops
-         at the first witness / counterexample *)
+  | P.PQuantified (q, v, source, body) -> (
+      (* existence doesn't care about order or duplicates, so a step-chain
+         source streams lazily and the quantifier stops at the first
+         witness / counterexample *)
       let cursor =
         if !force_materialize then None
         else
-          match cursor_steps source with
-          | [], _ -> None
-          | steps, src ->
-              let pipe = compile_cursor_steps steps in
+          match source.P.pop with
+          | P.PSteps { steps; input = src; _ } when steps <> [] ->
+              let pipe = compile_cursor_steps ~parent:source steps in
               let csrc, _ = compile env src in
               Some (fun ctx inp -> pipe ctx (List.to_seq (as_items (csrc ctx inp))))
+          | _ -> None
       in
       match cursor with
       | Some cur ->
@@ -576,21 +657,21 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
               in
               Xml [ Item.Atom (Atomic.Boolean result) ]),
             [] ))
-  | Parse uri_plan ->
+  | P.PParse uri_plan ->
       let cu, _ = compile env uri_plan in
       ( (fun ctx inp ->
           match as_items (cu ctx inp) with
           | [ it ] -> Xml [ Item.Node (resolve_document ctx (Item.string_value it)) ]
           | _ -> dynamic_error "fn:doc requires a single URI"),
         [] )
-  | Serialize (uri, input) ->
+  | P.PSerialize (uri, input) ->
       let ci, _ = compile env input in
       ( (fun ctx inp ->
           Serializer.sequence_to_file uri (as_items (ci ctx inp));
           Xml []),
         [] )
-  | TupleConstruct fields ->
-      let compiled = List.map (fun (q, p) -> (q, fst (compile env p))) fields in
+  | P.PTupleConstruct fields ->
+      let compiled = List.map (fun (q, fp) -> (q, fst (compile env fp))) fields in
       let n = List.length compiled in
       let comps = Array.of_list (List.map snd compiled) in
       ( (fun ctx inp ->
@@ -598,7 +679,7 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
           Array.iteri (fun i c -> t.(i) <- as_items (c ctx inp)) comps;
           Tab (Seq.return t)),
         List.map fst compiled )
-  | FieldAccess q -> (
+  | P.PFieldAccess q -> (
       match field_index env.layout q with
       | Some i ->
           if !dynamic_field_lookup then
@@ -618,45 +699,58 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
                 | IItems _ | INone -> dynamic_error "IN#%s outside a tuple context" q),
               [] )
       | None -> compile_error "unknown tuple field #%s (layout: %s)" q (String.concat "," env.layout))
-  | Select (pred, input) -> (
+  | P.PSelect (pred, input) ->
       let ci, li = compile env input in
       let cp, _ = compile { layout = li } pred in
-      match positional_bound pred input with
-      | Some bound ->
-          (* the index field always sits in slot 0 of a MapIndex output *)
-          let below (t : tuple) =
-            match t.(0) with
-            | [ Item.Atom (Atomic.Integer i) ] -> i <= bound
-            | _ -> true
-          in
-          ( (fun ctx inp ->
-              Tab
-                (Seq.filter
-                   (fun t -> ebv (cp ctx (ITuple t)))
-                   (Seq.take_while below (as_table (ci ctx inp))))),
-            li )
-      | None ->
-          ( (fun ctx inp ->
-              Tab (Seq.filter (fun t -> ebv (cp ctx (ITuple t))) (as_table (ci ctx inp)))),
-            li ))
-  | Product (a, b) ->
+      ( (fun ctx inp ->
+          Tab (Seq.filter (fun t -> ebv (cp ctx (ITuple t))) (as_table (ci ctx inp)))),
+        li )
+  | P.PStreamSelect { pred; bound; input } ->
+      (* positional early termination, decided by the planner: the input
+         cursor is cut after [bound] tuples (the index field always sits
+         in slot 0 of a MapIndex output), then the prefix is filtered.
+         The cut is sound in both streamed and materialized execution:
+         the predicate implies the bound. *)
+      let ci, li = compile env input in
+      let cp, _ = compile { layout = li } pred in
+      let below (t : tuple) =
+        match t.(0) with
+        | [ Item.Atom (Atomic.Integer i) ] -> i <= bound
+        | _ -> true
+      in
+      ( (fun ctx inp ->
+          Tab
+            (Seq.filter
+               (fun t -> ebv (cp ctx (ITuple t)))
+               (Seq.take_while below (as_table (ci ctx inp))))),
+        li )
+  | P.PProduct (a, b) ->
       let ca, la = compile env a and cb, lb = compile env b in
-      let _, width, moves = concat_spec la lb in
+      let out, width, moves = concat_spec la lb in
       let n1 = List.length la in
       ( (fun ctx inp ->
           let left = as_table (ca ctx inp) in
-          (* build side: materialized once, eagerly, at operator call *)
           let right = table_list (cb ctx inp) in
           Tab
             (Seq.concat_map
                (fun l ->
                  List.to_seq (List.map (fun r -> apply_concat n1 width moves l r) right))
                left)),
-        (let out, _, _ = concat_spec la lb in
-         out) )
-  | Join (alg, pred, a, b) -> compile_join env ~outer:false alg "" pred a b
-  | LOuterJoin (alg, q, pred, a, b) -> compile_join env ~outer:true alg q pred a b
-  | Map (dep, input) ->
+        out )
+  | P.PNestedLoop { outer; pred; left; right } ->
+      compile_nested_loop env outer pred left right
+  | P.PHashJoin { outer; build; left_key; right_key; left; right } ->
+      compile_hash_join env outer build left_key right_key left right
+  | P.PSortJoin { outer; op; left_key; right_key; left; right } ->
+      compile_sort_join env outer op left_key right_key left right
+  | P.PMaterialize inner ->
+      (* explicit pipeline cut: drain the child cursor to a list at call
+         time (join/product build sides) *)
+      let ci, li = compile env inner in
+      ( (fun ctx inp ->
+          match ci ctx inp with Xml _ as v -> v | Tab s -> tab_list (List.of_seq s)),
+        li )
+  | P.PMap (dep, input) ->
       let ci, li = compile env input in
       let cd, ld = compile { layout = li } dep in
       ( (fun ctx inp ->
@@ -665,7 +759,7 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
                (fun t -> as_table (cd ctx (ITuple t)))
                (as_table (ci ctx inp)))),
         ld )
-  | OMap (q, input) ->
+  | P.POMap (q, input) ->
       let ci, li = compile env input in
       let width = 1 + List.length li in
       let mark t =
@@ -687,7 +781,7 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
                   Seq.Cons (t, Seq.empty)
               | Seq.Cons (t, rest) -> Seq.Cons (mark t, Seq.map mark rest))),
         q :: li )
-  | MapConcat (dep, input) ->
+  | P.PMapConcat (dep, input) ->
       let ci, li = compile env input in
       let cd, ld = compile { layout = li } dep in
       let out, width, moves = concat_spec li ld in
@@ -701,7 +795,7 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
                    (as_table (cd ctx (ITuple t))))
                (as_table (ci ctx inp)))),
         out )
-  | OMapConcat (q, dep, input) ->
+  | P.POMapConcat (q, dep, input) ->
       let ci, li = compile env input in
       let cd, ld = compile { layout = li } dep in
       let merged, mwidth, moves = concat_spec li ld in
@@ -730,7 +824,7 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
                  | Seq.Cons (d, rest) -> Seq.Cons (matched t d, Seq.map (matched t) rest))
                (as_table (ci ctx inp)))),
         out )
-  | MapIndex (q, input) | MapIndexStep (q, input) ->
+  | P.PMapIndex (q, input) | P.PMapIndexStep (q, input) ->
       let ci, li = compile env input in
       ( (fun ctx inp ->
           Tab
@@ -742,27 +836,30 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
                  out)
                (as_table (ci ctx inp)))),
         q :: li )
-  | OrderBy (specs, input) ->
+  | P.POrderBy (specs, input) ->
       let ci, li = compile env input in
       let cspecs =
-        List.map (fun s -> (fst (compile { layout = li } s.skey), s.sdir, s.sempty)) specs
+        List.map
+          (fun (s : P.psort_spec) ->
+            (fst (compile { layout = li } s.P.pskey), s.P.psdir, s.P.psempty))
+          specs
       in
       ( (fun ctx inp ->
           let tuples = table_list (ci ctx inp) in
           tab_list (order_by ctx cspecs tuples)),
         li )
-  | GroupBy (g, input) -> compile_groupby env g input
-  | MapFromItem (dep, input) -> (
-      (* when the input is an order-preserving TreeJoin chain, feed the
-         tuple pipeline from the lazy item cursor so the path pulls node
-         by node instead of materializing the whole step output first *)
+  | P.PGroupBy (g, input) -> compile_groupby env g input
+  | P.PMapFromItem (dep, input) -> (
+      (* when the input is an order-preserving step chain, feed the tuple
+         pipeline from the lazy item cursor so the path pulls node by
+         node instead of materializing the whole step output first *)
       let cursor =
         if !force_materialize then None
         else
-          match cursor_steps input with
-          | steps, src when steps <> [] && ordered_chain steps ->
+          match input.P.pop with
+          | P.PSteps { steps; ordered = true; input = src } when steps <> [] ->
               let csrc, _ = compile env src in
-              let pipe = compile_cursor_steps steps in
+              let pipe = compile_cursor_steps ~parent:input steps in
               Some
                 (fun ctx inp ->
                   match as_items (csrc ctx inp) with
@@ -796,7 +893,7 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
                    (fun it -> as_table (cd ctx (IItems [ it ])))
                    (List.to_seq items))),
             ld ))
-  | MapToItem (dep, input) ->
+  | P.PMapToItem (dep, input) ->
       let ci, li = compile env input in
       let cd, _ = compile { layout = li } dep in
       ( (fun ctx inp ->
@@ -806,7 +903,7 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
                (List.rev
                   (Seq.fold_left (fun acc t -> as_items (cd ctx (ITuple t)) :: acc) [] s)))),
         [] )
-  | MapSome (dep, input) ->
+  | P.PMapSome (dep, input) ->
       let ci, li = compile env input in
       let cd, _ = compile { layout = li } dep in
       ( (fun ctx inp ->
@@ -817,7 +914,7 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
                    (Seq.exists (fun t -> ebv (cd ctx (ITuple t))) (as_table (ci ctx inp))));
             ]),
         [] )
-  | MapEvery (dep, input) ->
+  | P.PMapEvery (dep, input) ->
       let ci, li = compile env input in
       let cd, _ = compile { layout = li } dep in
       ( (fun ctx inp ->
@@ -829,12 +926,7 @@ and compile_node (env : cenv) (p : plan) : comp * layout =
             ]),
         [] )
 
-and compile_call env name args =
-  match special_call env name args with
-  | Some c -> (c, [])
-  | None -> (generic_call env name args, [])
-
-and generic_call env name args : comp =
+and generic_call env name (args : P.t list) : comp =
   let cargs = List.map (fun a -> fst (compile env a)) args in
   let builtin = Builtins.find name in
   fun ctx inp ->
@@ -850,144 +942,115 @@ and generic_call env name args : comp =
         | Some f -> Xml (f ctx vals)
         | None -> dynamic_error "unknown function %s" name)
 
-(* Store probes for a one-step name chain: existence and cardinality of
-   descendant[-or-self]::t / child::t answered from the index's range
-   bounds without touching nodes.  [None] when the chain shape is not
-   probe-able; the probe itself returns [None] per node when the store
-   cannot serve that tree (caller streams instead). *)
-and index_exists_probe (steps : (Ast.axis * Ast.node_test) list) :
-    (Node.t -> bool option) option =
-  match steps with
-  | [ (Ast.Descendant, Ast.Name_test nm) ] ->
-      Some (fun n -> Store.exists_descendant_by_name n nm)
-  | [ (Ast.Descendant_or_self, Ast.Name_test nm) ] ->
-      Some (fun n -> Store.exists_descendant_by_name ~self:true n nm)
-  | [ (Ast.Child, Ast.Name_test nm) ] ->
-      Some (fun n -> Option.map (fun l -> l <> []) (Store.children_by_name n nm))
-  | _ -> None
-
-and index_count_probe (steps : (Ast.axis * Ast.node_test) list) :
-    (Node.t -> int option) option =
-  match steps with
-  | [ (Ast.Descendant, Ast.Name_test nm) ] ->
-      Some (fun n -> Store.count_descendants_by_name n nm)
-  | [ (Ast.Descendant_or_self, Ast.Name_test nm) ] ->
-      Some (fun n -> Store.count_descendants_by_name ~self:true n nm)
-  | [ (Ast.Child, Ast.Name_test nm) ] ->
-      Some (fun n -> Option.map List.length (Store.children_by_name n nm))
-  | _ -> None
-
-(* Early-terminating special cases for the existential builtins whose
-   argument is a TreeJoin chain.  User declarations shadow builtins at
-   run time, so the closures re-check the function table on every call
-   and defer to a lazily compiled generic path when shadowed (compiled at
-   most once, outside any instrumentation). *)
-and special_call env name args : comp option =
-  if !force_materialize then None
-  else
-    match (name, args) with
-    | ("fn:exists" | "fn:empty"), [ arg ] -> (
-        match cursor_steps arg with
-        | [], _ -> None
-        | steps, src ->
-            (* emptiness is insensitive to order and duplicates, so any
-               axis chain streams; the first pull decides the answer —
-               and a one-step name chain over indexed trees needs no
-               pull at all, just the index's range bounds *)
-            let csrc, _ = compile env src in
-            let pipe = compile_cursor_steps steps in
-            let probe = index_exists_probe steps in
-            let wants_exists = String.equal name "fn:exists" in
-            let fallback = lazy (generic_call env name args) in
-            Some
-              (fun ctx inp ->
-                if Hashtbl.mem ctx.functions name then (Lazy.force fallback) ctx inp
-                else
-                  let items = as_items (csrc ctx inp) in
-                  let indexed =
-                    match probe with
-                    | None -> None
-                    | Some p ->
-                        (* existence over many source nodes is a
-                           disjunction, so nesting/duplicates are
-                           harmless; any unanswerable node means stream *)
-                        let rec go = function
-                          | [] -> Some false
-                          | Item.Node n :: rest -> (
-                              match p n with
-                              | Some true -> Some true
-                              | Some false -> go rest
-                              | None -> None)
-                          | Item.Atom _ :: _ -> None
-                        in
-                        go items
-                  in
-                  let nonempty =
-                    match indexed with
-                    | Some b -> b
-                    | None -> not (Seq.is_empty (pipe ctx (List.to_seq items)))
-                  in
-                  Xml
-                    [
-                      Item.Atom
-                        (Atomic.Boolean (if wants_exists then nonempty else not nonempty));
-                    ]))
-    | "fn:count", [ arg ] -> (
-        (* exact cardinality from the index range: only for a one-step
-           name chain over a single source node, where the step output
-           is duplicate-free by construction *)
-        match cursor_steps arg with
-        | steps, src -> (
-            match index_count_probe steps with
-            | None -> None
-            | Some p ->
-                let csrc, _ = compile env src in
-                let fallback = lazy (generic_call env name args) in
-                Some
-                  (fun ctx inp ->
-                    if Hashtbl.mem ctx.functions name then (Lazy.force fallback) ctx inp
-                    else
-                      match as_items (csrc ctx inp) with
-                      | [] -> Xml [ Item.Atom (Atomic.Integer 0) ]
-                      | [ Item.Node n ] -> (
-                          match p n with
-                          | Some k -> Xml [ Item.Atom (Atomic.Integer k) ]
-                          | None -> (Lazy.force fallback) ctx inp)
-                      | _ -> (Lazy.force fallback) ctx inp)))
-    | "fn:subsequence", [ arg; start; len ] -> (
-        match cursor_steps arg with
-        | steps, src when steps <> [] && ordered_chain steps ->
-            let csrc, _ = compile env src in
-            let pipe = compile_cursor_steps steps in
-            let cstart, _ = compile env start in
-            let clen, _ = compile env len in
-            let fallback = lazy (generic_call env name args) in
-            let to_int c ctx inp =
-              match Item.atomize (as_items (c ctx inp)) with
-              | [ a ] -> int_of_float (Option.value ~default:0.0 (Atomic.to_float a))
-              | _ -> dynamic_error "fn:subsequence: argument is not a single atomic value"
-            in
-            Some
-              (fun ctx inp ->
-                if Hashtbl.mem ctx.functions name then (Lazy.force fallback) ctx inp
-                else
-                  let st = to_int cstart ctx inp and n = to_int clen ctx inp in
-                  match as_items (csrc ctx inp) with
-                  | ([] | [ Item.Node _ ]) as items ->
-                      (* pull only the first st+n-1 items of the path *)
-                      let s = pipe ctx (List.to_seq items) in
-                      let keep =
-                        Seq.filter_map
-                          (fun (i, it) -> if i + 1 >= st then Some it else None)
-                          (Seq.mapi (fun i it -> (i, it)) (Seq.take (max 0 (st + n - 1)) s))
-                      in
-                      Xml (List.of_seq keep)
-                  | _ -> (Lazy.force fallback) ctx inp)
-        | _ -> None)
+(* Streaming builtin calls, planned as [PCallStream]: the first argument
+   is a [PSteps] chain.  User declarations shadow builtins at run time,
+   so the closures re-check the function table on every call and defer to
+   a lazily compiled generic path when shadowed (compiled at most once,
+   outside any instrumentation). *)
+and compile_stream_call env (kind : P.stream_call) name (args : P.t list) : comp =
+  let chain =
+    match args with
+    | ({ P.pop = P.PSteps { steps; input; _ }; _ } as snode) :: rest when steps <> [] ->
+        Some (snode, steps, input, rest)
     | _ -> None
+  in
+  match chain with
+  | None -> generic_call env name args
+  | Some (snode, steps, src, rest) -> (
+      let fallback = lazy (generic_call env name args) in
+      match (kind, rest) with
+      | P.SExists negate, [] ->
+          (* emptiness is insensitive to order and duplicates, so any
+             axis chain streams; the first pull decides the answer — and
+             a one-step name chain over indexed trees needs no pull at
+             all, just the index's range bounds *)
+          let csrc, _ = compile env src in
+          let pipe = compile_cursor_steps ~parent:snode steps in
+          let probe = index_exists_probe steps in
+          fun ctx inp ->
+            if Hashtbl.mem ctx.functions name then (Lazy.force fallback) ctx inp
+            else
+              let items = as_items (csrc ctx inp) in
+              let indexed =
+                match probe with
+                | None -> None
+                | Some p ->
+                    (* existence over many source nodes is a disjunction,
+                       so nesting/duplicates are harmless; any
+                       unanswerable node means stream *)
+                    let rec go = function
+                      | [] -> Some false
+                      | Item.Node n :: rest -> (
+                          match p n with
+                          | Some true -> Some true
+                          | Some false -> go rest
+                          | None -> None)
+                      | Item.Atom _ :: _ -> None
+                    in
+                    go items
+              in
+              let nonempty =
+                match indexed with
+                | Some b -> b
+                | None -> not (Seq.is_empty (pipe ctx (List.to_seq items)))
+              in
+              Xml [ Item.Atom (Atomic.Boolean (if negate then not nonempty else nonempty)) ]
+      | P.SCount, [] -> (
+          (* exact cardinality from the index range: only for a one-step
+             name chain over a single source node, where the step output
+             is duplicate-free by construction *)
+          match index_count_probe steps with
+          | None -> generic_call env name args
+          | Some probe ->
+              let csrc, _ = compile env src in
+              fun ctx inp ->
+                if Hashtbl.mem ctx.functions name then (Lazy.force fallback) ctx inp
+                else
+                  match as_items (csrc ctx inp) with
+                  | [] -> Xml [ Item.Atom (Atomic.Integer 0) ]
+                  | [ Item.Node n ] -> (
+                      match probe n with
+                      | Some k -> Xml [ Item.Atom (Atomic.Integer k) ]
+                      | None -> (Lazy.force fallback) ctx inp)
+                  | _ -> (Lazy.force fallback) ctx inp)
+      | P.SSubseq, [ start; len ] ->
+          let csrc, _ = compile env src in
+          let pipe = compile_cursor_steps ~parent:snode steps in
+          let cstart, _ = compile env start in
+          let clen, _ = compile env len in
+          let to_int c ctx inp =
+            match Item.atomize (as_items (c ctx inp)) with
+            | [ a ] -> int_of_float (Option.value ~default:0.0 (Atomic.to_float a))
+            | _ -> dynamic_error "fn:subsequence: argument is not a single atomic value"
+          in
+          fun ctx inp ->
+            if Hashtbl.mem ctx.functions name then (Lazy.force fallback) ctx inp
+            else begin
+              let st = to_int cstart ctx inp and n = to_int clen ctx inp in
+              match as_items (csrc ctx inp) with
+              | ([] | [ Item.Node _ ]) as items ->
+                  (* pull only the first st+n-1 items of the path *)
+                  let s = pipe ctx (List.to_seq items) in
+                  let keep =
+                    Seq.filter_map
+                      (fun (i, it) -> if i + 1 >= st then Some it else None)
+                      (Seq.mapi (fun i it -> (i, it)) (Seq.take (max 0 (st + n - 1)) s))
+                  in
+                  Xml (List.of_seq keep)
+              | _ -> (Lazy.force fallback) ctx inp
+            end
+      | _ -> generic_call env name args)
 
 and order_by ctx cspecs tuples =
-  (* evaluate all keys once, then stable-sort *)
+  (* evaluate all keys once, classifying each into its typed comparison
+     class ([Promotion.order_key]) — pairwise fs:convert-operand is not
+     transitive over mixed-type keys, the per-class comparison is *)
+  let classify a =
+    match Promotion.order_key a with
+    | k -> k
+    | exception Promotion.Type_mismatch _ ->
+        dynamic_error "order by: incomparable values"
+  in
   let keyed =
     List.map
       (fun t ->
@@ -996,7 +1059,7 @@ and order_by ctx cspecs tuples =
             (fun (ck, _, _) ->
               match Item.atomize (as_items (ck ctx (ITuple t))) with
               | [] -> None
-              | [ a ] -> Some a
+              | [ a ] -> Some (classify a)
               | _ -> dynamic_error "order by key is not a singleton")
             cspecs
         in
@@ -1015,12 +1078,10 @@ and order_by ctx cspecs tuples =
             | None, Some _ -> ( match empty with Ast.Empty_least -> -1 | Ast.Empty_greatest -> 1)
             | Some _, None -> ( match empty with Ast.Empty_least -> 1 | Ast.Empty_greatest -> -1)
             | Some a, Some b -> (
-                try
-                  let a' = Promotion.convert_operand a b
-                  and b' = Promotion.convert_operand b a in
-                  Atomic.compare_same_type a' b'
-                with Promotion.Type_mismatch _ | Atomic.Cast_error _ ->
-                  dynamic_error "order by: incomparable values")
+                match Promotion.compare_order_keys a b with
+                | c -> c
+                | exception Promotion.Type_mismatch _ ->
+                    dynamic_error "order by: incomparable values")
           in
           let c = match dir with Ast.Ascending -> c | Ast.Descending -> -c in
           if c <> 0 then c else go r1 r2 rd
@@ -1030,17 +1091,17 @@ and order_by ctx cspecs tuples =
   in
   List.map snd (List.stable_sort (fun (k1, _) (k2, _) -> compare_keys k1 k2) keyed)
 
-and compile_groupby env g input =
+and compile_groupby env (g : P.pgroup_spec) input =
   let ci, li = compile env input in
-  let cpre, _ = compile { layout = li } g.g_pre in
-  let cpost, _ = compile { layout = [] } g.g_post in
+  let cpre, _ = compile { layout = li } g.P.pg_pre in
+  let cpost, _ = compile { layout = [] } g.P.pg_post in
   let index_slots =
     List.map
       (fun q ->
         match field_index li q with
         | Some i -> i
         | None -> compile_error "GroupBy index field #%s not in layout" q)
-      g.g_indices
+      g.P.pg_indices
   in
   let null_slots =
     List.map
@@ -1048,10 +1109,10 @@ and compile_groupby env g input =
         match field_index li q with
         | Some i -> i
         | None -> compile_error "GroupBy null field #%s not in layout" q)
-      g.g_nulls
+      g.P.pg_nulls
   in
   let width = List.length li + 1 in
-  let out_layout = li @ [ g.g_agg ] in
+  let out_layout = li @ [ g.P.pg_agg ] in
   ( (fun ctx inp ->
       let tuples = table_list (ci ctx inp) in
       let is_null t =
@@ -1100,28 +1161,21 @@ and compile_groupby env g input =
                !order)),
     out_layout )
 
-and compile_join env ~outer alg null_field pred a b =
-  (* The builder's top node is this join's mirror; its join_stats record
-     is shared with the Joins kernels (hash/sort) or updated inline for
-     the nested-loop paths. *)
+(* The builder's top node is a join's mirror; its join_stats record is
+   shared with the Joins kernels (hash/sort) or updated inline for the
+   nested-loop paths. *)
+and join_scaffold env (outer : P.field option) a b : join_parts =
   let jstats =
     match !current_builder with Some b -> Obs.top_join b | None -> None
-  in
-  let note_probe ms =
-    (match jstats with
-    | Some js ->
-        js.Obs.js_probes <- js.Obs.js_probes + 1;
-        js.Obs.js_matches <- js.Obs.js_matches + List.length ms
-    | None -> ());
-    ms
   in
   let ca, la = compile env a and cb, lb = compile env b in
   let merged, mwidth, moves = concat_spec la lb in
   let n1 = List.length la in
-  let out_layout = if outer then null_field :: merged else merged in
+  let is_outer = outer <> None in
+  let out_layout = match outer with Some q -> q :: merged | None -> merged in
   let emit_match l r =
     let m = apply_concat n1 mwidth moves l r in
-    if outer then (
+    if is_outer then (
       let o = Array.make (1 + mwidth) [] in
       o.(0) <- false_flag;
       Array.blit m 0 o 1 mwidth;
@@ -1134,88 +1188,135 @@ and compile_join env ~outer alg null_field pred a b =
     Array.blit l 0 o 1 n1;
     o
   in
-  (* The probe (left) side streams: each outer tuple is matched as the
-     consumer pulls.  The build (right) side is the blocking point and is
-     materialized eagerly at operator call, before any pull. *)
-  let run_with_matches left matches_of =
+  let run left matches_of =
     Tab
       (Seq.concat_map
          (fun l ->
            match matches_of l with
-           | [] -> if outer then Seq.return (emit_unmatched l) else Seq.empty
+           | [] -> if is_outer then Seq.return (emit_unmatched l) else Seq.empty
            | ms -> List.to_seq (List.map (emit_match l) ms))
          left)
   in
-  match (alg, pred) with
-  | (Nested_loop, Pred p) | (Hash, Pred p) | (Sort, Pred p) ->
+  {
+    jp_stats = jstats;
+    jp_left = ca;
+    jp_llayout = la;
+    jp_right = cb;
+    jp_rlayout = lb;
+    jp_merged = merged;
+    jp_n1 = n1;
+    jp_mwidth = mwidth;
+    jp_moves = moves;
+    jp_out = out_layout;
+    jp_run = run;
+  }
+
+and compile_nested_loop env outer (pred : P.ppred) a b : comp * layout =
+  let jp = join_scaffold env outer a b in
+  let note_probe ms =
+    (match jp.jp_stats with
+    | Some js ->
+        js.Obs.js_probes <- js.Obs.js_probes + 1;
+        js.Obs.js_matches <- js.Obs.js_matches + List.length ms
+    | None -> ());
+    ms
+  in
+  match pred with
+  | P.PWholePred p ->
       (* arbitrary predicates always run as an order-preserving NL join *)
-      let cp, _ = compile { layout = merged } p in
+      let cp, _ = compile { layout = jp.jp_merged } p in
       ( (fun ctx inp ->
-          let left = as_table (ca ctx inp) in
-          let right = table_list (cb ctx inp) in
-          run_with_matches left (fun l ->
+          let left = as_table (jp.jp_left ctx inp) in
+          let right = table_list (jp.jp_right ctx inp) in
+          jp.jp_run left (fun l ->
               note_probe
                 (List.filter_map
                    (fun r ->
-                     let m = apply_concat n1 mwidth moves l r in
+                     let m = apply_concat jp.jp_n1 jp.jp_mwidth jp.jp_moves l r in
                      if ebv (cp ctx (ITuple m)) then Some r else None)
                    right))),
-        out_layout )
-  | Nested_loop, Split_pred { op; left_key; right_key } ->
-      let cl, _ = compile { layout = la } left_key in
-      let cr, _ = compile { layout = lb } right_key in
+        jp.jp_out )
+  | P.PSplitPred { op; left_key; right_key } ->
+      let cl, _ = compile { layout = jp.jp_llayout } left_key in
+      let cr, _ = compile { layout = jp.jp_rlayout } right_key in
       ( (fun ctx inp ->
-          let left = as_table (ca ctx inp) in
-          let right = table_list (cb ctx inp) in
-          run_with_matches left (fun l ->
+          let left = as_table (jp.jp_left ctx inp) in
+          let right = table_list (jp.jp_right ctx inp) in
+          jp.jp_run left (fun l ->
               let lk = as_items (cl ctx (ITuple l)) in
               note_probe
                 (List.filter
                    (fun r -> Promotion.general_compare op lk (as_items (cr ctx (ITuple r))))
                    right))),
-        out_layout )
-  | Hash, Split_pred { op = Promotion.Eq; left_key; right_key } ->
-      let cl, _ = compile { layout = la } left_key in
-      let cr, _ = compile { layout = lb } right_key in
+        jp.jp_out )
+
+and compile_hash_join env outer (build : P.build_side) left_key right_key a b :
+    comp * layout =
+  let jp = join_scaffold env outer a b in
+  let cl, _ = compile { layout = jp.jp_llayout } left_key in
+  let cr, _ = compile { layout = jp.jp_rlayout } right_key in
+  match build with
+  | P.Build_right ->
       ( (fun ctx inp ->
-          let left = as_table (ca ctx inp) in
-          let right = table_list (cb ctx inp) in
+          let left = as_table (jp.jp_left ctx inp) in
+          let right = table_list (jp.jp_right ctx inp) in
           let index =
-            Joins.build_hash_index ?stats:jstats right
+            Joins.build_hash_index ?stats:jp.jp_stats right
               (fun r -> as_items (cr ctx (ITuple r)))
           in
-          run_with_matches left (fun l ->
-              Joins.probe_hash_index ?stats:jstats index
+          jp.jp_run left (fun l ->
+              Joins.probe_hash_index ?stats:jp.jp_stats index
                 (Item.atomize (as_items (cl ctx (ITuple l)))))),
-        out_layout )
-  | Sort, Split_pred { op = (Promotion.Lt | Promotion.Le | Promotion.Gt | Promotion.Ge) as op; left_key; right_key } ->
-      let cl, _ = compile { layout = la } left_key in
-      let cr, _ = compile { layout = lb } right_key in
+        jp.jp_out )
+  | P.Build_left ->
+      (* build on the (estimated smaller) left side: index left keys,
+         probe with each right tuple, and bucket the matching right
+         tuples under their left position.  The output is then emitted
+         left-major with matches in right order — exactly the pairs and
+         order of the build-right form (the Table 2 acceptance check is
+         symmetric), at the memory cost of the smaller side. *)
       ( (fun ctx inp ->
-          let left = as_table (ca ctx inp) in
-          let right = table_list (cb ctx inp) in
+          let left = table_list (jp.jp_left ctx inp) in
+          let right = table_list (jp.jp_right ctx inp) in
           let index =
-            Joins.build_sort_index ?stats:jstats right
-              (fun r -> as_items (cr ctx (ITuple r)))
+            Joins.build_hash_index ?stats:jp.jp_stats left
+              (fun l -> as_items (cl ctx (ITuple l)))
           in
-          run_with_matches left (fun l ->
-              Joins.probe_sort_index ?stats:jstats op index
-                (Item.atomize (as_items (cl ctx (ITuple l)))))),
-        out_layout )
-  | (Hash | Sort), Split_pred { op; left_key; right_key } ->
-      (* mismatched algorithm/operator: fall back to the NL split form *)
-      let cl, _ = compile { layout = la } left_key in
-      let cr, _ = compile { layout = lb } right_key in
-      ( (fun ctx inp ->
-          let left = as_table (ca ctx inp) in
-          let right = table_list (cb ctx inp) in
-          run_with_matches left (fun l ->
-              let lk = as_items (cl ctx (ITuple l)) in
-              note_probe
-                (List.filter
-                   (fun r -> Promotion.general_compare op lk (as_items (cr ctx (ITuple r))))
-                   right))),
-        out_layout )
+          let buckets = Array.make (max 1 (List.length left)) [] in
+          List.iter
+            (fun r ->
+              List.iter
+                (fun o -> buckets.(o - 1) <- r :: buckets.(o - 1))
+                (Joins.probe_hash_index_orders ?stats:jp.jp_stats index
+                   (Item.atomize (as_items (cr ctx (ITuple r))))))
+            right;
+          let pos = ref 0 in
+          jp.jp_run (List.to_seq left) (fun _l ->
+              let i = !pos in
+              incr pos;
+              List.rev buckets.(i))),
+        jp.jp_out )
+
+and compile_sort_join env outer (op : Promotion.cmp_op) left_key right_key a b :
+    comp * layout =
+  (match op with
+  | Promotion.Lt | Promotion.Le | Promotion.Gt | Promotion.Ge -> ()
+  | Promotion.Eq | Promotion.Ne ->
+      compile_error "sort join planned for a non-inequality operator");
+  let jp = join_scaffold env outer a b in
+  let cl, _ = compile { layout = jp.jp_llayout } left_key in
+  let cr, _ = compile { layout = jp.jp_rlayout } right_key in
+  ( (fun ctx inp ->
+      let left = as_table (jp.jp_left ctx inp) in
+      let right = table_list (jp.jp_right ctx inp) in
+      let index =
+        Joins.build_sort_index ?stats:jp.jp_stats right
+          (fun r -> as_items (cr ctx (ITuple r)))
+      in
+      jp.jp_run left (fun l ->
+          Joins.probe_sort_index ?stats:jp.jp_stats op index
+            (Item.atomize (as_items (cl ctx (ITuple l)))))),
+    jp.jp_out )
 
 (* ------------------------------------------------------------------ *)
 (* Whole-query evaluation                                              *)
@@ -1225,7 +1326,7 @@ and compile_join env ~outer alg null_field pred a b =
    annotated op_node tree is registered under [name] (replacing the tree
    from any previous run). *)
 let compile_plan (stats : Obs.collector option) (name : string) (env : cenv)
-    (p : plan) : comp * layout =
+    (p : P.t) : comp * layout =
   match stats with
   | None -> compile env p
   | Some c ->
@@ -1248,35 +1349,35 @@ let compile_plan (stats : Obs.collector option) (name : string) (env : cenv)
 
 (* Install compiled user functions into the context, then evaluate the
    globals in declaration order, then run the main plan. *)
-let install_query ?stats (ctx : Dynamic_ctx.t)
-    (q : Xqc_compiler.Compile.compiled_query) : Dynamic_ctx.t -> Item.sequence =
+let install_query ?stats (ctx : Dynamic_ctx.t) (q : P.query) :
+    Dynamic_ctx.t -> Item.sequence =
   List.iter
-    (fun (f : Xqc_compiler.Compile.compiled_function) ->
-      Hashtbl.replace ctx.functions f.fn_name
-        { func_params = f.fn_params; func_impl = (fun _ _ -> dynamic_error "uncompiled function") })
-    q.cfunctions;
+    (fun (f : P.pfunction) ->
+      Hashtbl.replace ctx.functions f.P.pf_name
+        { func_params = f.P.pf_params; func_impl = (fun _ _ -> dynamic_error "uncompiled function") })
+    q.P.pfunctions;
   List.iter
-    (fun (f : Xqc_compiler.Compile.compiled_function) ->
+    (fun (f : P.pfunction) ->
       let body, _ =
-        compile_plan stats ("function " ^ f.fn_name) { layout = [] } f.fn_body
+        compile_plan stats ("function " ^ f.P.pf_name) { layout = [] } f.P.pf_body
       in
       let impl ctx args =
-        let frame = List.combine f.fn_params args in
+        let frame = List.combine f.P.pf_params args in
         with_params ctx frame (fun () -> as_items (body ctx INone))
       in
-      (Hashtbl.find ctx.functions f.fn_name).func_impl <- impl)
-    q.cfunctions;
+      (Hashtbl.find ctx.functions f.P.pf_name).func_impl <- impl)
+    q.P.pfunctions;
   let globals =
     List.map
       (fun (v, p) -> (v, fst (compile_plan stats ("global $" ^ v) { layout = [] } p)))
-      q.cglobals
+      q.P.pglobals
   in
-  let main, _ = compile_plan stats "main" { layout = [] } q.cmain in
+  let main, _ = compile_plan stats "main" { layout = [] } q.P.pmain in
   fun ctx ->
     List.iter (fun (v, c) -> bind_global ctx v (as_items (c ctx INone))) globals;
     as_items (main ctx INone)
 
-let run ?stats ctx (q : Xqc_compiler.Compile.compiled_query) : Item.sequence =
+let run ?stats ctx (q : P.query) : Item.sequence =
   match stats with
   | None -> (install_query ctx q) ctx
   | Some c ->

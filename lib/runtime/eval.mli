@@ -1,10 +1,16 @@
-(** Physical evaluation of algebraic plans.
+(** Physical evaluation of planned algebra plans.
 
     Plans compile to OCaml closures.  Tuples are value arrays and every
     IN#q access resolves to an integer slot at compile time — the paper
     attributes part of the algebra speedup to this "replacement of
     dynamic lookups in the dynamic context by direct compiled memory
     access".
+
+    The evaluator consumes the {e physical} algebra produced by the
+    cost-based planner ([Xqc_optimizer.Planner]) and re-makes no strategy
+    decision: join algorithm and build side, index-vs-walk per step,
+    positional bounds, streaming calls and materialization points all
+    arrive encoded in the plan.
 
     Dependent-input plumbing: every compiled plan receives the current
     dependent input [inp]; operators pass it through to their independent
@@ -72,32 +78,33 @@ val dynamic_field_lookup : bool ref
 val force_materialize : bool ref
 (** Debug knob: when set during compilation, every operator drains its
     cursor eagerly at call time and the cursor-based early-termination
-    special cases are disabled — restoring fully materialized evaluation.
-    Used to cross-check streamed against materialized results and as the
-    bench early-exit baseline. *)
+    paths are disabled — restoring fully materialized evaluation of the
+    {e same} physical plan.  Used to cross-check streamed against
+    materialized results and as the bench early-exit baseline. *)
 
-val compile : cenv -> Algebra.plan -> comp * layout
-(** Compile a plan under the layout IN will have when it is a tuple;
-    returns the closure and the output layout (meaningful for
+val compile : cenv -> Physical.t -> comp * layout
+(** Compile a physical plan under the layout IN will have when it is a
+    tuple; returns the closure and the output layout (meaningful for
     table-producing plans).
-    @raise Compile_error on unknown tuple fields. *)
+    @raise Compile_error on unknown tuple fields or malformed plans. *)
 
 val compile_plan :
-  Xqc_obs.Obs.collector option -> string -> cenv -> Algebra.plan -> comp * layout
+  Xqc_obs.Obs.collector option -> string -> cenv -> Physical.t -> comp * layout
 (** Compile one plan; with a collector, every operator closure is
     wrapped to record invocation count, cumulative (inclusive) time and
-    output cardinality, and the annotated tree is registered under the
-    given name (replacing any previous tree of that name). *)
+    output cardinality — alongside the planner's estimate — and the
+    annotated tree is registered under the given name (replacing any
+    previous tree of that name). *)
 
 val install_query :
   ?stats:Xqc_obs.Obs.collector ->
-  Dynamic_ctx.t -> Xqc_compiler.Compile.compiled_query -> Dynamic_ctx.t -> Item.sequence
+  Dynamic_ctx.t -> Physical.query -> Dynamic_ctx.t -> Item.sequence
 (** Register the query's functions (recursion-safe two-phase patching)
     and return a runner evaluating globals then the main plan.  With
     [~stats], compiled closures are instrumented per operator. *)
 
 val run :
   ?stats:Xqc_obs.Obs.collector ->
-  Dynamic_ctx.t -> Xqc_compiler.Compile.compiled_query -> Item.sequence
+  Dynamic_ctx.t -> Physical.query -> Item.sequence
 (** With [~stats], times the "compile closures" and "eval" phases and
     records per-operator and join statistics into the collector. *)

@@ -107,6 +107,41 @@ let probe_hash_index ?stats (index : hash_index) (key_vals : Atomic.t list) : tu
   | None -> ());
   matches
 
+(* Build-side-flipped probe: the sorted distinct build positions whose
+   entries match one probe key.  Used when the planner builds the hash
+   join on its *left* input: output must stay left-major with matches in
+   right order, so the evaluator probes with each right tuple and buckets
+   it under every matching left position, then emits bucket by bucket.
+   The Table 2 check is symmetric in the two original types, so probing
+   from either side accepts exactly the same pairs. *)
+let probe_hash_index_orders ?stats (index : hash_index) (key_vals : Atomic.t list) :
+    int list =
+  let acc : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun key ->
+      let key_type = Atomic.type_of key in
+      List.iter
+        (fun (v, target_type) ->
+          match (if is_nan_atom v then None else Hashtbl.find_opt index.hi_buckets v) with
+          | None -> ()
+          | Some cell ->
+              List.iter
+                (fun e ->
+                  match Promotion.comparison_type e.e_orig_type key_type with
+                  | Some prescribed when prescribed = target_type ->
+                      Hashtbl.replace acc e.e_order ()
+                  | Some _ | None -> ())
+                !cell)
+        (Promotion.promote_to_simple_types key))
+    key_vals;
+  let orders = List.sort compare (Hashtbl.fold (fun o () acc -> o :: acc) acc []) in
+  (match stats with
+  | Some js ->
+      js.Obs.js_probes <- js.Obs.js_probes + 1;
+      js.Obs.js_matches <- js.Obs.js_matches + List.length orders
+  | None -> ());
+  orders
+
 (* ------------------------------------------------------------------ *)
 (* Sort join for inequalities                                          *)
 (* ------------------------------------------------------------------ *)

@@ -50,6 +50,15 @@ val probe_hash_index :
     in inner input order, without duplicates.  With [~stats], records one
     probe and the number of matches. *)
 
+val probe_hash_index_orders :
+  ?stats:Xqc_obs.Obs.join_stats -> hash_index -> Atomic.t list -> int list
+(** The sorted distinct build positions ([e_order], 1-based) whose
+    entries match any probe key — the build-side-flipped probe used when
+    the planner builds the hash join on its left input.  The Table 2
+    acceptance check is symmetric, so this matches exactly the pairs
+    {!probe_hash_index} would.  With [~stats], records one probe and the
+    number of matched positions. *)
+
 (** {1 Sort join for inequalities} *)
 
 type sort_index = {

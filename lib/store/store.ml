@@ -274,3 +274,49 @@ let attributes_by_name n name : Node.t list option =
       else Some (List.filter (is_child_of ~parent:n) (slice_list arr i j))
 
 let index_nodes n : int option = Option.map (fun ix -> ix.ix_nodes) (index_for n)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics API (physical planner)                                   *)
+(* ------------------------------------------------------------------ *)
+
+type stats = { st_roots : int; st_nodes : int }
+
+let stats () : stats =
+  purge_stale ();
+  Hashtbl.fold
+    (fun _ e acc ->
+      match e with
+      | Indexed ix ->
+          { st_roots = acc.st_roots + 1; st_nodes = acc.st_nodes + ix.ix_nodes }
+      | Unindexable _ -> acc)
+    cache
+    { st_roots = 0; st_nodes = 0 }
+
+(* Exact per-qname cardinality summed over every cached index: the
+   length of the name's node array is the number of elements (or
+   attributes) with that name in the indexed tree.  [None] when no index
+   has been built (or lookups are off), in which case the planner falls
+   back to its selectivity defaults. *)
+let name_count (tbl : index -> (string, Node.t array) Hashtbl.t) (name : string)
+    : int option =
+  if !mode = Off then None
+  else begin
+    purge_stale ();
+    let found = ref false and total = ref 0 in
+    Hashtbl.iter
+      (fun _ e ->
+        match e with
+        | Indexed ix ->
+            found := true;
+            (match Hashtbl.find_opt (tbl ix) name with
+            | Some arr -> total := !total + Array.length arr
+            | None -> ())
+        | Unindexable _ -> ())
+      cache;
+    if !found then Some !total else None
+  end
+
+let element_count (name : string) : int option = name_count elems name
+let attribute_count (name : string) : int option = name_count attrs name
+
+let total_elements () : int option = element_count "*"

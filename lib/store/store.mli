@@ -55,6 +55,24 @@ val children_by_name : Node.t -> string -> Node.t list option
 
 val attributes_by_name : Node.t -> string -> Node.t list option
 
+(** {1 Statistics} — the physical planner's cost-model inputs. *)
+
+type stats = { st_roots : int;  (** indexed document roots *)
+               st_nodes : int  (** total nodes covered by those indexes *) }
+
+val stats : unit -> stats
+(** Aggregate over every cached index (stale entries purged first). *)
+
+val element_count : string -> int option
+(** Exact number of elements with this qname summed over every cached
+    index; [None] when no index has been built (or mode is [Off]), in
+    which case the planner falls back to selectivity defaults. *)
+
+val attribute_count : string -> int option
+
+val total_elements : unit -> int option
+(** [element_count "*"]: every element under any indexed root. *)
+
 (** {1 Cache management} *)
 
 val index_nodes : Node.t -> int option

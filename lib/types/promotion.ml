@@ -120,3 +120,52 @@ let value_compare (op : cmp_op) (xs : Item.sequence) (ys : Item.sequence) :
   | [], _ | _, [] -> None
   | [ x ], [ y ] -> Some (atomic_compare op x y)
   | _, _ -> Atomic.cast_error "value comparison requires singleton operands"
+
+(* ------------------------------------------------------------------ *)
+(* Typed order keys (OrderBy)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Sort keys classified once, by type.  Pairwise fs:convert-operand is
+   not a total order over mixed-type keys (untyped compares as string
+   against strings but as double against numerics, which is not
+   transitive), so OrderBy instead classifies each key into one of these
+   comparison classes up front: the numeric tower collapses to one class
+   (integers kept exact until a fractional key appears), untyped/anyURI
+   keys compare as strings per the XQuery ordering rules, and calendar /
+   binary types compare lexically within the same type only.  Comparing
+   across classes raises [Type_mismatch] (err:XPTY0004). *)
+type order_key =
+  | K_int of int
+  | K_float of float
+  | K_string of string
+  | K_bool of bool
+  | K_cal of Atomic.type_name * string
+
+let order_key (a : Atomic.t) : order_key =
+  match a with
+  | Atomic.Integer i -> K_int i
+  | Atomic.Decimal f | Atomic.Float f | Atomic.Double f -> K_float f
+  | Atomic.Untyped s | Atomic.String s | Atomic.Any_uri s -> K_string s
+  | Atomic.Boolean b -> K_bool b
+  | Atomic.Other (t, s) -> K_cal (t, s)
+  | Atomic.Qname _ ->
+      (* xs:QName has no order relation *)
+      raise (Type_mismatch (Atomic.T_qname, Atomic.T_qname))
+
+let order_key_type = function
+  | K_int _ -> Atomic.T_integer
+  | K_float _ -> Atomic.T_double
+  | K_string _ -> Atomic.T_string
+  | K_bool _ -> Atomic.T_boolean
+  | K_cal (t, _) -> t
+
+let compare_order_keys (k1 : order_key) (k2 : order_key) : int =
+  match (k1, k2) with
+  | K_int a, K_int b -> Int.compare a b
+  | K_int a, K_float b -> Float.compare (float_of_int a) b
+  | K_float a, K_int b -> Float.compare a (float_of_int b)
+  | K_float a, K_float b -> Float.compare a b
+  | K_string a, K_string b -> String.compare a b
+  | K_bool a, K_bool b -> Bool.compare a b
+  | K_cal (t1, a), K_cal (t2, b) when t1 = t2 -> String.compare a b
+  | _ -> raise (Type_mismatch (order_key_type k1, order_key_type k2))

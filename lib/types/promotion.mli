@@ -53,3 +53,26 @@ val general_compare : cmp_op -> Item.sequence -> Item.sequence -> bool
 val value_compare : cmp_op -> Item.sequence -> Item.sequence -> bool option
 (** Value comparison (eq/lt/...): [None] if either operand is empty.
     @raise Atomic.Cast_error on non-singleton operands. *)
+
+(** {1 Typed order keys}
+
+    Sort keys classified once, by type, into a class with a total order
+    — pairwise [convert_operand] is not transitive over mixed-type keys
+    (untyped compares as string against strings but as double against
+    numerics).  The numeric tower collapses to one class with integers
+    kept exact; untyped and anyURI keys compare as strings; calendar and
+    binary types compare lexically within the same type. *)
+type order_key =
+  | K_int of int
+  | K_float of float
+  | K_string of string
+  | K_bool of bool
+  | K_cal of Atomic.type_name * string
+
+val order_key : Atomic.t -> order_key
+(** Classify one atomic sort key.
+    @raise Type_mismatch on xs:QName (no order relation). *)
+
+val compare_order_keys : order_key -> order_key -> int
+(** Total within a class.
+    @raise Type_mismatch across classes (err:XPTY0004). *)

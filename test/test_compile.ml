@@ -102,7 +102,7 @@ let test_output_fields () =
   Alcotest.(check (list string)) "louterjoin prepends flag" [ "n"; "a"; "b" ]
     (output_fields
        (LOuterJoin
-          ( Nested_loop, "n",
+          ( "n",
             Pred Empty,
             TupleConstruct [ ("a", Empty) ],
             TupleConstruct [ ("b", Empty) ] )));
@@ -132,7 +132,7 @@ let test_input_fields () =
     (List.sort_uniq compare
        (input_fields (Call ("f", [ FieldAccess "x"; FieldAccess "y"; FieldAccess "x" ]))));
   Alcotest.(check (list string)) "dependent positions skipped" [ "z" ]
-    (input_fields (Select (FieldAccess "hidden", MapConcat (FieldAccess "hidden2", Join (Nested_loop, Pred Empty, Input, FieldAccess "z")))))
+    (input_fields (Select (FieldAccess "hidden", MapConcat (FieldAccess "hidden2", Join (Pred Empty, Input, FieldAccess "z")))))
 
 let () =
   Alcotest.run "compile"

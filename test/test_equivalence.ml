@@ -96,9 +96,9 @@ let arb =
     ~print:(fun (qi, _) -> queries.(qi))
     QCheck.Gen.(pair (int_bound (Array.length queries - 1)) doc_gen)
 
-let run_one ?(materialize = false) strategy doc q =
+let run_one ?(materialize = false) ?force_join strategy doc q =
   match
-    Xqc.eval_string ~strategy ~materialize
+    Xqc.eval_string ~strategy ~materialize ?force_join
       ~variables:[ ("d", [ Xqc.Item.Node doc ]) ]
       q
   with
@@ -141,6 +141,21 @@ let prop_streaming_is_transparent =
         (fun s ->
           String.equal (run_one s doc q) (run_one ~materialize:true s doc q))
         strategies)
+
+(* Forcing each join algorithm against the planner's own cost-based
+   choice: the physical algorithms are interchangeable implementations of
+   the same logical join, so overriding the planner must never change a
+   result (only the sort join is restricted — the planner falls back to
+   the nested loop for predicates it cannot execute). *)
+let prop_forced_joins_agree =
+  QCheck.Test.make ~name:"forced join algorithms agree with the planner"
+    ~count:250 arb (fun (qi, doc) ->
+      let q = queries.(qi) in
+      let free = run_one Xqc.Optimized doc q in
+      List.for_all
+        (fun alg ->
+          String.equal free (run_one ~force_join:alg Xqc.Optimized doc q))
+        [ Xqc.Physical.Nested_loop; Xqc.Physical.Hash; Xqc.Physical.Sort ])
 
 (* The structural-index store against the walking axis code: forcing
    indexes on and off must never change a result, under any strategy.
@@ -221,6 +236,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_all_strategies_agree;
           QCheck_alcotest.to_alcotest prop_streaming_is_transparent;
+          QCheck_alcotest.to_alcotest prop_forced_joins_agree;
           QCheck_alcotest.to_alcotest prop_index_is_transparent;
         ] );
       ( "streaming",

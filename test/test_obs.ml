@@ -251,7 +251,8 @@ let test_explain_analyze_report () =
       "=== Rewrite trace ===";
       "insert join";
       "=== EXPLAIN ANALYZE (main) ===";
-      "Join<hash><eq>";
+      "PHashJoin<eq>";
+      "est=";
       "builds=1";
       "calls=";
       "=== Join totals ===";

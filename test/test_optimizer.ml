@@ -1,5 +1,7 @@
 (* The Figure 5 rewritings: the P1 -> P2 pipeline on the paper's examples,
-   the robustness rules, and the physical join selection of Section 6. *)
+   the robustness rules, and the Section 6 predicate splitting.  (The
+   join *algorithm* is no longer a rewrite-time decision — see
+   test_planner.ml for the cost-based physical choices.) *)
 
 open Xqc
 open Algebra
@@ -30,14 +32,14 @@ let test_figure4_plan () =
   check_int "no Select left" 0 (count "Select" p);
   check_int "no OMapConcat left" 0 (count "OMapConcat" p);
   check_int "no OMap left" 0 (count "OMap" p);
-  (* the <= predicate selects the sort join *)
+  (* the <= predicate is split so the planner can pick a sort join *)
   let rec find_join = function
-    | LOuterJoin (alg, _, pred, _, _) -> Some (alg, pred)
+    | LOuterJoin (_, pred, _, _) -> Some pred
     | p -> List.find_map find_join (children_of p)
   in
   match find_join p with
-  | Some (Sort, Split_pred { op = Promotion.Le; _ }) -> ()
-  | Some _ -> Alcotest.fail "expected a Sort split join for <="
+  | Some (Split_pred { op = Promotion.Le; _ }) -> ()
+  | Some _ -> Alcotest.fail "expected a split <= join predicate"
   | None -> Alcotest.fail "no join found"
 
 let test_q8_plan () =
@@ -46,14 +48,14 @@ let test_q8_plan () =
   check_int "one LOuterJoin" 1 (count "LOuterJoin" p);
   check_int "no residual MapConcat" 0 (count "MapConcat" p);
   let rec find_join = function
-    | LOuterJoin (alg, _, pred, _, _) -> Some (alg, pred)
+    | LOuterJoin (_, pred, _, _) -> Some pred
     | p -> List.find_map find_join (children_of p)
   in
   match find_join p with
-  | Some (Hash, Split_pred { op = Promotion.Eq; left_key; right_key }) ->
+  | Some (Split_pred { op = Promotion.Eq; left_key; right_key }) ->
       check_bool "left key reads fields" true (input_fields left_key <> []);
       check_bool "right key reads fields" true (input_fields right_key <> [])
-  | Some _ -> Alcotest.fail "expected a Hash split join"
+  | Some _ -> Alcotest.fail "expected a split equality join predicate"
   | None -> Alcotest.fail "no join found"
 
 let test_groupby_params_match_paper () =
@@ -120,19 +122,24 @@ let test_predicate_join_unnesting () =
   check_int "LOuterJoin" 1 (count "LOuterJoin" p)
 
 let test_unoptimized_options () =
-  let options = { Rewrite.unnest = false; physical_joins = false; static_types = false } in
+  let options = { Rewrite.unnest = false; split_preds = false; static_types = false } in
   let p = optimize ~options q8_query in
   check_int "no GroupBy without rewriting" 0 (count "GroupBy" p);
   check_int "no join without rewriting" 0 (count "LOuterJoin" p)
 
 let test_nl_only_options () =
-  let options = { Rewrite.unnest = true; physical_joins = false; static_types = false } in
+  (* without predicate splitting the join keeps its whole [Pred], which
+     only the nested loop can evaluate *)
+  let options = { Rewrite.unnest = true; split_preds = false; static_types = false } in
   let p = optimize ~options q8_query in
   let rec find_join = function
-    | LOuterJoin (alg, _, _, _, _) -> Some alg
+    | LOuterJoin (_, pred, _, _) -> Some pred
     | p -> List.find_map find_join (children_of p)
   in
-  check_bool "join stays nested-loop" true (find_join p = Some Nested_loop)
+  match find_join p with
+  | Some (Pred _) -> ()
+  | Some (Split_pred _) -> Alcotest.fail "predicate split despite split_preds = false"
+  | None -> Alcotest.fail "no join found"
 
 (* ---------------- physical predicate splitting ---------------- *)
 
@@ -144,20 +151,20 @@ let pred name =
 
 let test_split_pred () =
   (match Rewrite.split_pred (pred "op:general-eq") left right with
-  | Some (Hash, Split_pred { op = Promotion.Eq; _ }) -> ()
-  | _ -> Alcotest.fail "eq -> hash");
+  | Some (Split_pred { op = Promotion.Eq; _ }) -> ()
+  | _ -> Alcotest.fail "eq splits");
   (match Rewrite.split_pred (pred "op:general-lt") left right with
-  | Some (Sort, Split_pred { op = Promotion.Lt; _ }) -> ()
-  | _ -> Alcotest.fail "lt -> sort");
+  | Some (Split_pred { op = Promotion.Lt; _ }) -> ()
+  | _ -> Alcotest.fail "lt splits");
   (match Rewrite.split_pred (pred "op:general-ne") left right with
-  | Some (Nested_loop, Split_pred { op = Promotion.Ne; _ }) -> ()
-  | _ -> Alcotest.fail "ne -> nl");
+  | Some (Split_pred { op = Promotion.Ne; _ }) -> ()
+  | _ -> Alcotest.fail "ne splits");
   (match
      Rewrite.split_pred
        (Pred (Call ("op:general-lt", [ FieldAccess "r"; FieldAccess "l" ])))
        left right
    with
-  | Some (Sort, Split_pred { op = Promotion.Gt; _ }) -> ()
+  | Some (Split_pred { op = Promotion.Gt; _ }) -> ()
   | _ -> Alcotest.fail "swapped lt mirrors to gt");
   match
     Rewrite.split_pred
