@@ -767,6 +767,150 @@ let micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Query-service throughput and latency                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The server end to end over a Unix socket: an in-process service
+   preloading a 1MB XMark document, hammered by 4 client threads for a
+   fixed window at 1, 2 and 4 worker domains.  Reports QPS and
+   client-observed p50/p95/p99 latency per configuration; the JSON
+   record goes to --json=FILE or bench/BENCH_server.json.
+
+   Note: throughput scaling with workers is hardware-dependent — on a
+   single-core container the configurations collapse to the same QPS
+   and only the admission/queueing behavior differs. *)
+let serve_bench () =
+  let module Obs = Xqc_obs.Obs in
+  let module Server = Xqc_server.Server in
+  let module Client = Xqc_server.Client in
+  let size = 1_000_000 in
+  let n_clients = 4 in
+  let duration = 3.0 in
+  let doc_path = Filename.temp_file "xqc-bench-doc" ".xml" in
+  let oc = open_out_bin doc_path in
+  output_string oc (Xqc_workload.Xmark.generate_string ~seed:42 ~target_bytes:size ());
+  close_out oc;
+  let queries =
+    [|
+      "count($auction//item)";
+      "count($auction//person)";
+      "count(for $i in $auction//item where $i/location = \"United States\" \
+       return $i)";
+      "for $p in $auction/site/people/person where $p/@id = \"person0\" \
+       return $p/name/text()";
+    |]
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else
+      let rank = int_of_float (Float.round (p /. 100. *. float_of_int n +. 0.5)) - 1 in
+      sorted.(max 0 (min (n - 1) rank))
+  in
+  Printf.eprintf
+    "=== Query service: %d client threads, %.0fs per config, %dKB XMark doc ===\n%!"
+    n_clients duration (size / 1000);
+  Printf.printf "%-10s %10s %10s %10s %10s %10s\n" "workers" "requests" "qps"
+    "p50 ms" "p95 ms" "p99 ms";
+  let records =
+    List.map
+      (fun workers ->
+        let sock = Filename.temp_file "xqc-bench" ".sock" in
+        let ready_lock = Mutex.create () in
+        let ready_cond = Condition.create () in
+        let is_ready = ref false in
+        let cfg =
+          {
+            Server.default_config with
+            unix_socket = Some sock;
+            workers;
+            queue_depth = 256;
+            preload = [ ("auction", doc_path) ];
+          }
+        in
+        let server_thread =
+          Thread.create
+            (fun () ->
+              Server.serve
+                ~ready:(fun () ->
+                  Mutex.protect ready_lock (fun () ->
+                      is_ready := true;
+                      Condition.signal ready_cond))
+                cfg)
+            ()
+        in
+        Mutex.lock ready_lock;
+        while not !is_ready do
+          Condition.wait ready_cond ready_lock
+        done;
+        Mutex.unlock ready_lock;
+        let latencies = Array.make n_clients [] in
+        let t_start = Obs.now () in
+        let t_end = t_start +. duration in
+        let client_loop k () =
+          let c = Client.connect_unix sock in
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          let acc = ref [] in
+          let i = ref k in
+          while Obs.now () < t_end do
+            let q = queries.(!i mod Array.length queries) in
+            incr i;
+            let t0 = Obs.now () in
+            (match Client.query c q with
+            | Ok _ -> acc := ((Obs.now () -. t0) *. 1000.) :: !acc
+            | Error (code, m) -> Printf.eprintf "request failed: %s: %s\n%!" code m)
+          done;
+          latencies.(k) <- !acc
+        in
+        let clients = List.init n_clients (fun k -> Thread.create (client_loop k) ()) in
+        List.iter Thread.join clients;
+        let elapsed = Obs.now () -. t_start in
+        (let c = Client.connect_unix sock in
+         Client.shutdown c;
+         Client.close c);
+        Thread.join server_thread;
+        let all = Array.of_list (List.concat (Array.to_list latencies)) in
+        Array.sort compare all;
+        let n = Array.length all in
+        let qps = float_of_int n /. elapsed in
+        let p50 = percentile all 50. in
+        let p95 = percentile all 95. in
+        let p99 = percentile all 99. in
+        Printf.printf "%-10d %10d %10.1f %10.3f %10.3f %10.3f\n%!" workers n qps
+          p50 p95 p99;
+        Obs.Obj
+          [
+            ("workers", Obs.Int workers);
+            ("requests", Obs.Int n);
+            ("qps", Obs.Float qps);
+            ("p50_ms", Obs.Float p50);
+            ("p95_ms", Obs.Float p95);
+            ("p99_ms", Obs.Float p99);
+          ])
+      [ 1; 2; 4 ]
+  in
+  (try Sys.remove doc_path with Sys_error _ -> ());
+  let record =
+    Obs.Obj
+      [
+        ("bench", Obs.Str "serve");
+        ("doc_bytes", Obs.Int size);
+        ("clients", Obs.Int n_clients);
+        ("duration_s", Obs.Float duration);
+        ("recommended_domains", Obs.Int (Domain.recommended_domain_count ()));
+        ("configs", Obs.Arr records);
+      ]
+  in
+  let path = Option.value !metrics_json_file ~default:"bench/BENCH_server.json" in
+  (try
+     let oc = open_out_bin path in
+     output_string oc (Obs.json_to_string record);
+     output_char oc '\n';
+     close_out oc;
+     Printf.eprintf "wrote %s\n%!" path
+   with Sys_error m -> Printf.eprintf "could not write %s: %s\n%!" path m)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -796,6 +940,7 @@ let () =
     | "axis-index" -> axis_index ()
     | "planner" -> planner_bench ()
     | "micro" -> micro ()
+    | "serve" -> serve_bench ()
     | "all" ->
         figure4 ();
         table3 ();
@@ -805,7 +950,7 @@ let () =
         ablation ()
     | other ->
         Printf.eprintf
-          "unknown benchmark %S (expected table3|table4|table5|figure4|saxon|ablation|metrics|early-exit|axis-index|planner|micro|all)\n"
+          "unknown benchmark %S (expected table3|table4|table5|figure4|saxon|ablation|metrics|early-exit|axis-index|planner|micro|serve|all)\n"
           other;
         Stdlib.exit 1
   in

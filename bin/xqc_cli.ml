@@ -269,10 +269,198 @@ let show_query_cmd =
     (Cmd.info "query" ~doc:"Print the text of a built-in benchmark query.")
     Term.(const action $ name_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Query service                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let unix_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "unix" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with \\$(b,--port)).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port to listen on / connect to.")
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains evaluating queries in parallel.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Admission-control bound: requests beyond this many queued get an overloaded error.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline (requests may set their own).")
+  in
+  let preload_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "preload" ] ~docv:"NAME=FILE"
+          ~doc:
+            "Parse and index FILE at startup; bind it to \\$NAME and make \
+             it available to fn:doc under NAME, its path and basename.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log connections and requests to stderr.")
+  in
+  let action unix_socket host port workers queue_depth timeout_ms preload
+      strategy verbose =
+    try
+      let preload =
+        List.map
+          (fun spec ->
+            match String.index_opt spec '=' with
+            | Some i ->
+                ( String.sub spec 0 i,
+                  String.sub spec (i + 1) (String.length spec - i - 1) )
+            | None ->
+                failwith (Printf.sprintf "--preload expects NAME=FILE, got %S" spec))
+          preload
+      in
+      let cfg =
+        {
+          Xqc_server.Server.unix_socket;
+          tcp = Option.map (fun p -> (host, p)) port;
+          workers;
+          queue_depth;
+          default_timeout_ms = timeout_ms;
+          preload;
+          strategy;
+          verbose;
+        }
+      in
+      Xqc_server.Server.serve cfg;
+      0
+    with
+    | Invalid_argument m | Failure m | Sys_error m ->
+        prerr_endline ("error: " ^ m);
+        1
+    | Unix.Unix_error (e, fn, arg) ->
+        Printf.eprintf "error: %s(%s): %s\n" fn arg (Unix.error_message e);
+        1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the query service: preload and index documents once, then \
+          answer newline-delimited JSON requests (query, prepare/execute, \
+          stats, shutdown) over a Unix and/or TCP socket with a pool of \
+          worker domains.")
+    Term.(
+      const action $ unix_socket_arg $ host_arg $ port_arg $ workers_arg
+      $ queue_arg $ timeout_arg $ preload_arg $ strategy_arg $ verbose_arg)
+
+let client_cmd =
+  let module C = Xqc_server.Client in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N" ~doc:"Send the query/execute N times.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
+  in
+  let prepare_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prepare" ] ~docv:"NAME"
+          ~doc:"Prepare the query argument as statement NAME instead of running it.")
+  in
+  let execute_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "execute" ] ~docv:"NAME" ~doc:"Execute prepared statement NAME.")
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "server-stats" ] ~doc:"Print the server's stats JSON.")
+  in
+  let shutdown_flag =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to shut down (after any query).")
+  in
+  let action unix_socket host port repeat timeout_ms prepare execute
+      server_stats shutdown query =
+    try
+      let client =
+        match (unix_socket, port) with
+        | Some path, _ -> C.connect_unix path
+        | None, Some p -> C.connect_tcp host p
+        | None, None -> failwith "give --unix PATH or --port PORT"
+      in
+      Fun.protect ~finally:(fun () -> C.close client) @@ fun () ->
+      let failed = ref false in
+      let show = function
+        | Ok text -> print_endline text
+        | Error (code, m) ->
+            Printf.eprintf "error (%s): %s\n" code m;
+            failed := true
+      in
+      (match (prepare, query) with
+      | Some name, Some q -> (
+          match C.prepare client ~name q with
+          | Ok () -> Printf.printf "prepared %s\n" name
+          | Error (code, m) ->
+              Printf.eprintf "error (%s): %s\n" code m;
+              failed := true)
+      | Some _, None -> failwith "--prepare needs a query argument"
+      | None, _ -> ());
+      (match execute with
+      | Some name ->
+          for _ = 1 to repeat do
+            show (C.execute ?timeout_ms client name)
+          done
+      | None -> (
+          match (prepare, query) with
+          | None, Some q ->
+              for _ = 1 to repeat do
+                show (C.query ?timeout_ms client q)
+              done
+          | _ -> ()));
+      if server_stats then
+        print_endline (Xqc.Obs.json_to_string (C.stats client));
+      if shutdown then C.shutdown client;
+      if !failed then 1 else 0
+    with
+    | C.Client_error m | Failure m | Sys_error m ->
+        prerr_endline ("error: " ^ m);
+        1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send requests to a running query service: evaluate a query \
+          (optionally repeated), prepare/execute named statements, fetch \
+          server statistics, or request shutdown.")
+    Term.(
+      const action $ unix_socket_arg $ host_arg $ port_arg $ repeat_arg
+      $ timeout_arg $ prepare_arg $ execute_arg $ stats_flag $ shutdown_flag
+      $ query_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "xqc" ~version:"0.1.0"
        ~doc:"An algebraic XQuery compiler (ICDE 2006 reproduction).")
-    [ run_cmd; explain_cmd; gen_cmd; queries_cmd; show_query_cmd ]
+    [ run_cmd; explain_cmd; gen_cmd; queries_cmd; show_query_cmd; serve_cmd; client_cmd ]
 
 let () = Stdlib.exit (Cmd.eval' main_cmd)

@@ -255,6 +255,13 @@ let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
 
 type plan_key = string * strategy * bool * bool * Store.mode
 
+(* All cache state is guarded by [plan_lock]: the query server's worker
+   domains share this cache (prepared statements resolve through it), so
+   lookup/insert/eviction must not race.  Compilation itself runs outside
+   the lock — two domains racing on the same cold key may both compile,
+   and the loser's insert is a harmless overwrite. *)
+let plan_lock = Mutex.create ()
+
 let plan_cache : (plan_key, prepared * int ref) Hashtbl.t = Hashtbl.create 32
 let plan_cache_capacity = ref 128
 let plan_tick = ref 0
@@ -262,11 +269,12 @@ let plan_tick = ref 0
 let c_plan_hits = Obs.global_counter "plan_cache_hits"
 let c_plan_misses = Obs.global_counter "plan_cache_misses"
 
-let clear_plan_cache () = Hashtbl.reset plan_cache
+let clear_plan_cache () = Mutex.protect plan_lock (fun () -> Hashtbl.reset plan_cache)
 
 let set_plan_cache_capacity n =
-  plan_cache_capacity := max 0 n;
-  if Hashtbl.length plan_cache > !plan_cache_capacity then clear_plan_cache ()
+  Mutex.protect plan_lock (fun () ->
+      plan_cache_capacity := max 0 n;
+      if Hashtbl.length plan_cache > !plan_cache_capacity then Hashtbl.reset plan_cache)
 
 let evict_lru () =
   let victim =
@@ -282,22 +290,30 @@ let evict_lru () =
 let prepare_cached ?(strategy = Optimized) ?(project = false)
     ?(materialize = false) (source : string) : prepared =
   let key = (source, strategy, project, materialize, !Store.mode) in
-  incr plan_tick;
-  match Hashtbl.find_opt plan_cache key with
-  | Some (p, tick) ->
-      tick := !plan_tick;
-      Obs.incr_counter c_plan_hits;
-      p
+  let hit =
+    Mutex.protect plan_lock (fun () ->
+        incr plan_tick;
+        match Hashtbl.find_opt plan_cache key with
+        | Some (p, tick) ->
+            tick := !plan_tick;
+            Obs.incr_counter c_plan_hits;
+            Some p
+        | None ->
+            Obs.incr_counter c_plan_misses;
+            None)
+  in
+  match hit with
+  | Some p -> p
   | None ->
-      Obs.incr_counter c_plan_misses;
       let p = prepare ~strategy ~project ~materialize source in
-      if !plan_cache_capacity > 0 then begin
-        if Hashtbl.length plan_cache >= !plan_cache_capacity then evict_lru ();
-        Hashtbl.replace plan_cache key (p, ref !plan_tick)
-      end;
+      Mutex.protect plan_lock (fun () ->
+          if !plan_cache_capacity > 0 then begin
+            if Hashtbl.length plan_cache >= !plan_cache_capacity then evict_lru ();
+            Hashtbl.replace plan_cache key (p, ref !plan_tick)
+          end);
       p
 
-let plan_cache_size () = Hashtbl.length plan_cache
+let plan_cache_size () = Mutex.protect plan_lock (fun () -> Hashtbl.length plan_cache)
 
 let run (p : prepared) (ctx : Dynamic_ctx.t) : Item.sequence =
   try p.runner ctx with

@@ -85,34 +85,47 @@ let json_to_string (j : json) : string =
 (* Counters and timers                                                 *)
 (* ------------------------------------------------------------------ *)
 
-type counter = { cn_name : string; mutable cn_value : int }
+(* Counters are atomic ints: the query server increments them from
+   several worker domains at once, and --stats-json must never report a
+   torn value.  On the single-threaded CLI path an uncontended
+   [Atomic.incr] is a plain fetch-and-add — no allocation, no lock. *)
+type counter = { cn_name : string; cn_cell : int Atomic.t }
 
-let counter name = { cn_name = name; cn_value = 0 }
-let incr_counter c = c.cn_value <- c.cn_value + 1
-let add_counter c n = c.cn_value <- c.cn_value + n
+let counter name = { cn_name = name; cn_cell = Atomic.make 0 }
+let incr_counter c = Atomic.incr c.cn_cell
+let add_counter c n = ignore (Atomic.fetch_and_add c.cn_cell n)
+let counter_value c = Atomic.get c.cn_cell
 
 (* Global named counters: process-wide always-on counters for the
    cross-cutting subsystems that outlive any one prepared query — the
    indexed document store (builds/hits/fallbacks), the fn:doc document
-   cache and the prepared-plan cache.  Incrementing is a single int
-   store; the registry is only walked when a report is rendered. *)
+   cache, the prepared-plan cache and the query server.  Incrementing is
+   a single atomic add; the registry (guarded by [global_lock], since
+   worker domains may intern counters concurrently) is only walked when
+   a report is rendered. *)
 let global_registry : (string, counter) Hashtbl.t = Hashtbl.create 16
 let global_order : string list ref = ref []
+let global_lock = Mutex.create ()
 
 let global_counter (name : string) : counter =
-  match Hashtbl.find_opt global_registry name with
-  | Some c -> c
-  | None ->
-      let c = counter name in
-      Hashtbl.add global_registry name c;
-      global_order := !global_order @ [ name ];
-      c
+  Mutex.protect global_lock (fun () ->
+      match Hashtbl.find_opt global_registry name with
+      | Some c -> c
+      | None ->
+          let c = counter name in
+          Hashtbl.add global_registry name c;
+          global_order := !global_order @ [ name ];
+          c)
 
 let global_counters () : (string * int) list =
-  List.map (fun name -> (name, (Hashtbl.find global_registry name).cn_value)) !global_order
+  Mutex.protect global_lock (fun () ->
+      List.map
+        (fun name -> (name, counter_value (Hashtbl.find global_registry name)))
+        !global_order)
 
 let reset_global_counters () =
-  Hashtbl.iter (fun _ c -> c.cn_value <- 0) global_registry
+  Mutex.protect global_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cn_cell 0) global_registry)
 
 type timer = { tm_name : string; mutable tm_secs : float; mutable tm_count : int }
 
@@ -131,6 +144,79 @@ let time (tm : timer) (f : unit -> 'a) : 'a =
   | exception e ->
       finish ();
       raise e
+
+(* ------------------------------------------------------------------ *)
+(* Latency histograms                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Mutex-guarded reservoir: lifetime count/sum/max plus a ring buffer of
+   the most recent samples, from which percentiles are computed on
+   demand (sorting a copy of the window — reports are rare, observations
+   are hot).  The query server records one sample per request, so the
+   window covers the recent-traffic distribution p50/p95/p99 describe. *)
+type histogram = {
+  hg_name : string;
+  hg_lock : Mutex.t;
+  mutable hg_count : int;
+  mutable hg_sum : float;
+  mutable hg_max : float;
+  hg_window : float array;  (* ring buffer of recent samples *)
+  mutable hg_pos : int;  (* next write slot *)
+  mutable hg_filled : int;  (* valid entries in the window *)
+}
+
+let histogram ?(window = 4096) name =
+  {
+    hg_name = name;
+    hg_lock = Mutex.create ();
+    hg_count = 0;
+    hg_sum = 0.0;
+    hg_max = 0.0;
+    hg_window = Array.make (max 1 window) 0.0;
+    hg_pos = 0;
+    hg_filled = 0;
+  }
+
+let observe (h : histogram) (v : float) : unit =
+  Mutex.protect h.hg_lock (fun () ->
+      h.hg_count <- h.hg_count + 1;
+      h.hg_sum <- h.hg_sum +. v;
+      if v > h.hg_max then h.hg_max <- v;
+      let n = Array.length h.hg_window in
+      h.hg_window.(h.hg_pos) <- v;
+      h.hg_pos <- (h.hg_pos + 1) mod n;
+      if h.hg_filled < n then h.hg_filled <- h.hg_filled + 1)
+
+let histogram_count (h : histogram) : int =
+  Mutex.protect h.hg_lock (fun () -> h.hg_count)
+
+(* count/mean/max over the histogram's lifetime, percentiles over the
+   retained window (nearest-rank on the sorted samples). *)
+let histogram_summary (h : histogram) : (string * float) list =
+  Mutex.protect h.hg_lock (fun () ->
+      let sorted = Array.sub h.hg_window 0 h.hg_filled in
+      Array.sort compare sorted;
+      let pct q =
+        if h.hg_filled = 0 then 0.0
+        else
+          let i = int_of_float (Float.round (q *. float_of_int (h.hg_filled - 1))) in
+          sorted.(min (h.hg_filled - 1) (max 0 i))
+      in
+      [
+        ("count", float_of_int h.hg_count);
+        ("mean", if h.hg_count = 0 then 0.0 else h.hg_sum /. float_of_int h.hg_count);
+        ("max", h.hg_max);
+        ("p50", pct 0.5);
+        ("p95", pct 0.95);
+        ("p99", pct 0.99);
+      ])
+
+let histogram_to_json (h : histogram) : json =
+  Obj
+    (("name", Str h.hg_name)
+    :: List.map
+         (fun (k, v) -> (k, if String.equal k "count" then Int (int_of_float v) else Float v))
+         (histogram_summary h))
 
 (* ------------------------------------------------------------------ *)
 (* Span/event sink                                                     *)

@@ -28,11 +28,15 @@ val json_to_string : json -> string
 
 (** {1 Counters and timers} *)
 
-type counter = { cn_name : string; mutable cn_value : int }
+type counter = { cn_name : string; cn_cell : int Atomic.t }
+(** Counters are atomic so the server's worker domains can increment the
+    shared process-wide counters without tearing; uncontended increments
+    stay a single fetch-and-add (no lock, no allocation). *)
 
 val counter : string -> counter
 val incr_counter : counter -> unit
 val add_counter : counter -> int -> unit
+val counter_value : counter -> int
 
 val global_counter : string -> counter
 (** Interned process-wide counter: repeated calls with the same name
@@ -55,6 +59,26 @@ val timer : string -> timer
 
 val time : timer -> (unit -> 'a) -> 'a
 (** Run the thunk, accumulating its duration (also on exceptions). *)
+
+(** {1 Latency histograms} *)
+
+type histogram
+(** Thread-safe reservoir: lifetime count/mean/max plus percentiles
+    (p50/p95/p99) over a ring buffer of the most recent samples.  The
+    query server records one sample per request. *)
+
+val histogram : ?window:int -> string -> histogram
+(** [window] is the number of recent samples retained for percentile
+    computation (default 4096). *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+
+val histogram_summary : histogram -> (string * float) list
+(** [count]/[mean]/[max] over the lifetime, [p50]/[p95]/[p99] over the
+    retained window (nearest rank). *)
+
+val histogram_to_json : histogram -> json
 
 (** {1 Span/event sink} *)
 

@@ -36,22 +36,29 @@ open Xqc_algebra
 open Algebra
 module Obs = Xqc_obs.Obs
 
-(* Reset at the start of every [rewrite] so that generated field names —
-   and therefore explain / EXPLAIN ANALYZE output — are deterministic
-   across repeated [prepare]s in one process.  Fields only need to be
-   unique within one plan; separate plans (main, globals, function
-   bodies) never share a layout. *)
-let fresh_counter = ref 0
+(* Per-domain gensym state, reset at the start of every [rewrite]:
+   generated field names — and therefore explain / EXPLAIN ANALYZE
+   output — are deterministic across repeated [prepare]s, and compiles
+   running concurrently on server worker domains cannot interleave each
+   other's counters (a process-global ref here would make two parallel
+   prepares of the same query produce different, possibly colliding,
+   field names).  One rewrite runs at a time per domain, so domain-local
+   state is exactly per-rewrite state.  Fields only need to be unique
+   within one plan; separate plans (main, globals, function bodies)
+   never share a layout. *)
+let gensym : (int ref * (string, unit) Hashtbl.t) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (ref 0, Hashtbl.create 16))
 
 let fresh_field base =
-  incr fresh_counter;
-  Printf.sprintf "%s~%d" base !fresh_counter
+  let c, _ = Domain.DLS.get gensym in
+  incr c;
+  Printf.sprintf "%s~%d" base !c
 
 (* Null flags whose defining OMap has been removed by (remove duplicate
    null); the enclosing GroupBy's null list is stripped of them in a
-   follow-up step.  Field names are globally fresh, so a simple set is
-   precise. *)
-let dead_nulls : (string, unit) Hashtbl.t = Hashtbl.create 16
+   follow-up step.  Field names are fresh within the rewrite, so a
+   simple set is precise. *)
+let dead_nulls () : (string, unit) Hashtbl.t = snd (Domain.DLS.get gensym)
 
 (* ------------------------------------------------------------------ *)
 (* (insert group-by): locate MapToItem under a linear item-op context.  *)
@@ -323,16 +330,19 @@ let rewrite_at (p : plan) : (string * plan) option =
   (* (remove duplicate null), first half: the inner OMap is redundant —
      when its input is empty the enclosing OMapConcat raises its own flag *)
   | OMapConcat (n1, OMap (n2, op1), op2) ->
-      Hashtbl.replace dead_nulls n2 ();
+      Hashtbl.replace (dead_nulls ()) n2 ();
       Some ("remove duplicate null", OMapConcat (n1, op1, op2))
   (* (remove duplicate null), second half: strip removed flags from the
      GroupBy's null list *)
-  | GroupBy (g, input) when List.exists (fun n -> Hashtbl.mem dead_nulls n) g.g_nulls
-    ->
+  | GroupBy (g, input)
+    when List.exists (fun n -> Hashtbl.mem (dead_nulls ()) n) g.g_nulls ->
       Some
         ( "remove duplicate null",
           GroupBy
-            ( { g with g_nulls = List.filter (fun n -> not (Hashtbl.mem dead_nulls n)) g.g_nulls },
+            ( { g with
+                g_nulls =
+                  List.filter (fun n -> not (Hashtbl.mem (dead_nulls ()) n)) g.g_nulls
+              },
               input ) )
   (* (insert product) *)
   | MapConcat (dep, input) when not (uses_input dep) ->
@@ -388,8 +398,9 @@ let rec rewrite_pass ?trace (p : plan) : plan * bool =
 let max_passes = 400
 
 let rewrite ?trace (p : plan) : plan =
-  fresh_counter := 0;
-  Hashtbl.reset dead_nulls;
+  let c, dn = Domain.DLS.get gensym in
+  c := 0;
+  Hashtbl.reset dn;
   let rec fix p n =
     if n = 0 then p
     else begin

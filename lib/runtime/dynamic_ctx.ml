@@ -9,6 +9,10 @@ module Obs = Xqc_obs.Obs
 
 exception Dynamic_error of string
 
+exception Timeout
+(* Raised by [check_deadline] when the context's deadline has passed;
+   the query server maps it to a structured "timeout" error response. *)
+
 let dynamic_error fmt = Printf.ksprintf (fun s -> raise (Dynamic_error s)) fmt
 
 type xvalue = Item.sequence
@@ -26,6 +30,9 @@ and t = {
   documents : (string, Node.t) Hashtbl.t;
   resolver : (string -> Node.t) option;
   mutable params : (string * xvalue) list;  (** current function frame *)
+  mutable deadline : float option;
+      (** absolute wall-clock time (Obs.now) after which evaluation must
+          abort with [Timeout]; [None] disables the checks *)
 }
 
 let create ?(schema = Schema.empty) ?resolver () =
@@ -36,7 +43,19 @@ let create ?(schema = Schema.empty) ?resolver () =
     documents = Hashtbl.create 4;
     resolver;
     params = [];
+    deadline = None;
   }
+
+let set_deadline ctx d = ctx.deadline <- d
+
+(* Cooperative cancellation: the evaluator calls this at operator
+   invocation boundaries (which for dependent sub-plans means once per
+   tuple), so a runaway query unwinds within a bounded amount of work
+   of its deadline.  With no deadline set the check is one field load. *)
+let check_deadline ctx =
+  match ctx.deadline with
+  | None -> ()
+  | Some t -> if Obs.now () > t then raise Timeout
 
 let bind_global ctx name value = Hashtbl.replace ctx.globals name value
 

@@ -8,6 +8,10 @@ open Xqc_types
 
 exception Dynamic_error of string
 
+exception Timeout
+(** Raised by {!check_deadline} when the context's deadline has passed.
+    The query server maps it to a structured ["timeout"] error. *)
+
 val dynamic_error : ('a, unit, string, 'b) format4 -> 'a
 (** Raise {!Dynamic_error} with a formatted message. *)
 
@@ -27,9 +31,21 @@ and t = {
   documents : (string, Node.t) Hashtbl.t;
   resolver : (string -> Node.t) option;
   mutable params : (string * xvalue) list;  (** current function frame *)
+  mutable deadline : float option;
+      (** absolute wall-clock time after which evaluation aborts *)
 }
 
 val create : ?schema:Schema.t -> ?resolver:(string -> Node.t) -> unit -> t
+
+val set_deadline : t -> float option -> unit
+(** Arm (or clear) the evaluation deadline, as an absolute [Obs.now]
+    wall-clock time. *)
+
+val check_deadline : t -> unit
+(** Cooperative cancellation point: raise {!Timeout} when the deadline
+    has passed.  The physical evaluator calls this at operator
+    invocation boundaries — for dependent sub-plans, once per tuple —
+    so with no deadline set the cost is one field load. *)
 
 val bind_global : t -> string -> xvalue -> unit
 val bind_document : t -> string -> Node.t -> unit

@@ -299,8 +299,16 @@ let stream_kind_of (pop : P.pop) : Obs.stream_kind =
    exactly the quantity early termination bounds), with each pull timed
    into the operator's inclusive time.  With the builder unset — the
    default — [compile] returns the raw closure: the uninstrumented hot
-   path is byte-for-byte the same code as before. *)
-let current_builder : Obs.builder option ref = ref None
+   path is byte-for-byte the same code as before.
+
+   The builder is domain-local: instrumented runs on one server worker
+   domain must not leak op_nodes into plans being compiled concurrently
+   on another (the CLI single-domain behaviour is unchanged). *)
+let current_builder_key : Obs.builder option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current_builder () = Domain.DLS.get current_builder_key
+let set_current_builder b = Domain.DLS.set current_builder_key b
 
 let instrument (st : Obs.op_stats) (c : comp) : comp =
  fun ctx inp ->
@@ -351,7 +359,7 @@ let indexed_axis_seq (axis : Ast.axis) (test : Ast.node_test) (n : Node.t) :
 let compile_cursor_steps ?(parent : P.t option) (steps : P.pstep list) :
     Dynamic_ctx.t -> Item.t Seq.t -> Item.t Seq.t =
   let parent_stats =
-    match (!current_builder, parent) with
+    match (current_builder (), parent) with
     | Some b, Some p ->
         let n =
           Obs.push_node b ~stream:Obs.Streamed ~est:p.P.pest.P.est_rows
@@ -364,7 +372,7 @@ let compile_cursor_steps ?(parent : P.t option) (steps : P.pstep list) :
     List.map
       (fun (s : P.pstep) ->
         let stats =
-          match !current_builder with
+          match current_builder () with
           | Some b ->
               let n =
                 Obs.push_node b ~stream:Obs.Streamed ~est:s.P.ps_est
@@ -377,7 +385,7 @@ let compile_cursor_steps ?(parent : P.t option) (steps : P.pstep list) :
         (s, stats))
       steps
   in
-  (match (!current_builder, parent_stats) with
+  (match (current_builder (), parent_stats) with
   | Some b, Some _ -> Obs.pop_node b
   | _ -> ());
   fun ctx s0 ->
@@ -460,7 +468,7 @@ type join_parts = {
 
 let rec compile (env : cenv) (p : P.t) : comp * layout =
   let c, layout =
-    match !current_builder with
+    match current_builder () with
     | None -> compile_node env p
     | Some b ->
         let join =
@@ -484,6 +492,12 @@ let rec compile (env : cenv) (p : P.t) : comp * layout =
         in
         (instrument node.Obs.on_stats c, layout)
   in
+  (* Cooperative cancellation point: dependent sub-plans (per-tuple
+     predicates, map bodies, join predicate legs) are invoked once per
+     tuple, so a deadline-armed context unwinds within one operator's
+     work.  With no deadline — every context except the query server's —
+     the check is a single field load. *)
+  let c = (fun ctx inp -> check_deadline ctx; c ctx inp) in
   if !force_materialize then (materialize_comp c, layout) else (c, layout)
 
 and compile_node (env : cenv) (p : P.t) : comp * layout =
@@ -536,7 +550,7 @@ and compile_node (env : cenv) (p : P.t) : comp * layout =
         List.map
           (fun (s : P.pstep) ->
             let stats =
-              match !current_builder with
+              match current_builder () with
               | Some b ->
                   let n = Obs.push_node b ~est:s.P.ps_est (Pretty.pstep_label s) in
                   Obs.pop_node b;
@@ -1166,7 +1180,7 @@ and compile_groupby env (g : P.pgroup_spec) input =
    nested-loop paths. *)
 and join_scaffold env (outer : P.field option) a b : join_parts =
   let jstats =
-    match !current_builder with Some b -> Obs.top_join b | None -> None
+    match current_builder () with Some b -> Obs.top_join b | None -> None
   in
   let ca, la = compile env a and cb, lb = compile env b in
   let merged, mwidth, moves = concat_spec la lb in
@@ -1331,10 +1345,10 @@ let compile_plan (stats : Obs.collector option) (name : string) (env : cenv)
   | None -> compile env p
   | Some c ->
       let b = Obs.builder () in
-      let saved = !current_builder in
-      current_builder := Some b;
+      let saved = current_builder () in
+      set_current_builder (Some b);
       let finish () =
-        current_builder := saved;
+        set_current_builder saved;
         match Obs.builder_root b with
         | Some root -> Obs.set_plan c name root
         | None -> ()

@@ -1,0 +1,117 @@
+(* Wire protocol: newline-delimited JSON, one request object per line,
+   one response object per line.
+
+   Request grammar (fields beyond these are ignored):
+
+     {"op":"query",    "q":SOURCE, "id":ID?, "timeout_ms":N?}
+     {"op":"prepare",  "name":NAME, "q":SOURCE, "id":ID?}
+     {"op":"execute",  "name":NAME, "id":ID?, "timeout_ms":N?}
+     {"op":"stats",    "id":ID?}
+     {"op":"ping",     "id":ID?}
+     {"op":"shutdown", "id":ID?}
+
+   Responses echo the request's "id" (Null when absent) and carry
+   "status":"ok" plus op-specific fields, or "status":"error" with a
+   machine-readable "code" and a human "message".  Error codes:
+   bad_request, unknown_statement, timeout, overloaded, query_error,
+   shutting_down, internal. *)
+
+module Obs = Xqc_obs.Obs
+
+type request =
+  | Query of { source : string; timeout_ms : int option }
+  | Prepare of { name : string; source : string }
+  | Execute of { name : string; timeout_ms : int option }
+  | Stats
+  | Ping
+  | Shutdown
+
+(* A decoded request line: the id is recovered even when the request
+   itself is malformed, so the error response can still be correlated. *)
+type envelope = { id : Obs.json; req : (request, string) result }
+
+let field name = function
+  | Obs.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let str_field name json =
+  match field name json with
+  | Some (Obs.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let timeout_field json =
+  match field "timeout_ms" json with
+  | Some (Obs.Int n) when n > 0 -> Ok (Some n)
+  | Some (Obs.Int _) -> Error "field \"timeout_ms\" must be positive"
+  | Some _ -> Error "field \"timeout_ms\" must be an integer"
+  | None -> Ok None
+
+let decode_request (line : string) : envelope =
+  match Json_parse.parse line with
+  | exception Json_parse.Parse_error m ->
+      { id = Obs.Null; req = Error ("invalid JSON: " ^ m) }
+  | Obs.Obj _ as json ->
+      let id = Option.value (field "id" json) ~default:Obs.Null in
+      let req =
+        match str_field "op" json with
+        | Error m -> Error m
+        | Ok "query" ->
+            Result.bind (str_field "q" json) (fun source ->
+                Result.map
+                  (fun timeout_ms -> Query { source; timeout_ms })
+                  (timeout_field json))
+        | Ok "prepare" ->
+            Result.bind (str_field "name" json) (fun name ->
+                Result.map
+                  (fun source -> Prepare { name; source })
+                  (str_field "q" json))
+        | Ok "execute" ->
+            Result.bind (str_field "name" json) (fun name ->
+                Result.map
+                  (fun timeout_ms -> Execute { name; timeout_ms })
+                  (timeout_field json))
+        | Ok "stats" -> Ok Stats
+        | Ok "ping" -> Ok Ping
+        | Ok "shutdown" -> Ok Shutdown
+        | Ok other -> Error (Printf.sprintf "unknown op %S" other)
+      in
+      { id; req }
+  | _ -> { id = Obs.Null; req = Error "request must be a JSON object" }
+
+(* Client-side encoding of the same grammar. *)
+let encode_request ?(id = Obs.Null) (req : request) : string =
+  let base =
+    match req with
+    | Query { source; timeout_ms } ->
+        ("query", [ ("q", Obs.Str source) ], timeout_ms)
+    | Prepare { name; source } ->
+        ("prepare", [ ("name", Obs.Str name); ("q", Obs.Str source) ], None)
+    | Execute { name; timeout_ms } ->
+        ("execute", [ ("name", Obs.Str name) ], timeout_ms)
+    | Stats -> ("stats", [], None)
+    | Ping -> ("ping", [], None)
+    | Shutdown -> ("shutdown", [], None)
+  in
+  let op, fields, timeout_ms = base in
+  let fields =
+    match timeout_ms with
+    | Some ms -> fields @ [ ("timeout_ms", Obs.Int ms) ]
+    | None -> fields
+  in
+  let fields = if id = Obs.Null then fields else fields @ [ ("id", id) ] in
+  Obs.json_to_string (Obs.Obj (("op", Obs.Str op) :: fields))
+
+let response_ok ~(id : Obs.json) (fields : (string * Obs.json) list) : string =
+  Obs.json_to_string
+    (Obs.Obj (("id", id) :: ("status", Obs.Str "ok") :: fields))
+
+let response_error ~(id : Obs.json) ~(code : string) (message : string) : string =
+  Obs.json_to_string
+    (Obs.Obj
+       [
+         ("id", id);
+         ("status", Obs.Str "error");
+         ("code", Obs.Str code);
+         ("message", Obs.Str message);
+       ])

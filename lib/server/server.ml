@@ -1,0 +1,524 @@
+(* The query service: a long-lived process that parses and indexes its
+   documents once, then answers XQuery requests over newline-delimited
+   JSON (see {!Protocol}) on a Unix-domain and/or TCP socket.
+
+   Threading model — three kinds of execution context:
+
+   - the *accept loop* (the calling thread) blocks in [select] with a
+     short timeout so it can observe the [stopping] flag;
+   - one *reader thread* ([Thread.create]) per connection parses request
+     lines.  Cheap control requests (ping, stats, shutdown) are answered
+     inline; query work is pushed onto the bounded job queue.  A full
+     queue is an immediate ["overloaded"] error — admission control, so
+     latency stays bounded instead of the queue growing without limit;
+   - [workers] *domains* ([Domain.spawn]) drain the queue in parallel.
+     Each request evaluates against a fresh [Dynamic_ctx] that shares
+     the read-only preloaded documents; everything mutable that crosses
+     domains (plan cache, store index tables, obs counters, node-id
+     allocation) is atomic or lock-guarded, and per-request compiler
+     state (gensym, dead-null sets) is domain-local.
+
+   Deadlines are armed at admission, so time spent queued counts against
+   the budget; the evaluator checks the deadline at operator-invocation
+   boundaries and raises [Dynamic_ctx.Timeout], which maps to a
+   structured ["timeout"] error without tearing down the worker.
+
+   Shutdown ("op":"shutdown") is graceful: stop admitting, wait for the
+   queue and in-flight work to drain, acknowledge, then close the
+   listeners and join the workers. *)
+
+module Obs = Xqc_obs.Obs
+
+type config = {
+  unix_socket : string option;
+  tcp : (string * int) option;  (** bind address and port *)
+  workers : int;
+  queue_depth : int;  (** admission-control bound on queued requests *)
+  default_timeout_ms : int option;  (** per-request default deadline *)
+  preload : (string * string) list;  (** [name, path] document preloads *)
+  strategy : Xqc.strategy;
+  verbose : bool;
+}
+
+let default_config =
+  {
+    unix_socket = None;
+    tcp = None;
+    workers = 2;
+    queue_depth = 64;
+    default_timeout_ms = None;
+    preload = [];
+    strategy = Xqc.Optimized;
+    verbose = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Bounded job queue                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Bqueue = struct
+  type 'a t = {
+    items : 'a Queue.t;
+    capacity : int;
+    mutable closed : bool;
+    lock : Mutex.t;
+    nonempty : Condition.t;
+  }
+
+  let create capacity =
+    {
+      items = Queue.create ();
+      capacity;
+      closed = false;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+    }
+
+  (* Admission control: never blocks the producer. *)
+  let try_push t x =
+    Mutex.protect t.lock (fun () ->
+        if t.closed then `Closed
+        else if Queue.length t.items >= t.capacity then `Full
+        else begin
+          Queue.push x t.items;
+          Condition.signal t.nonempty;
+          `Ok
+        end)
+
+  (* Blocks until an item arrives; [None] once closed *and* drained, so
+     closing lets consumers finish the backlog before exiting. *)
+  let pop t =
+    Mutex.lock t.lock;
+    let rec loop () =
+      if not (Queue.is_empty t.items) then begin
+        let x = Queue.pop t.items in
+        Mutex.unlock t.lock;
+        Some x
+      end
+      else if t.closed then begin
+        Mutex.unlock t.lock;
+        None
+      end
+      else begin
+        Condition.wait t.nonempty t.lock;
+        loop ()
+      end
+    in
+    loop ()
+
+  let close t =
+    Mutex.protect t.lock (fun () ->
+        t.closed <- true;
+        Condition.broadcast t.nonempty)
+
+  let length t = Mutex.protect t.lock (fun () -> Queue.length t.items)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Connections and jobs                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The reader thread and any worker domain may reply on the same
+   connection concurrently, so writes go through [write_line] under the
+   connection's lock (one flushed line per reply keeps the NDJSON
+   framing intact). *)
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  wlock : Mutex.t;
+  peer : string;
+}
+
+let write_line conn line =
+  Mutex.protect conn.wlock (fun () ->
+      output_string conn.oc line;
+      output_char conn.oc '\n';
+      flush conn.oc)
+
+type job = {
+  jb_conn : conn;
+  jb_id : Obs.json;
+  jb_req : Protocol.request;
+  jb_deadline : float option;  (** armed at admission *)
+}
+
+type t = {
+  cfg : config;
+  queue : job Bqueue.t;
+  stopping : bool Atomic.t;
+  inflight : int Atomic.t;  (** admitted (queued or executing) requests *)
+  statements : (string, string) Hashtbl.t;  (** prepared name -> source *)
+  st_lock : Mutex.t;
+  preloaded : (string * string * Xqc.Node.t) list;  (** name, path, doc *)
+  started : float;
+  latency : Obs.histogram;  (** request service time, milliseconds *)
+  sink : Obs.sink;  (** per-request spans *)
+  sink_lock : Mutex.t;
+}
+
+let c_requests = Obs.global_counter "server_requests"
+let c_ok = Obs.global_counter "server_ok"
+let c_errors = Obs.global_counter "server_errors"
+let c_timeouts = Obs.global_counter "server_timeouts"
+let c_overloaded = Obs.global_counter "server_overloaded"
+let c_connections = Obs.global_counter "server_connections"
+
+let log t fmt =
+  if t.cfg.verbose then Printf.eprintf (fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+(* Record a per-request span; the sink is reset past 4096 events so a
+   long-lived server does not accumulate them without bound. *)
+let record_span t ~op ~outcome ~ms =
+  Mutex.protect t.sink_lock (fun () ->
+      if List.length t.sink.Obs.sk_events >= 4096 then t.sink.Obs.sk_events <- [];
+      Obs.emit t.sink
+        ~attrs:[ ("op", op); ("outcome", outcome) ]
+        ~dur:(ms /. 1000.) "request")
+
+(* ------------------------------------------------------------------ *)
+(* Request evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Every request gets a fresh dynamic context over the shared read-only
+   preloads: each document is visible to fn:doc under its preload name,
+   its path and its basename, and bound to the variable $name. *)
+let fresh_ctx t =
+  let ctx = Xqc.context () in
+  List.iter
+    (fun (name, path, doc) ->
+      Xqc.bind_document ctx name doc;
+      Xqc.bind_document ctx path doc;
+      Xqc.bind_document ctx (Filename.basename path) doc;
+      Xqc.bind_variable ctx name [ Xqc.Item.Node doc ])
+    t.preloaded;
+  ctx
+
+let deadline_of t timeout_ms =
+  match (timeout_ms, t.cfg.default_timeout_ms) with
+  | Some ms, _ | None, Some ms -> Some (Obs.now () +. (float_of_int ms /. 1000.))
+  | None, None -> None
+
+(* Evaluate [source] under [deadline]; ok responses carry the serialized
+   result and the item count. *)
+let eval_query t ~id ~source ~deadline : string =
+  match
+    let prepared = Xqc.prepare_cached ~strategy:t.cfg.strategy source in
+    let ctx = fresh_ctx t in
+    Xqc.Dynamic_ctx.set_deadline ctx deadline;
+    let items = Xqc.run prepared ctx in
+    (items, Xqc.serialize items)
+  with
+  | items, text ->
+      Obs.incr_counter c_ok;
+      Protocol.response_ok ~id
+        [ ("result", Obs.Str text); ("items", Obs.Int (List.length items)) ]
+  | exception Xqc.Dynamic_ctx.Timeout ->
+      Obs.incr_counter c_timeouts;
+      Protocol.response_error ~id ~code:"timeout" "deadline exceeded"
+  | exception Xqc.Error m ->
+      Obs.incr_counter c_errors;
+      Protocol.response_error ~id ~code:"query_error" m
+  | exception Json_parse.Parse_error m | exception Failure m ->
+      Obs.incr_counter c_errors;
+      Protocol.response_error ~id ~code:"internal" m
+
+let handle_job t (job : job) : unit =
+  let started = Obs.now () in
+  let op, reply =
+    match job.jb_req with
+    | Protocol.Query { source; _ } ->
+        ("query", eval_query t ~id:job.jb_id ~source ~deadline:job.jb_deadline)
+    | Protocol.Prepare { name; source } -> (
+        (* Compile eagerly so syntax errors surface at prepare time; the
+           compiled plan lands in the shared LRU plan cache and the
+           name -> source binding makes execute re-resolve through it
+           (each reuse is a recorded plan-cache hit). *)
+        ( "prepare",
+          match Xqc.prepare_cached ~strategy:t.cfg.strategy source with
+        | (_ : Xqc.prepared) ->
+            Mutex.protect t.st_lock (fun () ->
+                Hashtbl.replace t.statements name source);
+            Obs.incr_counter c_ok;
+            Protocol.response_ok ~id:job.jb_id [ ("name", Obs.Str name) ]
+        | exception Xqc.Error m ->
+            Obs.incr_counter c_errors;
+            Protocol.response_error ~id:job.jb_id ~code:"query_error" m ))
+    | Protocol.Execute { name; _ } -> (
+        ( "execute",
+          match
+            Mutex.protect t.st_lock (fun () -> Hashtbl.find_opt t.statements name)
+          with
+        | Some source ->
+            eval_query t ~id:job.jb_id ~source ~deadline:job.jb_deadline
+        | None ->
+            Obs.incr_counter c_errors;
+            Protocol.response_error ~id:job.jb_id ~code:"unknown_statement"
+              (Printf.sprintf "no prepared statement %S" name) ))
+    | Protocol.Stats | Protocol.Ping | Protocol.Shutdown ->
+        (* handled inline by the reader; never queued *)
+        assert false
+  in
+  let ms = (Obs.now () -. started) *. 1000. in
+  Obs.observe t.latency ms;
+  let outcome =
+    match Json_parse.parse reply with
+    | Obs.Obj fields -> (
+        match (List.assoc_opt "status" fields, List.assoc_opt "code" fields) with
+        | _, Some (Obs.Str code) -> code
+        | Some (Obs.Str s), _ -> s
+        | _ -> "ok")
+    | _ | (exception Json_parse.Parse_error _) -> "ok"
+  in
+  record_span t ~op ~outcome ~ms;
+  (try write_line job.jb_conn reply
+   with Sys_error _ | Unix.Unix_error _ -> log t "reply to %s lost (connection closed)" job.jb_conn.peer);
+  log t "%s %s %.2fms" job.jb_conn.peer op ms
+
+let worker_loop t () =
+  let rec loop () =
+    match Bqueue.pop t.queue with
+    | None -> ()
+    | Some job ->
+        (try handle_job t job
+         with e ->
+           Obs.incr_counter c_errors;
+           (try
+              write_line job.jb_conn
+                (Protocol.response_error ~id:job.jb_id ~code:"internal"
+                   (Printexc.to_string e))
+            with _ -> ()));
+        ignore (Atomic.fetch_and_add t.inflight (-1));
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Server statistics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let stats_json t : Obs.json =
+  let store = Xqc.Store.stats () in
+  Obs.Obj
+    [
+      ("uptime_s", Obs.Float (Obs.now () -. t.started));
+      ("workers", Obs.Int t.cfg.workers);
+      ("queue_depth", Obs.Int (Bqueue.length t.queue));
+      ("queue_capacity", Obs.Int t.cfg.queue_depth);
+      ("inflight", Obs.Int (Atomic.get t.inflight));
+      ( "prepared_statements",
+        Obs.Int (Mutex.protect t.st_lock (fun () -> Hashtbl.length t.statements)) );
+      ("plan_cache_size", Obs.Int (Xqc.plan_cache_size ()));
+      ( "store",
+        Obs.Obj
+          [
+            ("roots", Obs.Int store.Xqc.Store.st_roots);
+            ("nodes", Obs.Int store.Xqc.Store.st_nodes);
+          ] );
+      ("latency_ms", Obs.histogram_to_json t.latency);
+      ( "spans",
+        Obs.Int (Mutex.protect t.sink_lock (fun () -> List.length (Obs.events t.sink))) );
+      ( "counters",
+        Obs.Obj (List.map (fun (n, v) -> (n, Obs.Int v)) (Obs.global_counters ())) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Connection readers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Graceful shutdown, triggered by the first "shutdown" request: stop
+   admissions, wait for admitted work to drain, acknowledge, then close
+   the queue so the workers exit once idle.  The accept loop notices
+   [stopping] within its select timeout and stops accepting. *)
+let initiate_shutdown t conn id =
+  if Atomic.compare_and_set t.stopping false true then begin
+    log t "shutdown requested by %s; draining %d in-flight" conn.peer
+      (Atomic.get t.inflight);
+    while Atomic.get t.inflight > 0 do
+      Thread.delay 0.005
+    done;
+    (try write_line conn (Protocol.response_ok ~id [ ("bye", Obs.Bool true) ])
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    Bqueue.close t.queue
+  end
+  else
+    (* already stopping: acknowledge without re-draining *)
+    try write_line conn (Protocol.response_ok ~id [ ("bye", Obs.Bool true) ])
+    with Sys_error _ | Unix.Unix_error _ -> ()
+
+let handle_line t conn line =
+  let { Protocol.id; req } = Protocol.decode_request line in
+  Obs.incr_counter c_requests;
+  match req with
+  | Error m ->
+      Obs.incr_counter c_errors;
+      write_line conn (Protocol.response_error ~id ~code:"bad_request" m)
+  | Ok Protocol.Ping ->
+      write_line conn (Protocol.response_ok ~id [ ("pong", Obs.Bool true) ])
+  | Ok Protocol.Stats ->
+      write_line conn (Protocol.response_ok ~id [ ("stats", stats_json t) ])
+  | Ok Protocol.Shutdown -> initiate_shutdown t conn id
+  | Ok req ->
+      if Atomic.get t.stopping then begin
+        Obs.incr_counter c_errors;
+        write_line conn
+          (Protocol.response_error ~id ~code:"shutting_down"
+             "server is shutting down")
+      end
+      else begin
+        let timeout_ms =
+          match req with
+          | Protocol.Query { timeout_ms; _ } | Protocol.Execute { timeout_ms; _ } ->
+              timeout_ms
+          | _ -> None
+        in
+        let job =
+          {
+            jb_conn = conn;
+            jb_id = id;
+            jb_req = req;
+            jb_deadline = deadline_of t timeout_ms;
+          }
+        in
+        ignore (Atomic.fetch_and_add t.inflight 1);
+        match Bqueue.try_push t.queue job with
+        | `Ok -> ()
+        | `Full ->
+            ignore (Atomic.fetch_and_add t.inflight (-1));
+            Obs.incr_counter c_overloaded;
+            write_line conn
+              (Protocol.response_error ~id ~code:"overloaded"
+                 (Printf.sprintf "queue full (%d requests pending)"
+                    t.cfg.queue_depth))
+        | `Closed ->
+            ignore (Atomic.fetch_and_add t.inflight (-1));
+            Obs.incr_counter c_errors;
+            write_line conn
+              (Protocol.response_error ~id ~code:"shutting_down"
+                 "server is shutting down")
+      end
+
+let reader_thread t conn () =
+  Obs.incr_counter c_connections;
+  log t "%s connected" conn.peer;
+  let rec loop () =
+    match input_line conn.ic with
+    | "" -> loop ()
+    | line ->
+        (try handle_line t conn line
+         with Sys_error _ | Unix.Unix_error _ -> raise End_of_file);
+        loop ()
+    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
+  in
+  loop ();
+  log t "%s disconnected" conn.peer;
+  (try close_in_noerr conn.ic with _ -> ());
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Listeners and the accept loop                                       *)
+(* ------------------------------------------------------------------ *)
+
+let make_unix_listener path =
+  if Sys.file_exists path then Unix.unlink path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let make_tcp_listener host port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  let addr = (Unix.gethostbyname host).Unix.h_addr_list.(0) in
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  fd
+
+let peer_name = function
+  | Unix.ADDR_UNIX _ -> "unix"
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Parse and interval-index every preload once, before accepting: the
+   documents (and their name indexes) are shared read-only by all
+   workers for the server's lifetime. *)
+let load_preloads cfg =
+  List.map
+    (fun (name, path) ->
+      let doc = Xqc.parse_document ~uri:path (read_file path) in
+      ignore (Xqc.Store.index_nodes doc);
+      if cfg.verbose then
+        Printf.eprintf "preloaded %s from %s (%d bytes)\n%!" name path
+          (in_channel_length (open_in_bin path));
+      (name, path, doc))
+    cfg.preload
+
+(* Run the server until a shutdown request.  [ready] fires after the
+   listeners are bound (tests use it to avoid connect races). *)
+let serve ?(ready = fun () -> ()) (cfg : config) : unit =
+  if cfg.unix_socket = None && cfg.tcp = None then
+    invalid_arg "Server.serve: no listener (need a unix socket path or a TCP address)";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let t =
+    {
+      cfg;
+      queue = Bqueue.create (max 1 cfg.queue_depth);
+      stopping = Atomic.make false;
+      inflight = Atomic.make 0;
+      statements = Hashtbl.create 16;
+      st_lock = Mutex.create ();
+      preloaded = load_preloads cfg;
+      started = Obs.now ();
+      latency = Obs.histogram "server_request_ms";
+      sink = Obs.sink ();
+      sink_lock = Mutex.create ();
+    }
+  in
+  let listeners =
+    (match cfg.unix_socket with Some p -> [ make_unix_listener p ] | None -> [])
+    @ match cfg.tcp with Some (h, p) -> [ make_tcp_listener h p ] | None -> []
+  in
+  let workers =
+    List.init (max 1 cfg.workers) (fun _ -> Domain.spawn (worker_loop t))
+  in
+  log t "serving with %d workers (queue depth %d)" (max 1 cfg.workers)
+    cfg.queue_depth;
+  ready ();
+  (* Accept until the stopping flag is raised; the select timeout bounds
+     how long raising it can go unnoticed. *)
+  while not (Atomic.get t.stopping) do
+    match Unix.select listeners [] [] 0.2 with
+    | readable, _, _ ->
+        List.iter
+          (fun lfd ->
+            match Unix.accept lfd with
+            | fd, addr ->
+                let conn =
+                  {
+                    fd;
+                    ic = Unix.in_channel_of_descr fd;
+                    oc = Unix.out_channel_of_descr fd;
+                    wlock = Mutex.create ();
+                    peer = peer_name addr;
+                  }
+                in
+                ignore (Thread.create (reader_thread t conn) ())
+            | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+          readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+  (* The shutdown initiator closes the queue once drained; joining here
+     guarantees every worker observed that before we return. *)
+  List.iter Domain.join workers;
+  (match cfg.unix_socket with
+  | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | None -> ());
+  log t "server stopped"

@@ -37,11 +37,15 @@ and desc =
   | Comment of string
   | Pi of { target : string; pdata : string }
 
-let counter = ref 0
+(* Ids are drawn from a process-global atomic counter: node construction
+   happens concurrently on server worker domains (element constructors
+   copy and renumber trees mid-query), and torn or duplicated ids would
+   silently break document-order comparison.  [renumber] reserves its
+   whole block in one fetch-and-add so a subtree's ids stay consecutive
+   even while other domains allocate. *)
+let counter = Stdlib.Atomic.make 0
 
-let fresh_id () =
-  incr counter;
-  !counter
+let fresh_id () = Stdlib.Atomic.fetch_and_add counter 1 + 1
 
 let mk desc = { nid = fresh_id (); parent = None; extent = 0; desc }
 
@@ -172,15 +176,27 @@ let rec copy n =
    [n.nid, n.nid + n.extent) — the pre/size encoding the indexed store
    answers axis steps against, and an O(1) [size]. *)
 let renumber (root : t) : unit =
-  let rec go n =
-    n.nid <- fresh_id ();
+  (* Two passes so the whole id block can be reserved atomically: the
+     first caches extents (also giving the block size), the second
+     assigns consecutive ids from the reserved range.  Per-node
+     fetch-and-add would interleave with other domains and break the
+     consecutive-interval invariant. *)
+  let rec measure n =
     let sub = ref 1 in
-    List.iter (fun a -> sub := !sub + go a) (attributes n);
-    List.iter (fun c -> sub := !sub + go c) (children n);
+    List.iter (fun a -> sub := !sub + measure a) (attributes n);
+    List.iter (fun c -> sub := !sub + measure c) (children n);
     n.extent <- !sub;
     !sub
   in
-  ignore (go root)
+  let total = measure root in
+  let next = ref (Stdlib.Atomic.fetch_and_add counter total) in
+  let rec assign n =
+    incr next;
+    n.nid <- !next;
+    List.iter assign (attributes n);
+    List.iter assign (children n)
+  in
+  assign root
 
 let doc_order_compare a b = compare a.nid b.nid
 

@@ -34,7 +34,7 @@ let test_counter_timer () =
   let c = Obs.counter "c" in
   Obs.incr_counter c;
   Obs.add_counter c 4;
-  check_int "counter accumulates" 5 c.Obs.cn_value;
+  check_int "counter accumulates" 5 (Obs.counter_value c);
   let t = Obs.timer "t" in
   let v = Obs.time t (fun () -> 41 + 1) in
   check_int "time returns the thunk's value" 42 v;

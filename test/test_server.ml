@@ -1,0 +1,362 @@
+(* The query service end to end, in process: a server thread (accept
+   loop + worker domains) exercised through real Unix-domain sockets by
+   concurrent clients — correctness under parallelism, prepared-statement
+   reuse through the shared plan cache, deadline and admission-control
+   error paths, graceful shutdown, and the determinism of parallel plan
+   compilation (the gensym that used to be a global is now domain-local). *)
+
+module Server = Xqc_server.Server
+module Client = Xqc_server.Client
+module Json_parse = Xqc_server.Json_parse
+module Obs = Xqc.Obs
+
+let tmp = Filename.get_temp_dir_name ()
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Filename.concat tmp
+    (Printf.sprintf "xqc-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+
+(* One small XMark document shared by all service tests. *)
+let xmark_path =
+  lazy
+    (let path =
+       Filename.concat tmp (Printf.sprintf "xqc-test-%d-xmark.xml" (Unix.getpid ()))
+     in
+     let s = Xqc_workload.Xmark.generate_string ~seed:42 ~target_bytes:150_000 () in
+     let oc = open_out_bin path in
+     output_string oc s;
+     close_out oc;
+     at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+     path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* Evaluate [q] locally against the XMark doc — the oracle the server's
+   answers must match. *)
+let expected_results queries =
+  let ctx = Xqc.context () in
+  let doc = Xqc.parse_document ~uri:"auction.xml" (read_file (Lazy.force xmark_path)) in
+  Xqc.bind_variable ctx "auction" [ Xqc.Item.Node doc ];
+  List.map (fun q -> (q, Xqc.serialize (Xqc.run (Xqc.prepare q) ctx))) queries
+
+(* Run [f sock] against a live server; always shut it down afterwards. *)
+let with_server ?(workers = 2) ?(queue_depth = 64) ?default_timeout_ms
+    ?(preload = []) f =
+  let sock = fresh_sock () in
+  let ready_lock = Mutex.create () in
+  let ready_cond = Condition.create () in
+  let is_ready = ref false in
+  let cfg =
+    {
+      Server.default_config with
+      unix_socket = Some sock;
+      workers;
+      queue_depth;
+      default_timeout_ms;
+      preload;
+    }
+  in
+  let th =
+    Thread.create
+      (fun () ->
+        Server.serve
+          ~ready:(fun () ->
+            Mutex.protect ready_lock (fun () ->
+                is_ready := true;
+                Condition.signal ready_cond))
+          cfg)
+      ()
+  in
+  Mutex.lock ready_lock;
+  while not !is_ready do
+    Condition.wait ready_cond ready_lock
+  done;
+  Mutex.unlock ready_lock;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let c = Client.connect_unix sock in
+         (try Client.shutdown c with _ -> ());
+         Client.close c
+       with _ -> ());
+      Thread.join th)
+    (fun () -> f sock)
+
+let preload_xmark () = [ ("auction", Lazy.force xmark_path) ]
+
+(* A query whose dependent inner loop makes the evaluator hit its
+   per-tuple deadline checks for roughly [n^2 / 1e6] cpu-seconds. *)
+let slow_query n =
+  Printf.sprintf
+    "count(for $i in 1 to %d for $j in 1 to %d where $i * $j = -1 return 1)" n n
+
+let check_ok what = function
+  | Ok v -> v
+  | Error (code, m) -> Alcotest.failf "%s: unexpected error %s: %s" what code m
+
+(* ------------------------------------------------------------------ *)
+(* JSON wire format                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      {|{"op":"query","q":"1+1","id":7,"timeout_ms":250}|};
+      {|[1,-2.5,1e3,true,false,null,"a\"b\\c\nd"]|};
+      {|{"nested":{"deep":[{"x":[]},{}]},"u":"é☃😀"}|};
+    ]
+  in
+  (* print/parse stabilizes after one round trip (a float like 1e3
+     prints as an integer literal, so values need one normalization) *)
+  List.iter
+    (fun s ->
+      let printed = Obs.json_to_string (Json_parse.parse s) in
+      let reprinted = Obs.json_to_string (Json_parse.parse printed) in
+      Alcotest.(check string) s printed reprinted)
+    cases;
+  (match Json_parse.parse "42" with
+  | Obs.Int 42 -> ()
+  | _ -> Alcotest.fail "integer did not parse as Int");
+  List.iter
+    (fun bad ->
+      match Json_parse.parse bad with
+      | exception Json_parse.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed input %S" bad)
+    [ "{"; "[1,]"; "{\"a\":1"; "tru"; "1 2"; "\"unterminated" ]
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent correctness                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_clients () =
+  let queries =
+    [
+      "count($auction//item)";
+      "count($auction//person)";
+      "count($auction//bidder)";
+      "for $p in $auction/site/people/person where $p/@id = \"person0\" \
+       return $p/name/text()";
+      "count(for $i in $auction//item where $i/location = \"United States\" \
+       return $i)";
+    ]
+  in
+  let expected = expected_results queries in
+  with_server ~workers:3 ~preload:(preload_xmark ()) @@ fun sock ->
+  let n_clients = 3 and rounds = 3 in
+  let failures = ref [] in
+  let fail_lock = Mutex.create () in
+  let client_loop k () =
+    let c = Client.connect_unix sock in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    for r = 0 to rounds - 1 do
+      List.iteri
+        (fun i (q, want) ->
+          (* stagger the order per client so they collide on different
+             plans at different times *)
+          ignore (r + i + k);
+          match Client.query c q with
+          | Ok got when got = want -> ()
+          | Ok got ->
+              Mutex.protect fail_lock (fun () ->
+                  failures := Printf.sprintf "%s: got %S want %S" q got want :: !failures)
+          | Error (code, m) ->
+              Mutex.protect fail_lock (fun () ->
+                  failures := Printf.sprintf "%s: error %s: %s" q code m :: !failures))
+        expected
+    done
+  in
+  let threads = List.init n_clients (fun k -> Thread.create (client_loop k) ()) in
+  List.iter Thread.join threads;
+  match !failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "%d wrong answers under concurrency, e.g. %s"
+        (List.length !failures) f
+
+(* ------------------------------------------------------------------ *)
+(* Prepared statements and the shared plan cache                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_prepared_reuse () =
+  let q = "count($auction//open_auction)" in
+  let want =
+    match expected_results [ q ] with
+    | [ (_, w) ] -> w
+    | _ -> Alcotest.fail "oracle evaluation failed"
+  in
+  with_server ~workers:2 ~preload:(preload_xmark ()) @@ fun sock ->
+  let c1 = Client.connect_unix sock in
+  let c2 = Client.connect_unix sock in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close c1;
+      Client.close c2)
+  @@ fun () ->
+  let hits_before =
+    Option.value (Client.stat_counter (Client.stats c1) "plan_cache_hits") ~default:0
+  in
+  ignore (check_ok "prepare" (Result.map (fun () -> "") (Client.prepare c1 ~name:"auctions" q)));
+  for _ = 1 to 3 do
+    Alcotest.(check string) "execute via c1" want (check_ok "execute" (Client.execute c1 "auctions"));
+    Alcotest.(check string) "execute via c2" want (check_ok "execute" (Client.execute c2 "auctions"))
+  done;
+  let hits_after =
+    Option.value (Client.stat_counter (Client.stats c1) "plan_cache_hits") ~default:0
+  in
+  if hits_after - hits_before < 6 then
+    Alcotest.failf "expected >= 6 plan-cache hits from statement reuse, got %d"
+      (hits_after - hits_before);
+  match Client.execute c1 "no-such-statement" with
+  | Error ("unknown_statement", _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "executing an unknown statement must fail"
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeout () =
+  with_server ~workers:1 ~preload:[] @@ fun sock ->
+  let c = Client.connect_unix sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let started = Obs.now () in
+  (match Client.query ~timeout_ms:150 c (slow_query 2000) with
+  | Error ("timeout", _) -> ()
+  | Ok v -> Alcotest.failf "slow query returned %S instead of timing out" v
+  | Error (code, m) -> Alcotest.failf "expected timeout, got %s: %s" code m);
+  let elapsed = Obs.now () -. started in
+  if elapsed > 1.5 then
+    Alcotest.failf "timeout took %.2fs — deadline not enforced cooperatively" elapsed;
+  (* the worker that aborted the query must still be serving *)
+  Alcotest.(check string) "worker survives" "2" (check_ok "1+1" (Client.query c "1+1"))
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_overloaded () =
+  with_server ~workers:1 ~queue_depth:1 ~preload:[] @@ fun sock ->
+  (* occupy the single worker for ~2s (bounded by its own deadline) *)
+  let blocker_result = ref (Error ("unset", "")) in
+  let blocker =
+    Thread.create
+      (fun () ->
+        let c = Client.connect_unix sock in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        blocker_result := Client.query ~timeout_ms:4000 c (slow_query 2000))
+      ()
+  in
+  Thread.delay 0.3;
+  let results = Array.make 4 (Error ("unset", "")) in
+  let shooters =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            let c = Client.connect_unix sock in
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            results.(i) <- Client.query c "1+1")
+          ())
+  in
+  List.iter Thread.join shooters;
+  Thread.join blocker;
+  let overloaded =
+    Array.to_list results
+    |> List.filter (function Error ("overloaded", _) -> true | _ -> false)
+    |> List.length
+  in
+  if overloaded < 1 then
+    Alcotest.failf "queue overflow produced no overloaded errors (results: %s)"
+      (String.concat ", "
+         (Array.to_list results
+         |> List.map (function
+              | Ok v -> "ok:" ^ v
+              | Error (c, _) -> "error:" ^ c)));
+  (* whatever was admitted must still have been answered correctly *)
+  Array.iter
+    (function
+      | Ok v -> Alcotest.(check string) "admitted answer" "2" v
+      | Error ("overloaded", _) -> ()
+      | Error (code, m) -> Alcotest.failf "unexpected error %s: %s" code m)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Graceful shutdown                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_shutdown_drains () =
+  with_server ~workers:1 ~preload:[] @@ fun sock ->
+  let inflight_result = ref (Error ("unset", "")) in
+  let worker_conn =
+    Thread.create
+      (fun () ->
+        let c = Client.connect_unix sock in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        inflight_result := Client.query c (slow_query 1000))
+      ()
+  in
+  Thread.delay 0.15;
+  (* shutdown blocks until the in-flight query has drained *)
+  let c = Client.connect_unix sock in
+  Client.shutdown c;
+  Client.close c;
+  Thread.join worker_conn;
+  match !inflight_result with
+  | Ok v -> Alcotest.(check string) "drained result" "0" v
+  | Error (code, m) ->
+      Alcotest.failf "in-flight query was not drained: %s: %s" code m
+
+(* ------------------------------------------------------------------ *)
+(* Parallel plan compilation is deterministic                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression for the formerly-global gensym: two domains compiling
+   different queries at once must each produce exactly the plan a
+   sequential compile produces (fresh field names neither collide nor
+   depend on interleaving). *)
+let test_parallel_prepare_deterministic () =
+  let qa =
+    "for $p in $auction//person for $i in $auction//item where $p/@id = \
+     $i/@featured return $p/name"
+  in
+  let qb =
+    "for $x in (1,2,3) let $y := for $z in (4,5,6) where $z = $x + 3 return \
+     $z return count($y)"
+  in
+  let plan_str q =
+    let p = Xqc.prepare ~strategy:Xqc.Optimized q in
+    match p.Xqc.plan with
+    | Some plan -> Xqc.Pretty.to_string plan
+    | None -> Alcotest.fail "optimized strategy produced no logical plan"
+  in
+  let want_a = plan_str qa and want_b = plan_str qb in
+  for _ = 1 to 3 do
+    let da = Domain.spawn (fun () -> plan_str qa) in
+    let db = Domain.spawn (fun () -> plan_str qb) in
+    let got_a = Domain.join da and got_b = Domain.join db in
+    Alcotest.(check string) "plan A stable under parallel compilation" want_a got_a;
+    Alcotest.(check string) "plan B stable under parallel compilation" want_b got_b
+  done
+
+let () =
+  Alcotest.run "server"
+    [
+      ("wire", [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip ]);
+      ( "service",
+        [
+          Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+          Alcotest.test_case "prepared reuse" `Quick test_prepared_reuse;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+          Alcotest.test_case "overloaded" `Quick test_overloaded;
+          Alcotest.test_case "shutdown drains" `Quick test_shutdown_drains;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel prepare" `Quick
+            test_parallel_prepare_deterministic;
+        ] );
+    ]
