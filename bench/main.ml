@@ -772,15 +772,19 @@ let micro () =
 
 (* The server end to end over a Unix socket: an in-process service
    preloading a 1MB XMark document, hammered by 4 client threads for a
-   fixed window at 1, 2 and 4 worker domains.  Reports QPS and
-   client-observed p50/p95/p99 latency per configuration; the JSON
-   record goes to --json=FILE or bench/BENCH_server.json.
+   fixed window at 1, 2 and 4 worker domains (plus a 1-worker run with
+   tracing sampled out, to price the tracing plane).  Reports QPS,
+   client-observed p50/p95/p99 latency, and the server-side breakdown —
+   mean queue wait / eval / serialize and total lock wait — per
+   configuration, scraped from the metrics verb before shutdown; the
+   JSON record goes to --json=FILE or bench/BENCH_server.json.
 
    Note: throughput scaling with workers is hardware-dependent — on a
    single-core container the configurations collapse to the same QPS
    and only the admission/queueing behavior differs. *)
 let serve_bench () =
   let module Obs = Xqc_obs.Obs in
+  let module Trace = Xqc_obs.Trace in
   let module Server = Xqc_server.Server in
   let module Client = Xqc_server.Client in
   let size = 1_000_000 in
@@ -810,11 +814,27 @@ let serve_bench () =
   Printf.eprintf
     "=== Query service: %d client threads, %.0fs per config, %dKB XMark doc ===\n%!"
     n_clients duration (size / 1000);
-  Printf.printf "%-10s %10s %10s %10s %10s %10s\n" "workers" "requests" "qps"
-    "p50 ms" "p95 ms" "p99 ms";
+  Printf.printf "%-10s %-6s %9s %9s %9s %9s %9s %9s %9s %9s\n" "workers"
+    "trace" "requests" "qps" "p50 ms" "p95 ms" "p99 ms" "qwait ms" "eval ms"
+    "lockw ms";
+  let json_field name = function
+    | Obs.Obj fields -> List.assoc_opt name fields
+    | _ -> None
+  in
+  let json_num ?(default = 0.0) name json =
+    match json_field name json with
+    | Some (Obs.Float f) -> f
+    | Some (Obs.Int n) -> float_of_int n
+    | _ -> default
+  in
   let records =
     List.map
-      (fun workers ->
+      (fun (workers, trace_sample) ->
+        (* Lock stats and trace rings are process-global and interned by
+           name: reset between configs so each scrape attributes wait
+           time to its own configuration only. *)
+        Obs.reset_lock_stats ();
+        Trace.reset ();
         let sock = Filename.temp_file "xqc-bench" ".sock" in
         let ready_lock = Mutex.create () in
         let ready_cond = Condition.create () in
@@ -826,6 +846,8 @@ let serve_bench () =
             workers;
             queue_depth = 256;
             preload = [ ("auction", doc_path) ];
+            trace_sample;
+            slow_ms = 250.0;
           }
         in
         let server_thread =
@@ -865,10 +887,40 @@ let serve_bench () =
         let clients = List.init n_clients (fun k -> Thread.create (client_loop k) ()) in
         List.iter Thread.join clients;
         let elapsed = Obs.now () -. t_start in
-        (let c = Client.connect_unix sock in
-         Client.shutdown c;
-         Client.close c);
+        (* Scrape the server-side breakdown before shutting down: where
+           did the wall time go — queued, evaluating, serializing, or
+           blocked on a lock? *)
+        let metrics =
+          let c = Client.connect_unix sock in
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          let m = Client.metrics c in
+          Client.shutdown c;
+          m
+        in
         Thread.join server_thread;
+        let hist_mean name =
+          match json_field name metrics with
+          | Some h -> json_num "mean" h
+          | None -> 0.0
+        in
+        let qwait_mean = hist_mean "queue_wait_ms" in
+        let eval_mean = hist_mean "eval_ms" in
+        let ser_mean = hist_mean "serialize_ms" in
+        let locks =
+          match json_field "locks" metrics with
+          | Some (Obs.Arr l) -> l
+          | _ -> []
+        in
+        let lock_wait_total =
+          List.fold_left (fun acc lk -> acc +. json_num "wait_ms" lk) 0.0 locks
+        in
+        let worker_util =
+          match json_field "workers_detail" metrics with
+          | Some (Obs.Arr ws) ->
+              Obs.Arr
+                (List.map (fun w -> Obs.Float (json_num "utilization" w)) ws)
+          | _ -> Obs.Arr []
+        in
         let all = Array.of_list (List.concat (Array.to_list latencies)) in
         Array.sort compare all;
         let n = Array.length all in
@@ -876,20 +928,54 @@ let serve_bench () =
         let p50 = percentile all 50. in
         let p95 = percentile all 95. in
         let p99 = percentile all 99. in
-        Printf.printf "%-10d %10d %10.1f %10.3f %10.3f %10.3f\n%!" workers n qps
-          p50 p95 p99;
+        Printf.printf
+          "%-10d %-6s %9d %9.1f %9.3f %9.3f %9.3f %9.3f %9.3f %9.1f\n%!"
+          workers
+          (if trace_sample > 0.0 then "on" else "off")
+          n qps p50 p95 p99 qwait_mean eval_mean lock_wait_total;
         Obs.Obj
           [
             ("workers", Obs.Int workers);
+            ("trace_sample", Obs.Float trace_sample);
             ("requests", Obs.Int n);
             ("qps", Obs.Float qps);
             ("p50_ms", Obs.Float p50);
             ("p95_ms", Obs.Float p95);
             ("p99_ms", Obs.Float p99);
+            ("queue_wait_mean_ms", Obs.Float qwait_mean);
+            ("eval_mean_ms", Obs.Float eval_mean);
+            ("serialize_mean_ms", Obs.Float ser_mean);
+            ("lock_wait_total_ms", Obs.Float lock_wait_total);
+            ("worker_utilization", worker_util);
+            ("locks", Obs.Arr locks);
           ])
-      [ 1; 2; 4 ]
+      [ (1, 0.0); (1, 1.0); (2, 1.0); (4, 1.0) ]
   in
   (try Sys.remove doc_path with Sys_error _ -> ());
+  (* Tracing overhead: QPS delta between the two 1-worker runs (sampled
+     out vs every request traced). *)
+  let qps_of pred =
+    List.find_map
+      (fun r ->
+        match r with
+        | Obs.Obj fields
+          when pred
+                 ( json_num "workers" r |> int_of_float,
+                   json_num "trace_sample" r ) ->
+            Some (json_num "qps" (Obs.Obj fields))
+        | _ -> None)
+      records
+  in
+  let trace_overhead_pct =
+    match
+      ( qps_of (fun (w, ts) -> w = 1 && ts = 0.0),
+        qps_of (fun (w, ts) -> w = 1 && ts > 0.0) )
+    with
+    | Some off, Some on when off > 0.0 -> (off -. on) /. off *. 100.0
+    | _ -> 0.0
+  in
+  Printf.eprintf "tracing overhead at 1 worker: %.2f%% QPS\n%!"
+    trace_overhead_pct;
   let record =
     Obs.Obj
       [
@@ -898,6 +984,7 @@ let serve_bench () =
         ("clients", Obs.Int n_clients);
         ("duration_s", Obs.Float duration);
         ("recommended_domains", Obs.Int (Domain.recommended_domain_count ()));
+        ("trace_overhead_pct", Obs.Float trace_overhead_pct);
         ("configs", Obs.Arr records);
       ]
   in

@@ -320,8 +320,41 @@ let serve_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Log connections and requests to stderr.")
   in
+  let trace_sample_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "trace-sample" ] ~docv:"P"
+          ~doc:
+            "Fraction of requests to trace (0.0 to 1.0; requests with \
+             \"trace\":true are always traced).")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value & opt float 100.0
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:"Requests slower than this land in the slow-query ring.")
+  in
+  let slow_log_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "slow-log" ] ~docv:"N"
+          ~doc:"Slow-query ring capacity (the N worst requests are kept).")
+  in
+  let no_slow_analyze_arg =
+    Arg.(
+      value & flag
+      & info [ "no-slow-analyze" ]
+          ~doc:"Skip the EXPLAIN ANALYZE re-run for slow-ring entries.")
+  in
+  let gauge_interval_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "gauge-interval-ms" ] ~docv:"MS"
+          ~doc:"Queue-depth/inflight gauge sampling period.")
+  in
   let action unix_socket host port workers queue_depth timeout_ms preload
-      strategy verbose =
+      strategy verbose trace_sample slow_ms slow_log no_slow_analyze
+      gauge_interval_ms =
     try
       let preload =
         List.map
@@ -344,6 +377,11 @@ let serve_cmd =
           preload;
           strategy;
           verbose;
+          trace_sample;
+          slow_ms;
+          slow_capacity = slow_log;
+          slow_analyze = not no_slow_analyze;
+          gauge_interval_ms;
         }
       in
       Xqc_server.Server.serve cfg;
@@ -361,11 +399,103 @@ let serve_cmd =
        ~doc:
          "Run the query service: preload and index documents once, then \
           answer newline-delimited JSON requests (query, prepare/execute, \
-          stats, shutdown) over a Unix and/or TCP socket with a pool of \
-          worker domains.")
+          stats, metrics, trace, shutdown) over a Unix and/or TCP socket \
+          with a pool of worker domains.")
     Term.(
       const action $ unix_socket_arg $ host_arg $ port_arg $ workers_arg
-      $ queue_arg $ timeout_arg $ preload_arg $ strategy_arg $ verbose_arg)
+      $ queue_arg $ timeout_arg $ preload_arg $ strategy_arg $ verbose_arg
+      $ trace_sample_arg $ slow_ms_arg $ slow_log_arg $ no_slow_analyze_arg
+      $ gauge_interval_arg)
+
+(* JSON accessors for rendering server responses client-side. *)
+module J = struct
+  let field name = function
+    | Xqc.Obs.Obj fields -> List.assoc_opt name fields
+    | _ -> None
+
+  let str ?(default = "") name json =
+    match field name json with Some (Xqc.Obs.Str s) -> s | _ -> default
+
+  let int ?(default = 0) name json =
+    match field name json with Some (Xqc.Obs.Int n) -> n | _ -> default
+
+  let num ?(default = 0.0) name json =
+    match field name json with
+    | Some (Xqc.Obs.Float f) -> f
+    | Some (Xqc.Obs.Int n) -> float_of_int n
+    | _ -> default
+
+  let arr name json =
+    match field name json with Some (Xqc.Obs.Arr l) -> l | _ -> []
+end
+
+(* Indented span timeline from a trace JSON object (as served by the
+   "trace" verb or embedded in a traced response). *)
+let render_trace_json (trace : Xqc.Obs.json) : string =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "trace %d  op=%s  outcome=%s  total=%.3fms\n"
+    (J.int "trace_id" trace) (J.str "op" trace)
+    (J.str ~default:"?" "outcome" trace)
+    (J.num "total_ms" trace);
+  (match J.str "source" trace with
+  | "" -> ()
+  | src -> Printf.bprintf b "  source: %s\n" src);
+  let spans = J.arr "spans" trace in
+  let parent_of = List.map (fun sp -> (J.int "id" sp, J.int "parent" sp)) spans in
+  let rec depth id =
+    match List.assoc_opt id parent_of with
+    | Some 0 | None -> 0
+    | Some p -> 1 + depth p
+  in
+  List.iter
+    (fun sp ->
+      let attrs =
+        match J.field "attrs" sp with
+        | Some (Xqc.Obs.Obj kvs) ->
+            " "
+            ^ String.concat " "
+                (List.map
+                   (fun (k, v) ->
+                     Printf.sprintf "%s=%s" k
+                       (match v with Xqc.Obs.Str s -> s | j -> Xqc.Obs.json_to_string j))
+                   kvs)
+        | _ -> ""
+      in
+      Printf.bprintf b "  %9.3fms %s%s %.3fms%s\n" (J.num "start_ms" sp)
+        (String.make (2 * depth (J.int "id" sp)) ' ')
+        (J.str "name" sp) (J.num "dur_ms" sp) attrs)
+    spans;
+  Buffer.contents b
+
+let render_stats (stats : Xqc.Obs.json) : string =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "uptime              %.1fs\n" (J.num "uptime_s" stats);
+  Printf.bprintf b "workers             %d\n" (J.int "workers" stats);
+  Printf.bprintf b "queue               %d / %d\n" (J.int "queue_depth" stats)
+    (J.int "queue_capacity" stats);
+  Printf.bprintf b "inflight            %d\n" (J.int "inflight" stats);
+  Printf.bprintf b "admission rejected  %d\n" (J.int "admission_rejected" stats);
+  Printf.bprintf b "prepared statements %d\n" (J.int "prepared_statements" stats);
+  Printf.bprintf b "plan cache          %d\n" (J.int "plan_cache_size" stats);
+  Printf.bprintf b "stored traces       %d\n" (J.int "traces" stats);
+  (match J.field "latency_ms" stats with
+  | Some lat ->
+      Printf.bprintf b
+        "latency             n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms\n"
+        (J.int "count" lat) (J.num "mean" lat) (J.num "p50" lat)
+        (J.num "p95" lat) (J.num "p99" lat)
+  | None -> ());
+  (match J.field "counters" stats with
+  | Some (Xqc.Obs.Obj kvs) ->
+      Buffer.add_string b "counters:\n";
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Xqc.Obs.Int n -> Printf.bprintf b "  %-28s %d\n" k n
+          | _ -> ())
+        kvs
+  | _ -> ());
+  Buffer.contents b
 
 let client_cmd =
   let module C = Xqc_server.Client in
@@ -399,8 +529,32 @@ let client_cmd =
   let shutdown_flag =
     Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to shut down (after any query).")
   in
+  let trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Force the request to be traced and print its span timeline \
+             after the result.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FORMAT"
+          ~doc:"Print the server's metrics: \\$(b,json) or \\$(b,prometheus).")
+  in
+  let args_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ARG"
+          ~doc:
+            "A query to evaluate, \\$(b,stats) for a human-readable stats \
+             report, \\$(b,trace) to list recent traces, or \\$(b,trace ID) \
+             to fetch one stored trace.")
+  in
   let action unix_socket host port repeat timeout_ms prepare execute
-      server_stats shutdown query =
+      server_stats shutdown trace metrics args =
     try
       let client =
         match (unix_socket, port) with
@@ -410,11 +564,48 @@ let client_cmd =
       in
       Fun.protect ~finally:(fun () -> C.close client) @@ fun () ->
       let failed = ref false in
-      let show = function
-        | Ok text -> print_endline text
+      (* A traced ok-response prints the result, then the timeline. *)
+      let show_json = function
+        | Ok json ->
+            (match J.field "result" json with
+            | Some (Xqc.Obs.Str s) -> print_endline s
+            | _ -> ());
+            if trace then (
+              match J.field "trace" json with
+              | Some tr -> print_string (render_trace_json tr)
+              | None -> ())
         | Error (code, m) ->
             Printf.eprintf "error (%s): %s\n" code m;
             failed := true
+      in
+      let query =
+        match args with
+        | [] -> None
+        | [ "stats" ] ->
+            print_string (render_stats (C.stats client));
+            None
+        | [ "trace" ] ->
+            List.iter
+              (fun s ->
+                Printf.printf "trace %-8d %-8s %-10s %8.3fms  %d spans  %.1fs ago\n"
+                  (J.int "trace_id" s) (J.str "op" s) (J.str "outcome" s)
+                  (J.num "total_ms" s) (J.int "spans" s) (J.num "age_s" s))
+              (C.recent_traces client);
+            None
+        | [ "trace"; id ] -> (
+            match int_of_string_opt id with
+            | None -> failwith (Printf.sprintf "trace id must be an integer, got %S" id)
+            | Some tid -> (
+                match C.fetch_trace client tid with
+                | Ok tr ->
+                    print_string (render_trace_json tr);
+                    None
+                | Error (code, m) ->
+                    Printf.eprintf "error (%s): %s\n" code m;
+                    failed := true;
+                    None))
+        | [ q ] -> Some q
+        | _ -> failwith "too many positional arguments"
       in
       (match (prepare, query) with
       | Some name, Some q -> (
@@ -428,17 +619,23 @@ let client_cmd =
       (match execute with
       | Some name ->
           for _ = 1 to repeat do
-            show (C.execute ?timeout_ms client name)
+            show_json (C.execute_json ?timeout_ms ~trace client name)
           done
       | None -> (
           match (prepare, query) with
           | None, Some q ->
               for _ = 1 to repeat do
-                show (C.query ?timeout_ms client q)
+                show_json (C.query_json ?timeout_ms ~trace client q)
               done
           | _ -> ()));
       if server_stats then
         print_endline (Xqc.Obs.json_to_string (C.stats client));
+      (match metrics with
+      | Some "json" -> print_endline (Xqc.Obs.json_to_string (C.metrics client))
+      | Some ("prometheus" | "prom" | "text") ->
+          print_string (C.metrics_prometheus client)
+      | Some other -> failwith (Printf.sprintf "unknown metrics format %S" other)
+      | None -> ());
       if shutdown then C.shutdown client;
       if !failed then 1 else 0
     with
@@ -450,17 +647,145 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:
          "Send requests to a running query service: evaluate a query \
-          (optionally repeated), prepare/execute named statements, fetch \
-          server statistics, or request shutdown.")
+          (optionally repeated, optionally traced), prepare/execute named \
+          statements, fetch server statistics, metrics or stored traces, \
+          or request shutdown.")
     Term.(
       const action $ unix_socket_arg $ host_arg $ port_arg $ repeat_arg
       $ timeout_arg $ prepare_arg $ execute_arg $ stats_flag $ shutdown_flag
-      $ query_arg)
+      $ trace_flag $ metrics_arg $ args_arg)
+
+(* Live terminal dashboard over the metrics verb: QPS and latency
+   percentiles, queue depth, per-worker utilization, the slow-query
+   ring.  QPS is the request-counter delta between frames (first frame:
+   cumulative over uptime). *)
+let top_cmd =
+  let module C = Xqc_server.Client in
+  let interval_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "interval-ms" ] ~docv:"MS" ~doc:"Refresh period.")
+  in
+  let frames_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "frames" ] ~docv:"N"
+          ~doc:"Render N frames then exit (0 = until interrupted).")
+  in
+  let render_frame ~clear prev_requests prev_t metrics =
+    let now = Unix.gettimeofday () in
+    let requests =
+      match J.field "counters" metrics with
+      | Some c -> J.int "server_requests" c
+      | None -> 0
+    in
+    let qps =
+      match prev_requests with
+      | Some prev when now > prev_t ->
+          float_of_int (requests - prev) /. (now -. prev_t)
+      | _ ->
+          let up = J.num "uptime_s" metrics in
+          if up > 0.0 then float_of_int requests /. up else 0.0
+    in
+    let b = Buffer.create 512 in
+    if clear then Buffer.add_string b "\027[H\027[2J";
+    Printf.bprintf b "xqc top — up %.0fs  %d workers  %.1f req/s  inflight %d  queue %d/%d  rejected %d\n"
+      (J.num "uptime_s" metrics) (J.int "workers" metrics) qps
+      (J.int "inflight" metrics) (J.int "queue_depth" metrics)
+      (J.int "queue_capacity" metrics) (J.int "admission_rejected" metrics);
+    let hist label name =
+      match J.field name metrics with
+      | Some h ->
+          Printf.bprintf b "%-11s n=%-8d mean=%8.3fms  p50=%8.3fms  p95=%8.3fms  p99=%8.3fms\n"
+            label (J.int "count" h) (J.num "mean" h) (J.num "p50" h)
+            (J.num "p95" h) (J.num "p99" h)
+      | None -> ()
+    in
+    hist "latency" "latency_ms";
+    hist "queue wait" "queue_wait_ms";
+    hist "eval" "eval_ms";
+    hist "serialize" "serialize_ms";
+    Buffer.add_string b "workers:\n";
+    List.iter
+      (fun w ->
+        let util = J.num "utilization" w in
+        let bar = int_of_float (util *. 20.0) in
+        Printf.bprintf b "  %2d [%-20s] %5.1f%%  %d jobs\n" (J.int "worker" w)
+          (String.make (min 20 (max 0 bar)) '#')
+          (util *. 100.0) (J.int "jobs" w))
+      (J.arr "workers_detail" metrics);
+    (match J.field "slow_queries" metrics with
+    | Some slow ->
+        let entries = J.arr "entries" slow in
+        if entries <> [] then begin
+          Printf.bprintf b "slow queries (>= %.1fms, worst first):\n"
+            (J.num "threshold_ms" slow);
+          List.iteri
+            (fun i e ->
+              if i < 8 then
+                let src = J.str "source" e in
+                let src =
+                  if String.length src > 48 then String.sub src 0 45 ^ "..."
+                  else src
+                in
+                Printf.bprintf b "  %8.2fms %-8s %-10s %s\n" (J.num "ms" e)
+                  (J.str "op" e) (J.str "outcome" e) src)
+            entries
+        end
+    | None -> ());
+    print_string (Buffer.contents b);
+    flush stdout;
+    (Some requests, now)
+  in
+  let action unix_socket host port interval_ms frames =
+    try
+      let client =
+        match (unix_socket, port) with
+        | Some path, _ -> C.connect_unix path
+        | None, Some p -> C.connect_tcp host p
+        | None, None -> failwith "give --unix PATH or --port PORT"
+      in
+      Fun.protect ~finally:(fun () -> C.close client) @@ fun () ->
+      let clear = frames <> 1 in
+      let prev = ref (None, Unix.gettimeofday ()) in
+      let frame () =
+        let prev_requests, prev_t = !prev in
+        prev := render_frame ~clear prev_requests prev_t (C.metrics client)
+      in
+      if frames <= 0 then
+        while true do
+          frame ();
+          Unix.sleepf (float_of_int (max 50 interval_ms) /. 1000.0)
+        done
+      else
+        for i = 1 to frames do
+          frame ();
+          if i < frames then
+            Unix.sleepf (float_of_int (max 50 interval_ms) /. 1000.0)
+        done;
+      0
+    with
+    | C.Client_error m | Failure m | Sys_error m ->
+        prerr_endline ("error: " ^ m);
+        1
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard for a running query service: QPS, latency \
+          percentiles, queue depth, per-worker utilization and the \
+          slow-query ring, refreshed from the metrics verb.")
+    Term.(
+      const action $ unix_socket_arg $ host_arg $ port_arg $ interval_arg
+      $ frames_arg)
 
 let main_cmd =
   Cmd.group
     (Cmd.info "xqc" ~version:"0.1.0"
        ~doc:"An algebraic XQuery compiler (ICDE 2006 reproduction).")
-    [ run_cmd; explain_cmd; gen_cmd; queries_cmd; show_query_cmd; serve_cmd; client_cmd ]
+    [
+      run_cmd; explain_cmd; gen_cmd; queries_cmd; show_query_cmd; serve_cmd;
+      client_cmd; top_cmd;
+    ]
 
 let () = Stdlib.exit (Cmd.eval' main_cmd)

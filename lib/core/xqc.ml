@@ -46,6 +46,8 @@ module Interp = Xqc_interp.Interp
 module Indexed = Xqc_interp.Indexed
 module Store = Xqc_store.Store
 module Obs = Xqc_obs.Obs
+module Trace = Xqc_obs.Trace
+module Slow_log = Xqc_obs.Slow_log
 
 type strategy =
   | No_algebra  (** direct interpretation of the Core AST (pre-paper Galax) *)
@@ -259,8 +261,10 @@ type plan_key = string * strategy * bool * bool * Store.mode
    domains share this cache (prepared statements resolve through it), so
    lookup/insert/eviction must not race.  Compilation itself runs outside
    the lock — two domains racing on the same cold key may both compile,
-   and the loser's insert is a harmless overwrite. *)
-let plan_lock = Mutex.create ()
+   and the loser's insert is a harmless overwrite.  The lock is
+   instrumented ("plan_cache" in the lock table) so cross-domain
+   contention on it is visible in the server's metrics plane. *)
+let plan_lock = Obs.tmutex "plan_cache"
 
 let plan_cache : (plan_key, prepared * int ref) Hashtbl.t = Hashtbl.create 32
 let plan_cache_capacity = ref 128
@@ -269,10 +273,10 @@ let plan_tick = ref 0
 let c_plan_hits = Obs.global_counter "plan_cache_hits"
 let c_plan_misses = Obs.global_counter "plan_cache_misses"
 
-let clear_plan_cache () = Mutex.protect plan_lock (fun () -> Hashtbl.reset plan_cache)
+let clear_plan_cache () = Obs.with_lock plan_lock (fun () -> Hashtbl.reset plan_cache)
 
 let set_plan_cache_capacity n =
-  Mutex.protect plan_lock (fun () ->
+  Obs.with_lock plan_lock (fun () ->
       plan_cache_capacity := max 0 n;
       if Hashtbl.length plan_cache > !plan_cache_capacity then Hashtbl.reset plan_cache)
 
@@ -289,9 +293,10 @@ let evict_lru () =
 
 let prepare_cached ?(strategy = Optimized) ?(project = false)
     ?(materialize = false) (source : string) : prepared =
+  Trace.in_span "plan-cache" @@ fun () ->
   let key = (source, strategy, project, materialize, !Store.mode) in
   let hit =
-    Mutex.protect plan_lock (fun () ->
+    Obs.with_lock plan_lock (fun () ->
         incr plan_tick;
         match Hashtbl.find_opt plan_cache key with
         | Some (p, tick) ->
@@ -303,17 +308,23 @@ let prepare_cached ?(strategy = Optimized) ?(project = false)
             None)
   in
   match hit with
-  | Some p -> p
+  | Some p ->
+      Trace.annotate_current [ ("hit", "true") ];
+      p
   | None ->
-      let p = prepare ~strategy ~project ~materialize source in
-      Mutex.protect plan_lock (fun () ->
+      Trace.annotate_current [ ("hit", "false") ];
+      let p =
+        Trace.in_span "compile" (fun () ->
+            prepare ~strategy ~project ~materialize source)
+      in
+      Obs.with_lock plan_lock (fun () ->
           if !plan_cache_capacity > 0 then begin
             if Hashtbl.length plan_cache >= !plan_cache_capacity then evict_lru ();
             Hashtbl.replace plan_cache key (p, ref !plan_tick)
           end);
       p
 
-let plan_cache_size () = Mutex.protect plan_lock (fun () -> Hashtbl.length plan_cache)
+let plan_cache_size () = Obs.with_lock plan_lock (fun () -> Hashtbl.length plan_cache)
 
 let run (p : prepared) (ctx : Dynamic_ctx.t) : Item.sequence =
   try p.runner ctx with

@@ -96,6 +96,122 @@ let incr_counter c = Atomic.incr c.cn_cell
 let add_counter c n = ignore (Atomic.fetch_and_add c.cn_cell n)
 let counter_value c = Atomic.get c.cn_cell
 
+(* ------------------------------------------------------------------ *)
+(* Instrumented mutexes (contention telemetry)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A [tmutex] is a mutex that accounts for its own contention: every
+   acquisition is counted, acquisitions that had to block record the
+   time spent waiting, and [with_lock] records the time the lock was
+   held.  Statistics are interned by name so several mutex instances
+   protecting the same kind of resource (e.g. one write lock per client
+   connection) share a single stats record, and so the registry can be
+   walked for the server's `metrics` verb and Prometheus exposition.
+
+   The fast path costs one [Mutex.try_lock] plus two clock reads over a
+   plain mutex; all stats cells are atomics, so readers never take the
+   lock they are reporting on. *)
+
+type lock_stats = {
+  ls_name : string;
+  ls_acquires : int Atomic.t;  (* total acquisitions *)
+  ls_contended : int Atomic.t;  (* acquisitions that had to block *)
+  ls_wait_ns : int Atomic.t;  (* cumulative time spent blocked *)
+  ls_hold_ns : int Atomic.t;  (* cumulative time the lock was held *)
+}
+
+type tmutex = { tx_stats : lock_stats; tx_mutex : Mutex.t }
+
+(* The lock-stats registry is guarded by a plain mutex: it cannot
+   instrument itself, and it is only touched at interning time and when
+   a report is rendered. *)
+let lock_registry : (string, lock_stats) Hashtbl.t = Hashtbl.create 16
+let lock_order : string list ref = ref []
+let lock_registry_lock = Mutex.create ()
+
+let lock_stats_intern (name : string) : lock_stats =
+  Mutex.protect lock_registry_lock (fun () ->
+      match Hashtbl.find_opt lock_registry name with
+      | Some ls -> ls
+      | None ->
+          let ls =
+            {
+              ls_name = name;
+              ls_acquires = Atomic.make 0;
+              ls_contended = Atomic.make 0;
+              ls_wait_ns = Atomic.make 0;
+              ls_hold_ns = Atomic.make 0;
+            }
+          in
+          Hashtbl.add lock_registry name ls;
+          lock_order := !lock_order @ [ name ];
+          ls)
+
+let tmutex (name : string) : tmutex =
+  { tx_stats = lock_stats_intern name; tx_mutex = Mutex.create () }
+
+let add_ns (cell : int Atomic.t) (secs : float) : unit =
+  ignore (Atomic.fetch_and_add cell (int_of_float (secs *. 1e9)))
+
+let with_lock (tx : tmutex) (f : unit -> 'a) : 'a =
+  let st = tx.tx_stats in
+  (if Mutex.try_lock tx.tx_mutex then Atomic.incr st.ls_acquires
+   else begin
+     let t0 = now () in
+     Mutex.lock tx.tx_mutex;
+     add_ns st.ls_wait_ns (now () -. t0);
+     Atomic.incr st.ls_acquires;
+     Atomic.incr st.ls_contended
+   end);
+  let t1 = now () in
+  Fun.protect
+    ~finally:(fun () ->
+      add_ns st.ls_hold_ns (now () -. t1);
+      Mutex.unlock tx.tx_mutex)
+    f
+
+type lock_summary = {
+  lk_name : string;
+  lk_acquires : int;
+  lk_contended : int;
+  lk_wait_ms : float;
+  lk_hold_ms : float;
+}
+
+let lock_summaries () : lock_summary list =
+  let names = Mutex.protect lock_registry_lock (fun () -> !lock_order) in
+  List.map
+    (fun name ->
+      let ls = Mutex.protect lock_registry_lock (fun () -> Hashtbl.find lock_registry name) in
+      {
+        lk_name = ls.ls_name;
+        lk_acquires = Atomic.get ls.ls_acquires;
+        lk_contended = Atomic.get ls.ls_contended;
+        lk_wait_ms = float_of_int (Atomic.get ls.ls_wait_ns) /. 1e6;
+        lk_hold_ms = float_of_int (Atomic.get ls.ls_hold_ns) /. 1e6;
+      })
+    names
+
+let reset_lock_stats () : unit =
+  Mutex.protect lock_registry_lock (fun () ->
+      Hashtbl.iter
+        (fun _ ls ->
+          Atomic.set ls.ls_acquires 0;
+          Atomic.set ls.ls_contended 0;
+          Atomic.set ls.ls_wait_ns 0;
+          Atomic.set ls.ls_hold_ns 0)
+        lock_registry)
+
+let lock_summary_to_json (lk : lock_summary) : json =
+  Obj
+    [
+      ("name", Str lk.lk_name);
+      ("acquires", Int lk.lk_acquires);
+      ("contended", Int lk.lk_contended);
+      ("wait_ms", Float lk.lk_wait_ms);
+      ("hold_ms", Float lk.lk_hold_ms);
+    ]
+
 (* Global named counters: process-wide always-on counters for the
    cross-cutting subsystems that outlive any one prepared query — the
    indexed document store (builds/hits/fallbacks), the fn:doc document
@@ -105,10 +221,10 @@ let counter_value c = Atomic.get c.cn_cell
    a report is rendered. *)
 let global_registry : (string, counter) Hashtbl.t = Hashtbl.create 16
 let global_order : string list ref = ref []
-let global_lock = Mutex.create ()
+let global_lock = tmutex "obs_registry"
 
 let global_counter (name : string) : counter =
-  Mutex.protect global_lock (fun () ->
+  with_lock global_lock (fun () ->
       match Hashtbl.find_opt global_registry name with
       | Some c -> c
       | None ->
@@ -118,13 +234,13 @@ let global_counter (name : string) : counter =
           c)
 
 let global_counters () : (string * int) list =
-  Mutex.protect global_lock (fun () ->
+  with_lock global_lock (fun () ->
       List.map
         (fun name -> (name, counter_value (Hashtbl.find global_registry name)))
         !global_order)
 
 let reset_global_counters () =
-  Mutex.protect global_lock (fun () ->
+  with_lock global_lock (fun () ->
       Hashtbl.iter (fun _ c -> Atomic.set c.cn_cell 0) global_registry)
 
 type timer = { tm_name : string; mutable tm_secs : float; mutable tm_count : int }
@@ -156,7 +272,7 @@ let time (tm : timer) (f : unit -> 'a) : 'a =
    window covers the recent-traffic distribution p50/p95/p99 describe. *)
 type histogram = {
   hg_name : string;
-  hg_lock : Mutex.t;
+  hg_lock : tmutex;
   mutable hg_count : int;
   mutable hg_sum : float;
   mutable hg_max : float;
@@ -168,7 +284,7 @@ type histogram = {
 let histogram ?(window = 4096) name =
   {
     hg_name = name;
-    hg_lock = Mutex.create ();
+    hg_lock = tmutex ("hist:" ^ name);
     hg_count = 0;
     hg_sum = 0.0;
     hg_max = 0.0;
@@ -178,7 +294,7 @@ let histogram ?(window = 4096) name =
   }
 
 let observe (h : histogram) (v : float) : unit =
-  Mutex.protect h.hg_lock (fun () ->
+  with_lock h.hg_lock (fun () ->
       h.hg_count <- h.hg_count + 1;
       h.hg_sum <- h.hg_sum +. v;
       if v > h.hg_max then h.hg_max <- v;
@@ -188,12 +304,12 @@ let observe (h : histogram) (v : float) : unit =
       if h.hg_filled < n then h.hg_filled <- h.hg_filled + 1)
 
 let histogram_count (h : histogram) : int =
-  Mutex.protect h.hg_lock (fun () -> h.hg_count)
+  with_lock h.hg_lock (fun () -> h.hg_count)
 
 (* count/mean/max over the histogram's lifetime, percentiles over the
    retained window (nearest-rank on the sorted samples). *)
 let histogram_summary (h : histogram) : (string * float) list =
-  Mutex.protect h.hg_lock (fun () ->
+  with_lock h.hg_lock (fun () ->
       let sorted = Array.sub h.hg_window 0 h.hg_filled in
       Array.sort compare sorted;
       let pct q =
@@ -622,3 +738,116 @@ let collector_to_json ?(plans = true) (c : collector) : json =
 
 let collector_to_json_string ?plans (c : collector) : string =
   json_to_string (collector_to_json ?plans c)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal writer for the Prometheus text format (version 0.0.4): one
+   # HELP and # TYPE line per family followed by its samples.  Summaries
+   are rendered the canonical way — quantile-labelled samples plus the
+   _sum/_count pair. *)
+
+type prom_family =
+  | Prom_counter of string * string * ((string * string) list * float) list
+  | Prom_gauge of string * string * ((string * string) list * float) list
+  | Prom_summary of string * string * (float * float) list * float * int
+      (* name, help, (quantile, value) list, sum, count *)
+
+let prom_escape_help (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_escape_label (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_value (v : float) : string =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let prom_sample (buf : Buffer.t) (name : string)
+    (labels : (string * string) list) (v : float) : unit =
+  Buffer.add_string buf name;
+  (match labels with
+  | [] -> ()
+  | labels ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (prom_escape_label value);
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (prom_value v);
+  Buffer.add_char buf '\n'
+
+let prom_header (buf : Buffer.t) (name : string) (help : string) (kind : string) :
+    unit =
+  Buffer.add_string buf
+    (Printf.sprintf "# HELP %s %s\n# TYPE %s %s\n" name (prom_escape_help help)
+       name kind)
+
+let prometheus_to_string (families : prom_family list) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun fam ->
+      match fam with
+      | Prom_counter (name, help, samples) ->
+          prom_header buf name help "counter";
+          List.iter (fun (labels, v) -> prom_sample buf name labels v) samples
+      | Prom_gauge (name, help, samples) ->
+          prom_header buf name help "gauge";
+          List.iter (fun (labels, v) -> prom_sample buf name labels v) samples
+      | Prom_summary (name, help, quantiles, sum, count) ->
+          prom_header buf name help "summary";
+          List.iter
+            (fun (q, v) ->
+              prom_sample buf name [ ("quantile", Printf.sprintf "%g" q) ] v)
+            quantiles;
+          prom_sample buf (name ^ "_sum") [] sum;
+          prom_sample buf (name ^ "_count") [] (float_of_int count))
+    families;
+  Buffer.contents buf
+
+(* Render a histogram as a Prometheus summary family: p50/p95/p99 over
+   the retained window, _sum/_count over the lifetime. *)
+let histogram_prom_summary (h : histogram) ~(name : string) ~(help : string) :
+    prom_family =
+  let sum, count, quantiles =
+    with_lock h.hg_lock (fun () ->
+        let sorted = Array.sub h.hg_window 0 h.hg_filled in
+        Array.sort compare sorted;
+        let pct q =
+          if h.hg_filled = 0 then 0.0
+          else
+            let i =
+              int_of_float (Float.round (q *. float_of_int (h.hg_filled - 1)))
+            in
+            sorted.(min (h.hg_filled - 1) (max 0 i))
+        in
+        ( h.hg_sum,
+          h.hg_count,
+          [ (0.5, pct 0.5); (0.95, pct 0.95); (0.99, pct 0.99) ] ))
+  in
+  Prom_summary (name, help, quantiles, sum, count)

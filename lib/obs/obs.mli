@@ -38,6 +38,45 @@ val incr_counter : counter -> unit
 val add_counter : counter -> int -> unit
 val counter_value : counter -> int
 
+(** {1 Instrumented mutexes (contention telemetry)} *)
+
+type lock_stats = {
+  ls_name : string;
+  ls_acquires : int Atomic.t;  (** total acquisitions *)
+  ls_contended : int Atomic.t;  (** acquisitions that had to block *)
+  ls_wait_ns : int Atomic.t;  (** cumulative time spent blocked *)
+  ls_hold_ns : int Atomic.t;  (** cumulative time the lock was held *)
+}
+
+type tmutex = { tx_stats : lock_stats; tx_mutex : Mutex.t }
+(** A mutex that accounts for its own contention.  Statistics are
+    interned by name, so several mutex instances protecting the same
+    kind of resource share one stats record, and the registry can be
+    walked for the server's metrics plane.  The fast path costs one
+    [Mutex.try_lock] plus two clock reads over a plain mutex. *)
+
+val tmutex : string -> tmutex
+(** Fresh mutex whose statistics record is interned under [name]. *)
+
+val with_lock : tmutex -> (unit -> 'a) -> 'a
+(** [Mutex.protect] with wait/hold accounting (also on exceptions). *)
+
+type lock_summary = {
+  lk_name : string;
+  lk_acquires : int;
+  lk_contended : int;
+  lk_wait_ms : float;
+  lk_hold_ms : float;
+}
+
+val lock_summaries : unit -> lock_summary list
+(** Current statistics of every interned lock, in interning order. *)
+
+val reset_lock_stats : unit -> unit
+(** Zero every lock-stats record (tests and benchmarks). *)
+
+val lock_summary_to_json : lock_summary -> json
+
 val global_counter : string -> counter
 (** Interned process-wide counter: repeated calls with the same name
     return the same record.  Used by subsystems whose statistics outlive
@@ -241,3 +280,21 @@ val collector_to_json : ?plans:bool -> collector -> json
     per-operator trees (used for compact bench records). *)
 
 val collector_to_json_string : ?plans:bool -> collector -> string
+
+(** {1 Prometheus text exposition} *)
+
+(** Metric families for the Prometheus text format (0.0.4): counters and
+    gauges carry (labels, value) samples; summaries carry
+    (quantile, value) samples plus the _sum/_count pair. *)
+type prom_family =
+  | Prom_counter of string * string * ((string * string) list * float) list
+  | Prom_gauge of string * string * ((string * string) list * float) list
+  | Prom_summary of string * string * (float * float) list * float * int
+
+val prometheus_to_string : prom_family list -> string
+(** Render families with their # HELP / # TYPE headers. *)
+
+val histogram_prom_summary :
+  histogram -> name:string -> help:string -> prom_family
+(** p50/p95/p99 over the retained window, _sum/_count over the
+    lifetime. *)

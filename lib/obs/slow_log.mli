@@ -1,0 +1,51 @@
+(** Slow-query log: a bounded ring of the N worst requests over a
+    threshold, kept sorted worst-first.  Once full, a new entry must
+    beat the current minimum, so the final contents are the global
+    top-N regardless of arrival order.  Mutation happens under one
+    instrumented mutex ("slow_log" in the lock table). *)
+
+type entry = {
+  en_op : string;
+  en_source : string;
+  en_outcome : string;
+  en_ms : float;
+  en_trace_id : int;  (** 0 = the request was not traced *)
+  en_spans : Obs.json;  (** span timeline snapshot, [Arr []] if untraced *)
+  en_at : float;  (** wall clock when the request finished *)
+  mutable en_explain : string option;
+}
+
+type t
+
+val create : ?capacity:int -> ?threshold_ms:float -> unit -> t
+(** Defaults: capacity 16, threshold 100 ms. *)
+
+val threshold_ms : t -> float
+
+val entry :
+  ?outcome:string ->
+  ?trace_id:int ->
+  ?spans:Obs.json ->
+  op:string ->
+  source:string ->
+  ms:float ->
+  at:float ->
+  unit ->
+  entry
+
+val note : t -> entry -> bool
+(** Offer an entry; [true] when it entered the ring (worth spending the
+    effort of attaching an EXPLAIN ANALYZE).  Entries under the
+    threshold are always rejected. *)
+
+val set_explain : t -> entry -> string -> unit
+
+val entries : t -> entry list
+(** Worst first. *)
+
+val seen : t -> int
+(** Requests ever seen over the threshold (admitted or not). *)
+
+val clear : t -> unit
+val entry_to_json : entry -> Obs.json
+val to_json : t -> Obs.json

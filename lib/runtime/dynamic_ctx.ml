@@ -6,6 +6,7 @@
 open Xqc_xml
 open Xqc_types
 module Obs = Xqc_obs.Obs
+module Trace = Xqc_obs.Trace
 
 exception Dynamic_error of string
 
@@ -33,6 +34,9 @@ and t = {
   mutable deadline : float option;
       (** absolute wall-clock time (Obs.now) after which evaluation must
           abort with [Timeout]; [None] disables the checks *)
+  mutable trace : Trace.t option;
+      (** request trace to record context-level spans into (deadline
+          arming, document parses); [None] = untraced *)
 }
 
 let create ?(schema = Schema.empty) ?resolver () =
@@ -44,9 +48,21 @@ let create ?(schema = Schema.empty) ?resolver () =
     resolver;
     params = [];
     deadline = None;
+    trace = None;
   }
 
-let set_deadline ctx d = ctx.deadline <- d
+let set_trace ctx tro = ctx.trace <- tro
+
+let set_deadline ctx d =
+  ctx.deadline <- d;
+  (* the deadline-arming instant shows up in the request's span tree *)
+  match d with
+  | Some dl ->
+      Trace.opt_event ctx.trace
+        ~attrs:
+          [ ("budget_ms", Printf.sprintf "%.1f" ((dl -. Obs.now ()) *. 1000.0)) ]
+        "deadline-armed"
+  | None -> ()
 
 (* Cooperative cancellation: the evaluator calls this at operator
    invocation boundaries (which for dependent sub-plans means once per
@@ -80,7 +96,10 @@ let resolve_document ctx uri : Node.t =
   | None -> (
       match ctx.resolver with
       | Some f ->
-          let d = f uri in
+          let d =
+            Trace.opt_span ctx.trace ~attrs:[ ("uri", uri) ] "doc-parse"
+              (fun () -> f uri)
+          in
           Obs.incr_counter c_doc_parses;
           Hashtbl.replace ctx.documents uri d;
           d

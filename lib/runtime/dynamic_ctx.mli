@@ -33,13 +33,21 @@ and t = {
   mutable params : (string * xvalue) list;  (** current function frame *)
   mutable deadline : float option;
       (** absolute wall-clock time after which evaluation aborts *)
+  mutable trace : Xqc_obs.Trace.t option;
+      (** request trace to record context-level spans into (deadline
+          arming, document parses); [None] = untraced *)
 }
 
 val create : ?schema:Schema.t -> ?resolver:(string -> Node.t) -> unit -> t
 
+val set_trace : t -> Xqc_obs.Trace.t option -> unit
+(** Attach the request's trace so [set_deadline] and
+    [resolve_document] record spans into it. *)
+
 val set_deadline : t -> float option -> unit
 (** Arm (or clear) the evaluation deadline, as an absolute [Obs.now]
-    wall-clock time. *)
+    wall-clock time.  Arming is recorded as a "deadline-armed" event in
+    the attached trace, if any. *)
 
 val check_deadline : t -> unit
 (** Cooperative cancellation point: raise {!Timeout} when the deadline

@@ -67,8 +67,15 @@ let result_of (json : Obs.json) : (Obs.json, string * string) result =
       Error (str "code", str "message")
   | _ -> raise (Client_error "response has no status field")
 
-let query ?timeout_ms t source : (string, string * string) result =
-  match result_of (rpc t (Protocol.Query { source; timeout_ms })) with
+(* Full ok-response object — for callers that want trace_id / items /
+   the embedded span tree alongside the result text. *)
+let query_json ?timeout_ms ?(trace = false) t source :
+    (Obs.json, string * string) result =
+  result_of (rpc t (Protocol.Query { source; timeout_ms; trace }))
+
+let query ?timeout_ms ?(trace = false) t source :
+    (string, string * string) result =
+  match query_json ?timeout_ms ~trace t source with
   | Error _ as e -> e
   | Ok json -> (
       match field "result" json with
@@ -78,8 +85,13 @@ let query ?timeout_ms t source : (string, string * string) result =
 let prepare t ~name source : (unit, string * string) result =
   Result.map (fun _ -> ()) (result_of (rpc t (Protocol.Prepare { name; source })))
 
-let execute ?timeout_ms t name : (string, string * string) result =
-  match result_of (rpc t (Protocol.Execute { name; timeout_ms })) with
+let execute_json ?timeout_ms ?(trace = false) t name :
+    (Obs.json, string * string) result =
+  result_of (rpc t (Protocol.Execute { name; timeout_ms; trace }))
+
+let execute ?timeout_ms ?(trace = false) t name :
+    (string, string * string) result =
+  match execute_json ?timeout_ms ~trace t name with
   | Error _ as e -> e
   | Ok json -> (
       match field "result" json with
@@ -98,6 +110,36 @@ let stat_counter (stats : Obs.json) name : int option =
   | Some counters -> (
       match field name counters with Some (Obs.Int n) -> Some n | _ -> None)
   | None -> None
+
+let metrics t : Obs.json =
+  match result_of (rpc t (Protocol.Metrics Protocol.Json_format)) with
+  | Ok json -> Option.value (field "metrics" json) ~default:Obs.Null
+  | Error (code, m) ->
+      raise (Client_error (Printf.sprintf "metrics: %s: %s" code m))
+
+let metrics_prometheus t : string =
+  match result_of (rpc t (Protocol.Metrics Protocol.Prometheus_format)) with
+  | Ok json -> (
+      match field "text" json with
+      | Some (Obs.Str s) -> s
+      | _ -> raise (Client_error "metrics response has no text field"))
+  | Error (code, m) ->
+      raise (Client_error (Printf.sprintf "metrics: %s: %s" code m))
+
+let fetch_trace t trace_id : (Obs.json, string * string) result =
+  match result_of (rpc t (Protocol.Trace_get (Some trace_id))) with
+  | Error _ as e -> e
+  | Ok json -> (
+      match field "trace" json with
+      | Some tr -> Ok tr
+      | None -> raise (Client_error "ok response has no trace field"))
+
+let recent_traces t : Obs.json list =
+  match result_of (rpc t (Protocol.Trace_get None)) with
+  | Ok json -> (
+      match field "traces" json with Some (Obs.Arr l) -> l | _ -> [])
+  | Error (code, m) ->
+      raise (Client_error (Printf.sprintf "trace: %s: %s" code m))
 
 let ping t : bool =
   match result_of (rpc t Protocol.Ping) with Ok _ -> true | Error _ -> false

@@ -77,14 +77,14 @@ type entry = Indexed of index | Unindexable of Node.t
    subtree extents (writes to shared nodes) — holding the lock for the
    whole build makes the build-once path safe when two requests race to
    index the same freshly loaded root. *)
-let lock = Mutex.create ()
+let lock = Obs.tmutex "store_index"
 
 let cache : (int, entry) Hashtbl.t = Hashtbl.create 8
 
 let entry_root = function Indexed ix -> ix.ix_root | Unindexable r -> r
 
-let cache_size () = Mutex.protect lock (fun () -> Hashtbl.length cache)
-let clear () = Mutex.protect lock (fun () -> Hashtbl.reset cache)
+let cache_size () = Obs.with_lock lock (fun () -> Hashtbl.length cache)
+let clear () = Obs.with_lock lock (fun () -> Hashtbl.reset cache)
 
 (* Entries whose root has been renumbered since build can never be
    looked up again (the key is the old nid); drop them so the cache does
@@ -164,7 +164,7 @@ let index_for (n : Node.t) : index option =
   match !mode with
   | Off -> None
   | Auto | Force -> (
-      match Mutex.protect lock (fun () -> entry_for (Node.root n)) with
+      match Obs.with_lock lock (fun () -> entry_for (Node.root n)) with
       | Indexed ix ->
           Obs.incr_counter c_hits;
           Some ix
@@ -292,7 +292,7 @@ let index_nodes n : int option = Option.map (fun ix -> ix.ix_nodes) (index_for n
 type stats = { st_roots : int; st_nodes : int }
 
 let stats () : stats =
-  Mutex.protect lock @@ fun () ->
+  Obs.with_lock lock @@ fun () ->
   purge_stale ();
   Hashtbl.fold
     (fun _ e acc ->
@@ -312,7 +312,7 @@ let name_count (tbl : index -> (string, Node.t array) Hashtbl.t) (name : string)
     : int option =
   if !mode = Off then None
   else begin
-    Mutex.protect lock @@ fun () ->
+    Obs.with_lock lock @@ fun () ->
     purge_stale ();
     let found = ref false and total = ref 0 in
     Hashtbl.iter

@@ -47,7 +47,8 @@ let expected_results queries =
 
 (* Run [f sock] against a live server; always shut it down afterwards. *)
 let with_server ?(workers = 2) ?(queue_depth = 64) ?default_timeout_ms
-    ?(preload = []) f =
+    ?(preload = []) ?(trace_sample = 1.0) ?(slow_ms = 100.0)
+    ?(slow_analyze = true) f =
   let sock = fresh_sock () in
   let ready_lock = Mutex.create () in
   let ready_cond = Condition.create () in
@@ -60,6 +61,9 @@ let with_server ?(workers = 2) ?(queue_depth = 64) ?default_timeout_ms
       queue_depth;
       default_timeout_ms;
       preload;
+      trace_sample;
+      slow_ms;
+      slow_analyze;
     }
   in
   let th =
@@ -99,6 +103,32 @@ let slow_query n =
 let check_ok what = function
   | Ok v -> v
   | Error (code, m) -> Alcotest.failf "%s: unexpected error %s: %s" what code m
+
+(* JSON accessors for poking at stats / metrics / trace responses. *)
+let jfield name = function
+  | Obs.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let jint what name json =
+  match jfield name json with
+  | Some (Obs.Int n) -> n
+  | _ -> Alcotest.failf "%s: no integer field %S" what name
+
+let jnum what name json =
+  match jfield name json with
+  | Some (Obs.Float f) -> f
+  | Some (Obs.Int n) -> float_of_int n
+  | _ -> Alcotest.failf "%s: no numeric field %S" what name
+
+let jarr what name json =
+  match jfield name json with
+  | Some (Obs.Arr l) -> l
+  | _ -> Alcotest.failf "%s: no array field %S" what name
+
+let jstr what name json =
+  match jfield name json with
+  | Some (Obs.Str s) -> s
+  | _ -> Alcotest.failf "%s: no string field %S" what name
 
 (* ------------------------------------------------------------------ *)
 (* JSON wire format                                                    *)
@@ -311,6 +341,239 @@ let test_shutdown_drains () =
       Alcotest.failf "in-flight query was not drained: %s: %s" code m
 
 (* ------------------------------------------------------------------ *)
+(* Stats, metrics and the tracing plane                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_fields () =
+  with_server ~workers:2 ~preload:[] @@ fun sock ->
+  let c = Client.connect_unix sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  ignore (check_ok "warmup" (Client.query c "1+1"));
+  (* the worker decrements inflight after writing the reply, so give the
+     gauge a moment to settle *)
+  let rec settled tries =
+    let s = Client.stats c in
+    if jint "stats" "inflight" s = 0 || tries = 0 then s
+    else (
+      Thread.delay 0.02;
+      settled (tries - 1))
+  in
+  let s = settled 50 in
+  Alcotest.(check bool) "uptime present and sane" true (jnum "stats" "uptime_s" s >= 0.0);
+  Alcotest.(check int) "nothing in flight at rest" 0 (jint "stats" "inflight" s);
+  (* the counter is process-global, so only presence/sanity is stable here *)
+  Alcotest.(check bool) "admission_rejected reported" true
+    (jint "stats" "admission_rejected" s >= 0);
+  Alcotest.(check bool) "traced requests are counted" true (jint "stats" "traces" s >= 1);
+  Alcotest.(check int) "queue empty at rest" 0 (jint "stats" "queue_depth" s)
+
+let test_metrics_json () =
+  with_server ~workers:2 ~preload:[] @@ fun sock ->
+  let c = Client.connect_unix sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  for _ = 1 to 5 do
+    ignore (check_ok "query" (Client.query c "1+1"))
+  done;
+  Thread.delay 0.3;  (* let the gauge sampler tick a few times *)
+  let m = Client.metrics c in
+  Alcotest.(check bool)
+    "latency histogram saw the requests" true
+    (jint "metrics" "count" (Option.get (jfield "latency_ms" m)) >= 5);
+  List.iter
+    (fun h ->
+      match jfield h m with
+      | Some _ -> ()
+      | None -> Alcotest.failf "metrics missing histogram %S" h)
+    [ "queue_wait_ms"; "eval_ms"; "serialize_ms" ];
+  let lock_names =
+    List.map (fun lk -> jstr "lock" "name" lk) (jarr "metrics" "locks" m)
+  in
+  List.iter
+    (fun name ->
+      if not (List.mem name lock_names) then
+        Alcotest.failf "lock table has no %S entry (got: %s)" name
+          (String.concat ", " lock_names))
+    [ "plan_cache"; "obs_registry"; "conn_write" ];
+  Alcotest.(check int)
+    "one detail row per worker" 2
+    (List.length (jarr "metrics" "workers_detail" m));
+  Alcotest.(check bool)
+    "gauge sampler produced samples" true
+    (jarr "metrics" "gauge_samples" m <> []);
+  (* nothing was slower than the 100ms default threshold *)
+  Alcotest.(check (list Alcotest.reject))
+    "slow ring empty under threshold" []
+    (jarr "metrics" "entries" (Option.get (jfield "slow_queries" m)))
+
+(* Prometheus text exposition: HELP/TYPE headers for every family, every
+   sample line parseable, and the request counter consistent with the
+   load we generated. *)
+let test_metrics_prometheus () =
+  with_server ~workers:1 ~preload:[] @@ fun sock ->
+  let c = Client.connect_unix sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  for _ = 1 to 3 do
+    ignore (check_ok "query" (Client.query c "1+1"))
+  done;
+  let text = Client.metrics_prometheus c in
+  let lines = String.split_on_char '\n' text in
+  let typed = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | "#" :: "TYPE" :: name :: [ kind ] -> Hashtbl.replace typed name kind
+      | "#" :: "HELP" :: _ -> ()
+      | [ "" ] | [] -> ()
+      | parts -> (
+          (* sample line: NAME[{labels}] VALUE *)
+          match List.rev parts with
+          | value :: _ when float_of_string_opt value <> None -> ()
+          | _ -> Alcotest.failf "unparseable sample line %S" line))
+    lines;
+  List.iter
+    (fun (name, kind) ->
+      match Hashtbl.find_opt typed name with
+      | Some k when k = kind -> ()
+      | Some k -> Alcotest.failf "%s has TYPE %s, want %s" name k kind
+      | None -> Alcotest.failf "no TYPE line for %s" name)
+    [
+      ("xqc_server_requests_total", "counter");
+      ("xqc_lock_wait_seconds_total", "counter");
+      ("xqc_worker_busy_seconds_total", "counter");
+      ("xqc_queue_depth", "gauge");
+      ("xqc_inflight", "gauge");
+      ("xqc_request_duration_milliseconds", "summary");
+      ("xqc_queue_wait_milliseconds", "summary");
+    ];
+  let requests_line =
+    List.find_opt
+      (fun l ->
+        String.length l > 25 && String.sub l 0 25 = "xqc_server_requests_total")
+      lines
+  in
+  match requests_line with
+  | Some l -> (
+      match String.split_on_char ' ' l with
+      | [ _; v ] ->
+          Alcotest.(check bool)
+            "request counter reflects the load" true
+            (float_of_string v >= 3.0)
+      | _ -> Alcotest.failf "malformed counter line %S" l)
+  | None -> Alcotest.fail "no xqc_server_requests_total sample"
+
+(* A traced request's stored span tree covers the whole life of the
+   request — admission, queue wait, deadline arming, plan cache, eval,
+   serialize, reply write — and the tree is well-formed (parents exist,
+   intervals nest). *)
+let test_trace_full_chain () =
+  with_server ~workers:1 ~default_timeout_ms:10_000 ~preload:(preload_xmark ())
+  @@ fun sock ->
+  let c = Client.connect_unix sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let resp =
+    check_ok "traced query"
+      (Client.query_json ~trace:true c "count($auction//item)")
+  in
+  let tid = jint "response" "trace_id" resp in
+  (match jfield "trace" resp with
+  | Some _ -> ()
+  | None -> Alcotest.fail "\"trace\":true response has no embedded trace");
+  (* the trace is stored just after the reply is written: poll briefly *)
+  let rec fetch tries =
+    match Client.fetch_trace c tid with
+    | Ok tr when jfield "complete" tr = Some (Obs.Bool true) -> tr
+    | _ when tries > 0 ->
+        Thread.delay 0.05;
+        fetch (tries - 1)
+    | Ok _ -> Alcotest.fail "stored trace never marked complete"
+    | Error (code, m) -> Alcotest.failf "trace fetch failed: %s: %s" code m
+  in
+  let tr = fetch 40 in
+  let spans = jarr "trace" "spans" tr in
+  let names = List.map (fun sp -> jstr "span" "name" sp) spans in
+  List.iter
+    (fun want ->
+      if not (List.mem want names) then
+        Alcotest.failf "span %S missing from chain (got: %s)" want
+          (String.concat ", " names))
+    [
+      "request"; "admission"; "queue-wait"; "deadline-armed"; "plan-cache";
+      "eval"; "serialize"; "reply-write";
+    ];
+  (* well-formedness over the wire representation *)
+  let eps = 0.001 in
+  let by_id =
+    List.map (fun sp -> (jint "span" "id" sp, sp)) spans
+  in
+  List.iter
+    (fun (id, sp) ->
+      let parent = jint "span" "parent" sp in
+      if parent <> 0 then
+        match List.assoc_opt parent by_id with
+        | None -> Alcotest.failf "span %d has unknown parent %d" id parent
+        | Some psp ->
+            let s = jnum "span" "start_ms" sp
+            and d = jnum "span" "dur_ms" sp
+            and ps = jnum "span" "start_ms" psp
+            and pd = jnum "span" "dur_ms" psp in
+            if s +. eps < ps then
+              Alcotest.failf "span %d starts before its parent" id;
+            if s +. d > ps +. pd +. eps then
+              Alcotest.failf "span %d ends after its parent" id)
+    by_id;
+  (* an untraced fetch of a bogus id is a structured error *)
+  match Client.fetch_trace c 999_999_999 with
+  | Error ("unknown_trace", _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "bogus trace id must yield unknown_trace"
+
+(* Seeded trace ids: with one worker and sequential requests the ids a
+   server hands out are consecutive from the seed. *)
+let test_deterministic_server_ids () =
+  Xqc.Trace.set_seed 7777;
+  with_server ~workers:1 ~preload:[] @@ fun sock ->
+  let c = Client.connect_unix sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let ids =
+    List.init 3 (fun _ ->
+        jint "response" "trace_id"
+          (check_ok "traced query" (Client.query_json ~trace:true c "1+1")))
+  in
+  Alcotest.(check (list int)) "consecutive from the seed" [ 7777; 7778; 7779 ] ids
+
+(* With a threshold of effectively zero every request is slow: the ring
+   fills, entries keep their span timelines, and the analyzer attaches
+   an EXPLAIN ANALYZE re-run. *)
+let test_slow_query_ring () =
+  with_server ~workers:1 ~preload:(preload_xmark ()) ~slow_ms:0.001
+  @@ fun sock ->
+  let c = Client.connect_unix sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let q = "count($auction//item)" in
+  ignore (check_ok "query" (Client.query c q));
+  (* note_slow runs after the reply is written: poll for the analysis *)
+  let rec poll tries =
+    let m = Client.metrics c in
+    let slow = Option.get (jfield "slow_queries" m) in
+    match jarr "slow" "entries" slow with
+    | e :: _ when jfield "explain" e <> None -> e
+    | _ when tries > 0 ->
+        Thread.delay 0.05;
+        poll (tries - 1)
+    | e :: _ -> e
+    | [] -> Alcotest.fail "no slow-ring entry for an over-threshold request"
+  in
+  let e = poll 60 in
+  Alcotest.(check string) "entry keeps the source" q (jstr "entry" "source" e);
+  Alcotest.(check string) "outcome recorded" "ok" (jstr "entry" "outcome" e);
+  Alcotest.(check bool) "span timeline attached" true (jarr "entry" "spans" e <> []);
+  (match jfield "explain" e with
+  | Some (Obs.Str text) ->
+      Alcotest.(check bool) "explain analyze non-empty" true
+        (String.length text > 0)
+  | _ -> Alcotest.fail "no EXPLAIN ANALYZE attached to the slow entry");
+  Alcotest.(check bool) "trace id linked" true (jint "entry" "trace_id" e > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Parallel plan compilation is deterministic                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -353,6 +616,16 @@ let () =
           Alcotest.test_case "timeout" `Quick test_timeout;
           Alcotest.test_case "overloaded" `Quick test_overloaded;
           Alcotest.test_case "shutdown drains" `Quick test_shutdown_drains;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "stats fields" `Quick test_stats_fields;
+          Alcotest.test_case "metrics json" `Quick test_metrics_json;
+          Alcotest.test_case "metrics prometheus" `Quick test_metrics_prometheus;
+          Alcotest.test_case "trace full chain" `Quick test_trace_full_chain;
+          Alcotest.test_case "deterministic ids" `Quick
+            test_deterministic_server_ids;
+          Alcotest.test_case "slow query ring" `Quick test_slow_query_ring;
         ] );
       ( "determinism",
         [
