@@ -37,6 +37,14 @@ let project_arg =
     & info [ "project" ]
         ~doc:"Prune document variables to statically inferred projection paths before evaluation.")
 
+let no_fuse_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fuse" ]
+        ~doc:
+          "Disable the fused execution tier: run every pipeline through the \
+           closure interpreter (equivalent to XQC_FUSE=off).")
+
 let indent_arg =
   Arg.(value & flag & info [ "indent" ] ~doc:"Indent the serialized output.")
 
@@ -123,16 +131,18 @@ let write_stats_json prepared path =
   | None, _ -> ()
 
 let run_cmd =
-  let action strategy project indent stats stats_json query query_file docs vars =
+  let action strategy project no_fuse indent stats stats_json query query_file
+      docs vars =
     match load_query query query_file with
     | Error m ->
         prerr_endline m;
         1
     | Ok q -> (
         try
+          if no_fuse then Xqc.Codegen.mode := Xqc.Codegen.Off;
           let ctx = make_context docs vars in
           let stats = stats || stats_json <> None in
-          let prepared = Xqc.prepare ~strategy ~project ~stats q in
+          let prepared = Xqc.prepare ~strategy ~project ~fuse:(not no_fuse) ~stats q in
           let result = Xqc.run prepared ctx in
           print_endline
             (if indent then Xqc.Serializer.sequence_to_string_indented result
@@ -151,8 +161,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Evaluate a query and print the serialized result.")
     Term.(
-      const action $ strategy_arg $ project_arg $ indent_arg $ stats_arg
-      $ stats_json_arg $ query_arg $ query_file_arg $ docs_arg $ vars_arg)
+      const action $ strategy_arg $ project_arg $ no_fuse_arg $ indent_arg
+      $ stats_arg $ stats_json_arg $ query_arg $ query_file_arg $ docs_arg
+      $ vars_arg)
 
 let explain_cmd =
   let analyze_arg =
@@ -164,16 +175,20 @@ let explain_cmd =
              and print phase timings, per-operator runtime statistics, and \
              the rewrite-rule trace instead of the static report.")
   in
-  let action strategy project analyze stats_json query query_file docs vars =
+  let action strategy project no_fuse analyze stats_json query query_file docs
+      vars =
     match load_query query query_file with
     | Error m ->
         prerr_endline m;
         1
     | Ok q -> (
         try
+          if no_fuse then Xqc.Codegen.mode := Xqc.Codegen.Off;
           if analyze then begin
             let ctx = make_context docs vars in
-            let prepared = Xqc.prepare ~strategy ~project ~stats:true q in
+            let prepared =
+              Xqc.prepare ~strategy ~project ~fuse:(not no_fuse) ~stats:true q
+            in
             ignore (Xqc.run prepared ctx);
             print_string (Xqc.explain_analyze prepared);
             Option.iter (write_stats_json prepared) stats_json
@@ -196,8 +211,8 @@ let explain_cmd =
           the query and print the EXPLAIN ANALYZE report (annotated plan \
           with per-operator calls, time and cardinality).")
     Term.(
-      const action $ strategy_arg $ project_arg $ analyze_arg $ stats_json_arg
-      $ query_arg $ query_file_arg $ docs_arg $ vars_arg)
+      const action $ strategy_arg $ project_arg $ no_fuse_arg $ analyze_arg
+      $ stats_json_arg $ query_arg $ query_file_arg $ docs_arg $ vars_arg)
 
 let gen_cmd =
   let kind_arg =
@@ -353,7 +368,7 @@ let serve_cmd =
           ~doc:"Queue-depth/inflight gauge sampling period.")
   in
   let action unix_socket host port workers queue_depth timeout_ms preload
-      strategy verbose trace_sample slow_ms slow_log no_slow_analyze
+      strategy no_fuse verbose trace_sample slow_ms slow_log no_slow_analyze
       gauge_interval_ms =
     try
       let preload =
@@ -376,6 +391,7 @@ let serve_cmd =
           default_timeout_ms = timeout_ms;
           preload;
           strategy;
+          fuse = not no_fuse;
           verbose;
           trace_sample;
           slow_ms;
@@ -403,8 +419,9 @@ let serve_cmd =
           with a pool of worker domains.")
     Term.(
       const action $ unix_socket_arg $ host_arg $ port_arg $ workers_arg
-      $ queue_arg $ timeout_arg $ preload_arg $ strategy_arg $ verbose_arg
-      $ trace_sample_arg $ slow_ms_arg $ slow_log_arg $ no_slow_analyze_arg
+      $ queue_arg $ timeout_arg $ preload_arg $ strategy_arg $ no_fuse_arg
+      $ verbose_arg $ trace_sample_arg $ slow_ms_arg $ slow_log_arg
+      $ no_slow_analyze_arg
       $ gauge_interval_arg)
 
 (* JSON accessors for rendering server responses client-side. *)

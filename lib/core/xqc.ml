@@ -45,6 +45,7 @@ module Builtins = Xqc_runtime.Builtins
 module Interp = Xqc_interp.Interp
 module Indexed = Xqc_interp.Indexed
 module Store = Xqc_store.Store
+module Codegen = Xqc_codegen.Codegen
 module Obs = Xqc_obs.Obs
 module Trace = Xqc_obs.Trace
 module Slow_log = Xqc_obs.Slow_log
@@ -175,7 +176,8 @@ let with_projection ?(ph = fun _name f -> f ())
    inferred projection paths before evaluation (Marian-Siméon document
    projection). *)
 let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
-    ?(materialize = false) ?force_join (source : string) : prepared =
+    ?(materialize = false) ?(fuse = true) ?force_join (source : string) :
+    prepared =
   let collector = if stats then Some (Obs.collector ()) else None in
   (* time a prepare-side phase *)
   let ph name f = match collector with Some c -> Obs.phase c name f | None -> f () in
@@ -228,16 +230,27 @@ let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
                 plan_query (planner_config strategy force_join) compiled)
           in
           (* [Eval.run] recompiles closures per run, so toggling the
-             materialization knob around it covers the whole plan *)
+             materialization and fusion knobs around it covers the whole
+             plan *)
+          let run_fused ctx =
+            if fuse then Eval.run ?stats:collector ctx planned
+            else begin
+              let saved = !Codegen.mode in
+              Codegen.mode := Codegen.Off;
+              Fun.protect
+                ~finally:(fun () -> Codegen.mode := saved)
+                (fun () -> Eval.run ?stats:collector ctx planned)
+            end
+          in
           let run_compiled ctx =
             if materialize then begin
               let saved = !Eval.force_materialize in
               Eval.force_materialize := true;
               Fun.protect
                 ~finally:(fun () -> Eval.force_materialize := saved)
-                (fun () -> Eval.run ?stats:collector ctx planned)
+                (fun () -> run_fused ctx)
             end
-            else Eval.run ?stats:collector ctx planned
+            else run_fused ctx
           in
           finish run_compiled (Some compiled.Compile.cmain) (Some planned))
 
@@ -246,16 +259,17 @@ let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
 (* ------------------------------------------------------------------ *)
 
 (* LRU cache over [prepare], keyed by everything that shapes the
-   compiled plan: query text, strategy, the projection and
-   materialization knobs, and the store's index mode — physical planning
-   is statistics-sensitive, so a plan prepared with indexing off must not
-   be reused once indexes are available (and vice versa).
+   compiled plan: query text, strategy, the projection, materialization
+   and fusion knobs, and the store's index and fuse modes — physical
+   planning is statistics-sensitive, so a plan prepared with indexing
+   off must not be reused once indexes are available (and vice versa),
+   and a fuse-mode change must replan for the same reason.
    Stats-collecting preparations are never cached — each caller of
    [~stats:true] expects its own collector.  Recency is a global tick;
    eviction scans for the minimum (the cache is small, capacity beats
    constant factors). *)
 
-type plan_key = string * strategy * bool * bool * Store.mode
+type plan_key = string * strategy * bool * bool * bool * Store.mode * Codegen.mode
 
 (* All cache state is guarded by [plan_lock]: the query server's worker
    domains share this cache (prepared statements resolve through it), so
@@ -292,9 +306,11 @@ let evict_lru () =
   match victim with Some (key, _) -> Hashtbl.remove plan_cache key | None -> ()
 
 let prepare_cached ?(strategy = Optimized) ?(project = false)
-    ?(materialize = false) (source : string) : prepared =
+    ?(materialize = false) ?(fuse = true) (source : string) : prepared =
   Trace.in_span "plan-cache" @@ fun () ->
-  let key = (source, strategy, project, materialize, !Store.mode) in
+  let key =
+    (source, strategy, project, materialize, fuse, !Store.mode, !Codegen.mode)
+  in
   let hit =
     Obs.with_lock plan_lock (fun () ->
         incr plan_tick;
@@ -315,7 +331,7 @@ let prepare_cached ?(strategy = Optimized) ?(project = false)
       Trace.annotate_current [ ("hit", "false") ];
       let p =
         Trace.in_span "compile" (fun () ->
-            prepare ~strategy ~project ~materialize source)
+            prepare ~strategy ~project ~materialize ~fuse source)
       in
       Obs.with_lock plan_lock (fun () ->
           if !plan_cache_capacity > 0 then begin
@@ -346,12 +362,12 @@ let parse_document ?uri (xml : string) : Node.t = Xml_parser.parse_string ?uri x
 let serialize (s : Item.sequence) : string = Serializer.sequence_to_string s
 
 (* One-shot evaluation with optional bindings. *)
-let eval_string ?strategy ?project ?materialize ?force_join ?schema
+let eval_string ?strategy ?project ?materialize ?fuse ?force_join ?schema
     ?(variables = []) ?(documents = []) (source : string) : Item.sequence =
   let ctx = context ?schema () in
   List.iter (fun (name, value) -> bind_variable ctx name value) variables;
   List.iter (fun (uri, doc) -> bind_document ctx uri doc) documents;
-  run (prepare ?strategy ?project ?materialize ?force_join source) ctx
+  run (prepare ?strategy ?project ?materialize ?fuse ?force_join source) ctx
 
 (* A multi-section compilation report: the Core form and the logical plan
    before and after optimization, in the paper's notation, plus the
@@ -396,8 +412,18 @@ let explain ?(strategy = Optimized) (source : string) : string =
       Buffer.add_string buf (Pretty.to_string optimized);
       Buffer.add_string buf "\n\n=== Physical plan ===\n";
       let config = planner_config strategy None in
-      Buffer.add_string buf
-        (Pretty.physical_to_string (Planner.plan ~config optimized));
+      let physical = Planner.plan ~config optimized in
+      Buffer.add_string buf (Pretty.physical_to_string physical);
+      (match Codegen.annotate physical with
+      | [] -> ()
+      | segments ->
+          Buffer.add_string buf "\n\n=== Fused segments ===\n";
+          List.iteri
+            (fun i (label, prog) ->
+              Buffer.add_string buf
+                (Printf.sprintf "#%d [%d instrs] at %s\n    %s\n" (i + 1)
+                   (Codegen.instr_count prog) label (Codegen.describe prog)))
+            segments);
       if Obs.total_firings trace > 0 then begin
         Buffer.add_string buf "\n\n=== Rewrite trace ===\n";
         Buffer.add_string buf (Obs.rewrite_to_string trace)

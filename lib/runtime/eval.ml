@@ -42,6 +42,7 @@ open Xqc_algebra
 open Dynamic_ctx
 module Obs = Xqc_obs.Obs
 module Store = Xqc_store.Store
+module Codegen = Xqc_codegen.Codegen
 module P = Physical
 
 exception Compile_error of string
@@ -254,7 +255,12 @@ let construct_attribute name (items : Item.sequence) : Item.t =
 (* Plan compilation                                                    *)
 (* ------------------------------------------------------------------ *)
 
-type cenv = { layout : layout }
+(* [drain]: the consumer of the subplan being compiled fully drains a
+   tabular result — the fused tier may then replace a lazy Select/
+   MapFromItem cursor with an eager tuple batch.  Cleared below
+   early-terminating consumers (StreamSelect, MapSome/MapEvery) so
+   their O(answer) pull bounds survive. *)
+type cenv = { layout : layout; drain : bool }
 
 (* Ablation knob: when set, IN#q accesses scan the tuple layout by name at
    every evaluation instead of using the index resolved at compile time —
@@ -467,6 +473,86 @@ type join_parts = {
 }
 
 let rec compile (env : cenv) (p : P.t) : comp * layout =
+  match compile_fused env p with
+  | Some r -> r
+  | None -> compile_interp env p
+
+(* The fused tier.  When [Codegen.lower] can express this subplan as a
+   flat program, the closure for the whole subtree is a single call into
+   the bytecode executor; the interpreted twin of the same subtree is
+   compiled lazily (at most once, outside any instrumentation) and
+   spliced in when the program meets a runtime shape outside its static
+   proof — a multi-node or atomic source, or a user declaration
+   shadowing a builtin the program baked in.  Under the materialize
+   ablation the tier is disabled outright: the equivalence suite
+   compares it against the pure interpreter. *)
+and compile_fused (env : cenv) (p : P.t) : (comp * layout) option =
+  if !force_materialize then None
+  else
+    match Codegen.lower ~tab:env.drain p with
+    | None -> None
+    | Some prog ->
+        let layout =
+          match Codegen.tuple_field prog with Some q -> [ q ] | None -> []
+        in
+        let twin =
+          lazy
+            (let saved = current_builder () in
+             set_current_builder None;
+             Fun.protect
+               ~finally:(fun () -> set_current_builder saved)
+               (fun () -> fst (compile_interp env p)))
+        in
+        let run ctx inp =
+          check_deadline ctx;
+          let cg =
+            {
+              Codegen.e_schema = ctx.schema;
+              e_lookup = (fun v -> lookup_variable ctx v);
+              e_input =
+                (fun () ->
+                  match inp with
+                  | IItems s -> s
+                  | ITuple _ | INone -> raise Codegen.Fallback);
+              e_shadowed = (fun nm -> Hashtbl.mem ctx.functions nm);
+              e_check = (fun () -> check_deadline ctx);
+              e_sum =
+                (fun items ->
+                  match Builtins.find "fn:sum" with
+                  | Some f -> f ctx [ items ]
+                  | None -> dynamic_error "unknown function fn:sum");
+            }
+          in
+          try
+            match Codegen.tuple_field prog with
+            | None -> Xml (Codegen.exec cg prog)
+            | Some _ ->
+                let arr, len = Codegen.exec_nodes cg prog in
+                let rec pull i () =
+                  if i >= len then Seq.Nil
+                  else Seq.Cons ([| [ Item.Node arr.(i) ] |], pull (i + 1))
+                in
+                Tab (pull 0)
+          with Codegen.Fallback ->
+            Codegen.fallback_counter_incr ();
+            (Lazy.force twin) ctx inp
+        in
+        let c =
+          match current_builder () with
+          | None -> run
+          | Some b ->
+              let node =
+                Obs.push_node b ~stream:Obs.Blocking ~est:p.P.pest.P.est_rows
+                  (Printf.sprintf "Fused[%d] %s"
+                     (Codegen.instr_count prog)
+                     (Pretty.physical_label p))
+              in
+              Obs.pop_node b;
+              instrument node.Obs.on_stats run
+        in
+        Some (c, layout)
+
+and compile_interp (env : cenv) (p : P.t) : comp * layout =
   let c, layout =
     match current_builder () with
     | None -> compile_node env p
@@ -715,7 +801,7 @@ and compile_node (env : cenv) (p : P.t) : comp * layout =
       | None -> compile_error "unknown tuple field #%s (layout: %s)" q (String.concat "," env.layout))
   | P.PSelect (pred, input) ->
       let ci, li = compile env input in
-      let cp, _ = compile { layout = li } pred in
+      let cp, _ = compile { layout = li; drain = env.drain } pred in
       ( (fun ctx inp ->
           Tab (Seq.filter (fun t -> ebv (cp ctx (ITuple t))) (as_table (ci ctx inp)))),
         li )
@@ -725,8 +811,8 @@ and compile_node (env : cenv) (p : P.t) : comp * layout =
          in slot 0 of a MapIndex output), then the prefix is filtered.
          The cut is sound in both streamed and materialized execution:
          the predicate implies the bound. *)
-      let ci, li = compile env input in
-      let cp, _ = compile { layout = li } pred in
+      let ci, li = compile { env with drain = false } input in
+      let cp, _ = compile { layout = li; drain = env.drain } pred in
       let below (t : tuple) =
         match t.(0) with
         | [ Item.Atom (Atomic.Integer i) ] -> i <= bound
@@ -739,7 +825,8 @@ and compile_node (env : cenv) (p : P.t) : comp * layout =
                (Seq.take_while below (as_table (ci ctx inp))))),
         li )
   | P.PProduct (a, b) ->
-      let ca, la = compile env a and cb, lb = compile env b in
+      let ca, la = compile env a
+      and cb, lb = compile { env with drain = true } b in
       let out, width, moves = concat_spec la lb in
       let n1 = List.length la in
       ( (fun ctx inp ->
@@ -760,13 +847,13 @@ and compile_node (env : cenv) (p : P.t) : comp * layout =
   | P.PMaterialize inner ->
       (* explicit pipeline cut: drain the child cursor to a list at call
          time (join/product build sides) *)
-      let ci, li = compile env inner in
+      let ci, li = compile { env with drain = true } inner in
       ( (fun ctx inp ->
           match ci ctx inp with Xml _ as v -> v | Tab s -> tab_list (List.of_seq s)),
         li )
   | P.PMap (dep, input) ->
       let ci, li = compile env input in
-      let cd, ld = compile { layout = li } dep in
+      let cd, ld = compile { layout = li; drain = env.drain } dep in
       ( (fun ctx inp ->
           Tab
             (Seq.concat_map
@@ -797,7 +884,7 @@ and compile_node (env : cenv) (p : P.t) : comp * layout =
         q :: li )
   | P.PMapConcat (dep, input) ->
       let ci, li = compile env input in
-      let cd, ld = compile { layout = li } dep in
+      let cd, ld = compile { layout = li; drain = env.drain } dep in
       let out, width, moves = concat_spec li ld in
       let n1 = List.length li in
       ( (fun ctx inp ->
@@ -811,7 +898,7 @@ and compile_node (env : cenv) (p : P.t) : comp * layout =
         out )
   | P.POMapConcat (q, dep, input) ->
       let ci, li = compile env input in
-      let cd, ld = compile { layout = li } dep in
+      let cd, ld = compile { layout = li; drain = env.drain } dep in
       let merged, mwidth, moves = concat_spec li ld in
       let out = q :: merged in
       let width = 1 + mwidth in
@@ -851,11 +938,11 @@ and compile_node (env : cenv) (p : P.t) : comp * layout =
                (as_table (ci ctx inp)))),
         q :: li )
   | P.POrderBy (specs, input) ->
-      let ci, li = compile env input in
+      let ci, li = compile { env with drain = true } input in
       let cspecs =
         List.map
           (fun (s : P.psort_spec) ->
-            (fst (compile { layout = li } s.P.pskey), s.P.psdir, s.P.psempty))
+            (fst (compile { layout = li; drain = env.drain } s.P.pskey), s.P.psdir, s.P.psempty))
           specs
       in
       ( (fun ctx inp ->
@@ -884,7 +971,7 @@ and compile_node (env : cenv) (p : P.t) : comp * layout =
       in
       match cursor with
       | Some cur ->
-          let cd, ld = compile { layout = [] } dep in
+          let cd, ld = compile { layout = []; drain = env.drain } dep in
           let strict = lazy (fst (compile env input)) in
           ( (fun ctx inp ->
               let items =
@@ -899,7 +986,7 @@ and compile_node (env : cenv) (p : P.t) : comp * layout =
             ld )
       | None ->
           let ci, _ = compile env input in
-          let cd, ld = compile { layout = [] } dep in
+          let cd, ld = compile { layout = []; drain = env.drain } dep in
           ( (fun ctx inp ->
               let items = as_items (ci ctx inp) in
               Tab
@@ -908,8 +995,8 @@ and compile_node (env : cenv) (p : P.t) : comp * layout =
                    (List.to_seq items))),
             ld ))
   | P.PMapToItem (dep, input) ->
-      let ci, li = compile env input in
-      let cd, _ = compile { layout = li } dep in
+      let ci, li = compile { env with drain = true } input in
+      let cd, _ = compile { layout = li; drain = env.drain } dep in
       ( (fun ctx inp ->
           let s = as_table (ci ctx inp) in
           Xml
@@ -918,8 +1005,8 @@ and compile_node (env : cenv) (p : P.t) : comp * layout =
                   (Seq.fold_left (fun acc t -> as_items (cd ctx (ITuple t)) :: acc) [] s)))),
         [] )
   | P.PMapSome (dep, input) ->
-      let ci, li = compile env input in
-      let cd, _ = compile { layout = li } dep in
+      let ci, li = compile { env with drain = false } input in
+      let cd, _ = compile { layout = li; drain = env.drain } dep in
       ( (fun ctx inp ->
           Xml
             [
@@ -929,8 +1016,8 @@ and compile_node (env : cenv) (p : P.t) : comp * layout =
             ]),
         [] )
   | P.PMapEvery (dep, input) ->
-      let ci, li = compile env input in
-      let cd, _ = compile { layout = li } dep in
+      let ci, li = compile { env with drain = false } input in
+      let cd, _ = compile { layout = li; drain = env.drain } dep in
       ( (fun ctx inp ->
           Xml
             [
@@ -1106,9 +1193,9 @@ and order_by ctx cspecs tuples =
   List.map snd (List.stable_sort (fun (k1, _) (k2, _) -> compare_keys k1 k2) keyed)
 
 and compile_groupby env (g : P.pgroup_spec) input =
-  let ci, li = compile env input in
-  let cpre, _ = compile { layout = li } g.P.pg_pre in
-  let cpost, _ = compile { layout = [] } g.P.pg_post in
+  let ci, li = compile { env with drain = true } input in
+  let cpre, _ = compile { layout = li; drain = env.drain } g.P.pg_pre in
+  let cpost, _ = compile { layout = []; drain = env.drain } g.P.pg_post in
   let index_slots =
     List.map
       (fun q ->
@@ -1238,7 +1325,7 @@ and compile_nested_loop env outer (pred : P.ppred) a b : comp * layout =
   match pred with
   | P.PWholePred p ->
       (* arbitrary predicates always run as an order-preserving NL join *)
-      let cp, _ = compile { layout = jp.jp_merged } p in
+      let cp, _ = compile { layout = jp.jp_merged; drain = env.drain } p in
       ( (fun ctx inp ->
           let left = as_table (jp.jp_left ctx inp) in
           let right = table_list (jp.jp_right ctx inp) in
@@ -1251,8 +1338,8 @@ and compile_nested_loop env outer (pred : P.ppred) a b : comp * layout =
                    right))),
         jp.jp_out )
   | P.PSplitPred { op; left_key; right_key } ->
-      let cl, _ = compile { layout = jp.jp_llayout } left_key in
-      let cr, _ = compile { layout = jp.jp_rlayout } right_key in
+      let cl, _ = compile { layout = jp.jp_llayout; drain = env.drain } left_key in
+      let cr, _ = compile { layout = jp.jp_rlayout; drain = env.drain } right_key in
       ( (fun ctx inp ->
           let left = as_table (jp.jp_left ctx inp) in
           let right = table_list (jp.jp_right ctx inp) in
@@ -1267,8 +1354,8 @@ and compile_nested_loop env outer (pred : P.ppred) a b : comp * layout =
 and compile_hash_join env outer (build : P.build_side) left_key right_key a b :
     comp * layout =
   let jp = join_scaffold env outer a b in
-  let cl, _ = compile { layout = jp.jp_llayout } left_key in
-  let cr, _ = compile { layout = jp.jp_rlayout } right_key in
+  let cl, _ = compile { layout = jp.jp_llayout; drain = env.drain } left_key in
+  let cr, _ = compile { layout = jp.jp_rlayout; drain = env.drain } right_key in
   match build with
   | P.Build_right ->
       ( (fun ctx inp ->
@@ -1318,8 +1405,8 @@ and compile_sort_join env outer (op : Promotion.cmp_op) left_key right_key a b :
   | Promotion.Eq | Promotion.Ne ->
       compile_error "sort join planned for a non-inequality operator");
   let jp = join_scaffold env outer a b in
-  let cl, _ = compile { layout = jp.jp_llayout } left_key in
-  let cr, _ = compile { layout = jp.jp_rlayout } right_key in
+  let cl, _ = compile { layout = jp.jp_llayout; drain = env.drain } left_key in
+  let cr, _ = compile { layout = jp.jp_rlayout; drain = env.drain } right_key in
   ( (fun ctx inp ->
       let left = as_table (jp.jp_left ctx inp) in
       let right = table_list (jp.jp_right ctx inp) in
@@ -1373,7 +1460,7 @@ let install_query ?stats (ctx : Dynamic_ctx.t) (q : P.query) :
   List.iter
     (fun (f : P.pfunction) ->
       let body, _ =
-        compile_plan stats ("function " ^ f.P.pf_name) { layout = [] } f.P.pf_body
+        compile_plan stats ("function " ^ f.P.pf_name) { layout = []; drain = true } f.P.pf_body
       in
       let impl ctx args =
         let frame = List.combine f.P.pf_params args in
@@ -1383,10 +1470,10 @@ let install_query ?stats (ctx : Dynamic_ctx.t) (q : P.query) :
     q.P.pfunctions;
   let globals =
     List.map
-      (fun (v, p) -> (v, fst (compile_plan stats ("global $" ^ v) { layout = [] } p)))
+      (fun (v, p) -> (v, fst (compile_plan stats ("global $" ^ v) { layout = []; drain = true } p)))
       q.P.pglobals
   in
-  let main, _ = compile_plan stats "main" { layout = [] } q.P.pmain in
+  let main, _ = compile_plan stats "main" { layout = []; drain = true } q.P.pmain in
   fun ctx ->
     List.iter (fun (v, c) -> bind_global ctx v (as_items (c ctx INone))) globals;
     as_items (main ctx INone)

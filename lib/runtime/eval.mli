@@ -68,7 +68,11 @@ val construct_attribute : string -> Item.sequence -> Item.t
 
 (** {1 Compilation and execution} *)
 
-type cenv = { layout : layout }
+type cenv = { layout : layout; drain : bool }
+(** [drain]: the consumer fully drains a tabular result, so the fused
+    tier may replace a lazy Select/MapFromItem cursor with an eager
+    tuple batch.  Pass [true] at scope roots; cleared internally below
+    early-terminating consumers. *)
 
 val dynamic_field_lookup : bool ref
 (** Ablation knob: when set during compilation, IN#q accesses scan the

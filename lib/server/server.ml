@@ -55,6 +55,9 @@ type config = {
   default_timeout_ms : int option;  (** per-request default deadline *)
   preload : (string * string) list;  (** [name, path] document preloads *)
   strategy : Xqc.strategy;
+  fuse : bool;
+      (** run lowerable pipelines through the fused execution tier
+          (default); [false] pins [Codegen.mode] to [Off] at startup *)
   verbose : bool;
   trace_sample : float;
       (** fraction of admitted requests that get a span tree (1.0 =
@@ -75,6 +78,7 @@ let default_config =
     default_timeout_ms = None;
     preload = [];
     strategy = Xqc.Optimized;
+    fuse = true;
     verbose = false;
     trace_sample = 1.0;
     slow_ms = 100.0;
@@ -845,6 +849,7 @@ let serve ?(ready = fun () -> ()) (cfg : config) : unit =
   if cfg.unix_socket = None && cfg.tcp = None then
     invalid_arg "Server.serve: no listener (need a unix socket path or a TCP address)";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if not cfg.fuse then Xqc.Codegen.mode := Xqc.Codegen.Off;
   let nworkers = max 1 cfg.workers in
   let t =
     {

@@ -69,14 +69,27 @@ type index = {
    on every query. *)
 type entry = Indexed of index | Unindexable of Node.t
 
-(* The cache is shared across the query server's worker domains, so
-   every access goes through [lock]: lookups are cheap (one uncontended
-   mutex acquisition per axis step that consults the store), and the
-   per-name node arrays inside an [index] are immutable after [build],
-   so they are read lock-free once handed out.  [build] also re-derives
-   subtree extents (writes to shared nodes) — holding the lock for the
-   whole build makes the build-once path safe when two requests race to
-   index the same freshly loaded root. *)
+(* The cache is shared across the query server's worker domains.  The
+   tmutex guards only the hash-table lookup and insert — never the index
+   construction itself: PR 6's contention telemetry measured 132 ms of
+   cumulative lock wait at 4 workers when a build of a large document
+   ran under the lock, serializing every axis step of every other
+   worker behind it.  [entry_for] therefore does a double-checked read:
+   a locked lookup (the fast path, one uncontended acquisition per axis
+   step), then — on a miss — the build OUTSIDE the lock, then a locked
+   re-check-and-insert where the loser of a racing build discards its
+   entry and adopts the winner's.
+
+   Safety of the unlocked build: the walk re-derives subtree extents
+   (writes to shared nodes), but every extent it writes is the same
+   value any racing build — or the original [Node.renumber] — computes
+   for that node, so racing writers store identical ints.  A concurrent
+   reader on another domain sees either the old value or the new one;
+   the only observable transition is 0 -> k on trees numbered before
+   extent caching existed, and a reader seeing 0 takes the walking
+   fallback ([name_range] refuses extent <= 0).  The per-name node
+   arrays inside an [index] are immutable after [build], so they are
+   read lock-free once handed out. *)
 let lock = Obs.tmutex "store_index"
 
 let cache : (int, entry) Hashtbl.t = Hashtbl.create 8
@@ -100,7 +113,6 @@ let purge_stale () =
 let empty_array : Node.t array = [||]
 
 let build (root : Node.t) : entry =
-  purge_stale ();
   let elems : (string, Node.t list ref) Hashtbl.t = Hashtbl.create 64 in
   let attrs : (string, Node.t list ref) Hashtbl.t = Hashtbl.create 16 in
   let all_elems = ref [] in
@@ -145,8 +157,15 @@ let build (root : Node.t) : entry =
     Indexed { ix_root = root; ix_elems; ix_attrs = finalize attrs; ix_nodes = !count }
   end
 
+(* Double-checked resolve: locked lookup, unlocked build on miss, locked
+   re-check-and-insert (see the locking note above [lock]).  Stale
+   entries are purged inside the insert section, where the table is
+   already held. *)
 let entry_for (root : Node.t) : entry =
-  match Hashtbl.find_opt cache root.Node.nid with
+  let fast =
+    Obs.with_lock lock (fun () -> Hashtbl.find_opt cache root.Node.nid)
+  in
+  match fast with
   | Some e when entry_root e == root -> e
   | _ ->
       let e =
@@ -154,8 +173,15 @@ let entry_for (root : Node.t) : entry =
         then Unindexable root
         else build root
       in
-      Hashtbl.replace cache root.Node.nid e;
-      e
+      Obs.with_lock lock (fun () ->
+          purge_stale ();
+          match Hashtbl.find_opt cache root.Node.nid with
+          | Some e' when entry_root e' == root ->
+              (* lost a racing build: adopt the winner's entry *)
+              e'
+          | _ ->
+              Hashtbl.replace cache root.Node.nid e;
+              e)
 
 (* Resolve the index serving [n]'s tree, building it on first use.
    [None] means the caller must walk (mode off, tree unindexable, or
@@ -164,7 +190,7 @@ let index_for (n : Node.t) : index option =
   match !mode with
   | Off -> None
   | Auto | Force -> (
-      match Obs.with_lock lock (fun () -> entry_for (Node.root n)) with
+      match entry_for (Node.root n) with
       | Indexed ix ->
           Obs.incr_counter c_hits;
           Some ix
@@ -222,6 +248,11 @@ let slice_seq (arr : Node.t array) i j : Node.t Seq.t =
 (* ------------------------------------------------------------------ *)
 (* Axis queries (None = caller falls back to the walking path)         *)
 (* ------------------------------------------------------------------ *)
+
+(* Raw range for the fused execution tier: the codegen executor blits
+   the slice straight into its register batch, no list in between. *)
+let descendant_range ?self n name : (Node.t array * int * int) option =
+  name_range ?self elems n name
 
 let descendants_by_name n name : Node.t list option =
   Option.map (fun (arr, i, j) -> slice_list arr i j) (name_range elems n name)

@@ -35,7 +35,7 @@ let ctx =
   c
 
 let run_table (p : plan) : Eval.tuple list =
-  let comp, _ = Eval.compile { Eval.layout = [] } (Planner.plan p) in
+  let comp, _ = Eval.compile { Eval.layout = []; drain = true } (Planner.plan p) in
   match comp ctx Eval.INone with
   | Eval.Tab t -> List.of_seq t
   | Eval.Xml _ -> Alcotest.fail "expected a table"
