@@ -45,6 +45,18 @@ let no_fuse_arg =
           "Disable the fused execution tier: run every pipeline through the \
            closure interpreter (equivalent to XQC_FUSE=off).")
 
+let par_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "par" ] ~docv:"N"
+        ~doc:
+          "Intra-query parallelism: total domain budget for partitioned \
+           scans, joins and aggregates (overrides XQC_PAR; 1 disables; \
+           default: XQC_PAR, else the hardware core count).")
+
+let apply_par par = Option.iter (fun n -> Xqc.Domain_pool.set_budget (Some n)) par
+
 let indent_arg =
   Arg.(value & flag & info [ "indent" ] ~doc:"Indent the serialized output.")
 
@@ -131,8 +143,8 @@ let write_stats_json prepared path =
   | None, _ -> ()
 
 let run_cmd =
-  let action strategy project no_fuse indent stats stats_json query query_file
-      docs vars =
+  let action strategy project no_fuse par indent stats stats_json query
+      query_file docs vars =
     match load_query query query_file with
     | Error m ->
         prerr_endline m;
@@ -140,6 +152,7 @@ let run_cmd =
     | Ok q -> (
         try
           if no_fuse then Xqc.Codegen.mode := Xqc.Codegen.Off;
+          apply_par par;
           let ctx = make_context docs vars in
           let stats = stats || stats_json <> None in
           let prepared = Xqc.prepare ~strategy ~project ~fuse:(not no_fuse) ~stats q in
@@ -161,9 +174,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Evaluate a query and print the serialized result.")
     Term.(
-      const action $ strategy_arg $ project_arg $ no_fuse_arg $ indent_arg
-      $ stats_arg $ stats_json_arg $ query_arg $ query_file_arg $ docs_arg
-      $ vars_arg)
+      const action $ strategy_arg $ project_arg $ no_fuse_arg $ par_arg
+      $ indent_arg $ stats_arg $ stats_json_arg $ query_arg $ query_file_arg
+      $ docs_arg $ vars_arg)
 
 let explain_cmd =
   let analyze_arg =
@@ -368,9 +381,10 @@ let serve_cmd =
           ~doc:"Queue-depth/inflight gauge sampling period.")
   in
   let action unix_socket host port workers queue_depth timeout_ms preload
-      strategy no_fuse verbose trace_sample slow_ms slow_log no_slow_analyze
-      gauge_interval_ms =
+      strategy no_fuse par verbose trace_sample slow_ms slow_log
+      no_slow_analyze gauge_interval_ms =
     try
+      apply_par par;
       let preload =
         List.map
           (fun spec ->
@@ -420,7 +434,7 @@ let serve_cmd =
     Term.(
       const action $ unix_socket_arg $ host_arg $ port_arg $ workers_arg
       $ queue_arg $ timeout_arg $ preload_arg $ strategy_arg $ no_fuse_arg
-      $ verbose_arg $ trace_sample_arg $ slow_ms_arg $ slow_log_arg
+      $ par_arg $ verbose_arg $ trace_sample_arg $ slow_ms_arg $ slow_log_arg
       $ no_slow_analyze_arg
       $ gauge_interval_arg)
 

@@ -302,9 +302,10 @@ let physical_label (p : Physical.t) : string =
   | PText _ -> "Text"
   | PComment _ -> "Comment"
   | PPi (n, _) -> Printf.sprintf "PI[%s]" n
-  | PSteps { steps; ordered; _ } ->
-      Printf.sprintf "Steps[%d%s]" (List.length steps)
+  | PSteps { steps; ordered; par; _ } ->
+      Printf.sprintf "Steps[%d%s%s]" (List.length steps)
         (if ordered then ",ordered" else "")
+        (if par > 1 then Printf.sprintf ",par=%d" par else "")
   | PTreeProject _ -> "TreeProject[paths]"
   | PCastable (tn, _, _) ->
       Printf.sprintf "Castable[%s]" (Atomic.type_name_to_string tn)
@@ -335,8 +336,9 @@ let physical_label (p : Physical.t) : string =
       Printf.sprintf "PNestedLoop%s%s"
         (match pred with PWholePred _ -> "" | PSplitPred { op; _ } -> cmp_tag op)
         (outer_tag outer)
-  | PHashJoin { outer; build; _ } ->
-      Printf.sprintf "PHashJoin<eq>[build=%s]%s" (build_side_name build)
+  | PHashJoin { outer; build; par; _ } ->
+      Printf.sprintf "PHashJoin<eq>[build=%s%s]%s" (build_side_name build)
+        (if par > 1 then Printf.sprintf ",par=%d" par else "")
         (outer_tag outer)
   | PSortJoin { outer; op; _ } ->
       Printf.sprintf "PSortJoin%s%s" (cmp_tag op) (outer_tag outer)

@@ -45,6 +45,8 @@ module Builtins = Xqc_runtime.Builtins
 module Interp = Xqc_interp.Interp
 module Indexed = Xqc_interp.Indexed
 module Store = Xqc_store.Store
+module Domain_pool = Xqc_runtime.Domain_pool
+module Par_exec = Xqc_runtime.Par_exec
 module Codegen = Xqc_codegen.Codegen
 module Obs = Xqc_obs.Obs
 module Trace = Xqc_obs.Trace
@@ -94,14 +96,22 @@ let optimizer_options = function
 (* The physical planner's configuration per strategy: the nested-loop
    strategies pin the join algorithm (their predicates are unsplit
    anyway, so this is belt and braces); [~force_join] overrides for the
-   planner-agreement tests and benchmarks. *)
-let planner_config strategy force_join : Planner.config =
+   planner-agreement tests and benchmarks.  [par] overrides the
+   intra-query parallelism degree; by default the planner is granted the
+   domain pool's per-query share of the machine ([query_degree]), which
+   is 1 — annotation-free plans — when the pool budget is 1. *)
+let planner_config ?par strategy force_join : Planner.config =
   let default =
     match strategy with
     | Optimized_nl | Algebra_unoptimized -> Some Physical.Nested_loop
     | No_algebra | Saxon_like | Optimized -> None
   in
-  { Planner.force_join = (match force_join with Some _ as f -> f | None -> default) }
+  {
+    Planner.force_join = (match force_join with Some _ as f -> f | None -> default);
+    par_degree =
+      (match par with Some n -> max 1 n | None -> Domain_pool.query_degree ());
+    par_threshold = !Planner.default_par_threshold;
+  }
 
 let plan_query config (q : Compile.compiled_query) : Physical.query =
   {
@@ -176,7 +186,7 @@ let with_projection ?(ph = fun _name f -> f ())
    inferred projection paths before evaluation (Marian-Siméon document
    projection). *)
 let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
-    ?(materialize = false) ?(fuse = true) ?force_join (source : string) :
+    ?(materialize = false) ?(fuse = true) ?force_join ?par (source : string) :
     prepared =
   let collector = if stats then Some (Obs.collector ()) else None in
   (* time a prepare-side phase *)
@@ -227,7 +237,7 @@ let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
              fed by the store's index statistics *)
           let planned =
             ph "plan" (fun () ->
-                plan_query (planner_config strategy force_join) compiled)
+                plan_query (planner_config ?par strategy force_join) compiled)
           in
           (* [Eval.run] recompiles closures per run, so toggling the
              materialization and fusion knobs around it covers the whole
@@ -269,7 +279,12 @@ let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
    eviction scans for the minimum (the cache is small, capacity beats
    constant factors). *)
 
-type plan_key = string * strategy * bool * bool * bool * Store.mode * Codegen.mode
+(* The final int is the parallelism degree the plan was annotated with:
+   a plan annotated under [--par 4] must not be reused after the budget
+   drops to 1 (and vice versa) — the annotation changes the compiled
+   execution strategy, not just a runtime gate. *)
+type plan_key =
+  string * strategy * bool * bool * bool * Store.mode * Codegen.mode * int
 
 (* All cache state is guarded by [plan_lock]: the query server's worker
    domains share this cache (prepared statements resolve through it), so
@@ -309,7 +324,14 @@ let prepare_cached ?(strategy = Optimized) ?(project = false)
     ?(materialize = false) ?(fuse = true) (source : string) : prepared =
   Trace.in_span "plan-cache" @@ fun () ->
   let key =
-    (source, strategy, project, materialize, fuse, !Store.mode, !Codegen.mode)
+    ( source,
+      strategy,
+      project,
+      materialize,
+      fuse,
+      !Store.mode,
+      !Codegen.mode,
+      Domain_pool.query_degree () )
   in
   let hit =
     Obs.with_lock plan_lock (fun () ->

@@ -265,67 +265,91 @@ let time (tm : timer) (f : unit -> 'a) : 'a =
 (* Latency histograms                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Mutex-guarded reservoir: lifetime count/sum/max plus a ring buffer of
-   the most recent samples, from which percentiles are computed on
-   demand (sorting a copy of the window — reports are rare, observations
-   are hot).  The query server records one sample per request, so the
-   window covers the recent-traffic distribution p50/p95/p99 describe. *)
+(* Lock-free reservoir: lifetime count/sum/max plus a ring buffer of the
+   most recent samples, from which percentiles are computed on demand
+   (sorting a copy of the window — reports are rare, observations are
+   hot).  The query server records one sample per request from every
+   worker domain, so the insert path must not serialize the workers:
+
+   - count is an atomic increment; sum accumulates in fixed point
+     (integer micro-units, [fetch_and_add]) since there is no atomic
+     float add; max is a CAS loop on the same fixed-point scale.
+   - the ring position is a monotone [fetch_and_add] ticket (slot =
+     ticket mod window), so two concurrent observers take different
+     slots.  The slot write itself is a plain 64-bit float store —
+     unsynchronized by design: a reader may see a stale sample in a
+     slot being overwritten, which shifts a percentile by one sample at
+     worst.  Percentiles over a sliding window are already approximate;
+     the lifetime count/sum/max are exact.
+
+   Before this design the insert took a ["hist:<name>"] tmutex —
+   measurably the hottest locks in the server's contention table. *)
+
+let fixed_scale = 1_000_000.
+
 type histogram = {
   hg_name : string;
-  hg_lock : tmutex;
-  mutable hg_count : int;
-  mutable hg_sum : float;
-  mutable hg_max : float;
+  hg_count : int Atomic.t;
+  hg_sum_fx : int Atomic.t;  (* lifetime sum, fixed-point micro-units *)
+  hg_max_fx : int Atomic.t;  (* lifetime max, fixed-point micro-units *)
   hg_window : float array;  (* ring buffer of recent samples *)
-  mutable hg_pos : int;  (* next write slot *)
-  mutable hg_filled : int;  (* valid entries in the window *)
+  hg_pos : int Atomic.t;  (* monotone ticket; slot = ticket mod window *)
 }
 
 let histogram ?(window = 4096) name =
   {
     hg_name = name;
-    hg_lock = tmutex ("hist:" ^ name);
-    hg_count = 0;
-    hg_sum = 0.0;
-    hg_max = 0.0;
+    hg_count = Atomic.make 0;
+    hg_sum_fx = Atomic.make 0;
+    hg_max_fx = Atomic.make 0;
     hg_window = Array.make (max 1 window) 0.0;
-    hg_pos = 0;
-    hg_filled = 0;
+    hg_pos = Atomic.make 0;
   }
 
 let observe (h : histogram) (v : float) : unit =
-  with_lock h.hg_lock (fun () ->
-      h.hg_count <- h.hg_count + 1;
-      h.hg_sum <- h.hg_sum +. v;
-      if v > h.hg_max then h.hg_max <- v;
-      let n = Array.length h.hg_window in
-      h.hg_window.(h.hg_pos) <- v;
-      h.hg_pos <- (h.hg_pos + 1) mod n;
-      if h.hg_filled < n then h.hg_filled <- h.hg_filled + 1)
+  Atomic.incr h.hg_count;
+  let fx = int_of_float (v *. fixed_scale) in
+  ignore (Atomic.fetch_and_add h.hg_sum_fx fx);
+  let rec bump () =
+    let cur = Atomic.get h.hg_max_fx in
+    if fx > cur && not (Atomic.compare_and_set h.hg_max_fx cur fx) then bump ()
+  in
+  bump ();
+  let ticket = Atomic.fetch_and_add h.hg_pos 1 in
+  h.hg_window.(ticket mod Array.length h.hg_window) <- v
 
-let histogram_count (h : histogram) : int =
-  with_lock h.hg_lock (fun () -> h.hg_count)
+let histogram_count (h : histogram) : int = Atomic.get h.hg_count
+
+(* Snapshot the window for percentile computation: valid entries are
+   [min ticket window] (the ring fills front to back). *)
+let window_snapshot (h : histogram) : float array =
+  let filled = min (Atomic.get h.hg_pos) (Array.length h.hg_window) in
+  let sorted = Array.sub h.hg_window 0 filled in
+  Array.sort compare sorted;
+  sorted
+
+let pct_of (sorted : float array) (q : float) : float =
+  let filled = Array.length sorted in
+  if filled = 0 then 0.0
+  else
+    let i = int_of_float (Float.round (q *. float_of_int (filled - 1))) in
+    sorted.(min (filled - 1) (max 0 i))
 
 (* count/mean/max over the histogram's lifetime, percentiles over the
    retained window (nearest-rank on the sorted samples). *)
 let histogram_summary (h : histogram) : (string * float) list =
-  with_lock h.hg_lock (fun () ->
-      let sorted = Array.sub h.hg_window 0 h.hg_filled in
-      Array.sort compare sorted;
-      let pct q =
-        if h.hg_filled = 0 then 0.0
-        else
-          let i = int_of_float (Float.round (q *. float_of_int (h.hg_filled - 1))) in
-          sorted.(min (h.hg_filled - 1) (max 0 i))
-      in
-      [
-        ("count", float_of_int h.hg_count);
-        ("mean", if h.hg_count = 0 then 0.0 else h.hg_sum /. float_of_int h.hg_count);
-        ("max", h.hg_max);
-        ("p50", pct 0.5);
-        ("p95", pct 0.95);
-        ("p99", pct 0.99);
-      ])
+  let count = Atomic.get h.hg_count in
+  let sum = float_of_int (Atomic.get h.hg_sum_fx) /. fixed_scale in
+  let maxv = float_of_int (Atomic.get h.hg_max_fx) /. fixed_scale in
+  let sorted = window_snapshot h in
+  [
+    ("count", float_of_int count);
+    ("mean", if count = 0 then 0.0 else sum /. float_of_int count);
+    ("max", maxv);
+    ("p50", pct_of sorted 0.5);
+    ("p95", pct_of sorted 0.95);
+    ("p99", pct_of sorted 0.99);
+  ]
 
 let histogram_to_json (h : histogram) : json =
   Obj
@@ -834,20 +858,11 @@ let prometheus_to_string (families : prom_family list) : string =
    the retained window, _sum/_count over the lifetime. *)
 let histogram_prom_summary (h : histogram) ~(name : string) ~(help : string) :
     prom_family =
-  let sum, count, quantiles =
-    with_lock h.hg_lock (fun () ->
-        let sorted = Array.sub h.hg_window 0 h.hg_filled in
-        Array.sort compare sorted;
-        let pct q =
-          if h.hg_filled = 0 then 0.0
-          else
-            let i =
-              int_of_float (Float.round (q *. float_of_int (h.hg_filled - 1)))
-            in
-            sorted.(min (h.hg_filled - 1) (max 0 i))
-        in
-        ( h.hg_sum,
-          h.hg_count,
-          [ (0.5, pct 0.5); (0.95, pct 0.95); (0.99, pct 0.99) ] ))
-  in
-  Prom_summary (name, help, quantiles, sum, count)
+  let sorted = window_snapshot h in
+  let pct = pct_of sorted in
+  Prom_summary
+    ( name,
+      help,
+      [ (0.5, pct 0.5); (0.95, pct 0.95); (0.99, pct 0.99) ],
+      float_of_int (Atomic.get h.hg_sum_fx) /. fixed_scale,
+      Atomic.get h.hg_count )

@@ -111,6 +111,11 @@ val histogram : ?window:int -> string -> histogram
     computation (default 4096). *)
 
 val observe : histogram -> float -> unit
+(** Record one sample.  Lock-free: an atomic count/fixed-point sum/CAS
+    max plus a [fetch_and_add] ring ticket — concurrent observers never
+    serialize.  Lifetime aggregates are exact; a percentile read racing
+    an insert may count one stale window sample. *)
+
 val histogram_count : histogram -> int
 
 val histogram_summary : histogram -> (string * float) list

@@ -1,0 +1,36 @@
+(** Shared domain pool: one budget for server workers and intra-query
+    partition tasks.
+
+    The budget resolves as [--par] override > [XQC_PAR] env (off|N) >
+    {!Domain.recommended_domain_count}.  With a budget of 1 (single-core
+    box, or parallelism switched off) every construct here degrades to
+    the plain sequential loop and no helper domain is ever spawned. *)
+
+val budget : unit -> int
+(** Effective total domain budget for the process (>= 1). *)
+
+val set_budget : int option -> unit
+(** CLI override ([--par N]); [None] restores the env/hardware default. *)
+
+val set_reserved_workers : int -> unit
+(** Declare how many long-lived worker domains (the query server's
+    request workers) are drawing from the budget, so {!query_degree}
+    divides the remaining slots instead of multiplying them. *)
+
+val query_degree : unit -> int
+(** Partition budget for one query: about [budget / reserved_workers],
+    at least 1. *)
+
+val parallel_list : (unit -> 'a) list -> 'a list
+(** Run the thunks as one batch of claimable cells — helpers steal what
+    they can, the caller runs the rest — and return the results in
+    order.  The first task exception is re-raised in the caller after
+    the whole batch settles.  Nested calls are deadlock-free (the
+    caller never blocks on work nobody owns); with budget 1 this is
+    exactly [List.map (fun f -> f ())]. *)
+
+val run_thunks : (unit -> unit) list -> unit
+(** [parallel_list] for effect-only tasks. *)
+
+val helpers_alive : unit -> int
+(** Helper domains spawned so far (monotone; for tests/stats). *)

@@ -1,0 +1,40 @@
+(** Intra-query partitioned execution: split a materialized,
+    document-ordered operator input into contiguous chunks evaluated on
+    the shared domain pool ({!Domain_pool}).
+
+    Contiguous pre-order partitions preserve document order per
+    partition by construction, so concatenation is the order-merge on
+    disjoint inputs; {!merge_node_items} closes the rare nested cases
+    with a sort+dedup whose already-sorted fast path is O(n). *)
+
+open Xqc_xml
+
+val par_min_items : int ref
+(** Runtime width gate: inputs narrower than this run sequentially even
+    under a [par > 1] plan annotation (default 256; tests lower it to
+    force partitioning on small documents). *)
+
+val eligible : par:int -> int -> bool
+(** [eligible ~par width]: worth partitioning — plan budget above 1,
+    width at or above {!par_min_items}, pool budget above 1. *)
+
+val chunk : int -> 'a list -> 'a list list
+(** At most [k] contiguous, near-equal, non-empty chunks (exposed for
+    tests). *)
+
+val run_partitions :
+  par:int ->
+  ctx:Dynamic_ctx.t ->
+  task:(int -> Dynamic_ctx.t -> 'a list -> 'b) ->
+  'a list ->
+  'b list
+(** Chunk the input, run [task partition_index cloned_ctx chunk] for
+    each chunk on the domain pool (the caller participates), and return
+    per-chunk results in chunk order.  The first task exception is
+    re-raised in the caller after the batch settles. *)
+
+val merge_node_items : Item.sequence list -> Item.sequence
+(** Concatenate per-partition node outputs and restore global document
+    order + uniqueness (O(n) when partitions were disjoint, i.e. almost
+    always).
+    @raise Dynamic_ctx.Dynamic_error on a non-node item. *)

@@ -172,9 +172,11 @@ type conn = {
 }
 
 let write_line conn line =
+  (* frame the reply outside the lock so the critical section is one
+     buffered write + flush, not string assembly *)
+  let framed = line ^ "\n" in
   Obs.with_lock conn.wlock (fun () ->
-      output_string conn.oc line;
-      output_char conn.oc '\n';
+      output_string conn.oc framed;
       flush conn.oc)
 
 type job = {
@@ -851,6 +853,10 @@ let serve ?(ready = fun () -> ()) (cfg : config) : unit =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   if not cfg.fuse then Xqc.Codegen.mode := Xqc.Codegen.Off;
   let nworkers = max 1 cfg.workers in
+  (* the worker domains draw from the same machine budget as intra-query
+     partition tasks: declare them so each query's partition degree is
+     the per-worker share (budget/workers), not an oversubscription *)
+  Xqc.Domain_pool.set_reserved_workers nworkers;
   let t =
     {
       cfg;
@@ -918,6 +924,7 @@ let serve ?(ready = fun () -> ()) (cfg : config) : unit =
      guarantees every worker observed that before we return. *)
   List.iter Domain.join workers;
   Thread.join sampler;
+  Xqc.Domain_pool.set_reserved_workers 1;
   (match cfg.unix_socket with
   | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
   | None -> ());

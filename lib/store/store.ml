@@ -69,46 +69,51 @@ type index = {
    on every query. *)
 type entry = Indexed of index | Unindexable of Node.t
 
-(* The cache is shared across the query server's worker domains.  The
-   tmutex guards only the hash-table lookup and insert — never the index
-   construction itself: PR 6's contention telemetry measured 132 ms of
-   cumulative lock wait at 4 workers when a build of a large document
-   ran under the lock, serializing every axis step of every other
-   worker behind it.  [entry_for] therefore does a double-checked read:
-   a locked lookup (the fast path, one uncontended acquisition per axis
-   step), then — on a miss — the build OUTSIDE the lock, then a locked
-   re-check-and-insert where the loser of a racing build discards its
-   entry and adopts the winner's.
+(* The cache is shared across the query server's worker domains — and,
+   since the partitioned execution tier, across the helper domains of a
+   single query.  It is an immutable map published through one [Atomic]:
+   readers do a plain [Atomic.get] + functional lookup and acquire NO
+   lock at all.  PR 6's contention telemetry showed why this matters:
+   the previous mutex-guarded hash table was acquired 450–630k times
+   per bench run (once per axis step) — zero-contention overhead at one
+   worker, 132 ms of lock wait at four, and a guaranteed serialization
+   point for intra-query partitions all hammering the index at once.
 
-   Safety of the unlocked build: the walk re-derives subtree extents
-   (writes to shared nodes), but every extent it writes is the same
-   value any racing build — or the original [Node.renumber] — computes
-   for that node, so racing writers store identical ints.  A concurrent
-   reader on another domain sees either the old value or the new one;
-   the only observable transition is 0 -> k on trees numbered before
-   extent caching existed, and a reader seeing 0 takes the walking
-   fallback ([name_range] refuses extent <= 0).  The per-name node
-   arrays inside an [index] are immutable after [build], so they are
-   read lock-free once handed out. *)
-let lock = Obs.tmutex "store_index"
+   The tmutex now guards only the rebuild/publish path ([entry_for]'s
+   miss branch, [clear]), never a read.  Publishing copies the map
+   (persistent [Map], so "copy" is O(log n) path copying), purges stale
+   keys, and [Atomic.set]s the new version; concurrent readers keep the
+   old snapshot until their next lookup.
 
-let cache : (int, entry) Hashtbl.t = Hashtbl.create 8
+   Safety of the unlocked build (unchanged from the double-checked
+   scheme this replaces): the walk re-derives subtree extents (writes to
+   shared nodes), but every extent it writes is the same value any
+   racing build — or the original [Node.renumber] — computes for that
+   node, so racing writers store identical ints.  A concurrent reader
+   sees either the old value or the new one; the only observable
+   transition is 0 -> k on trees numbered before extent caching existed,
+   and a reader seeing 0 takes the walking fallback ([name_range]
+   refuses extent <= 0).  The per-name node arrays inside an [index] are
+   immutable after [build], so they are read lock-free once handed
+   out. *)
+let lock = Obs.tmutex "store_publish"
+
+module IntMap = Map.Make (Int)
+
+let snapshot : entry IntMap.t Stdlib.Atomic.t = Stdlib.Atomic.make IntMap.empty
 
 let entry_root = function Indexed ix -> ix.ix_root | Unindexable r -> r
 
-let cache_size () = Obs.with_lock lock (fun () -> Hashtbl.length cache)
-let clear () = Obs.with_lock lock (fun () -> Hashtbl.reset cache)
+let cache_size () = IntMap.cardinal (Stdlib.Atomic.get snapshot)
+let clear () = Obs.with_lock lock (fun () -> Stdlib.Atomic.set snapshot IntMap.empty)
 
 (* Entries whose root has been renumbered since build can never be
    looked up again (the key is the old nid); drop them so the cache does
    not keep dead trees alive. *)
-let purge_stale () =
-  let stale =
-    Hashtbl.fold
-      (fun key e acc -> if (entry_root e).Node.nid <> key then key :: acc else acc)
-      cache []
-  in
-  List.iter (Hashtbl.remove cache) stale
+let purge_stale (m : entry IntMap.t) : entry IntMap.t =
+  IntMap.filter (fun key e -> (entry_root e).Node.nid = key) m
+
+let live_entry key e = if (entry_root e).Node.nid = key then Some e else None
 
 let empty_array : Node.t array = [||]
 
@@ -157,15 +162,13 @@ let build (root : Node.t) : entry =
     Indexed { ix_root = root; ix_elems; ix_attrs = finalize attrs; ix_nodes = !count }
   end
 
-(* Double-checked resolve: locked lookup, unlocked build on miss, locked
-   re-check-and-insert (see the locking note above [lock]).  Stale
-   entries are purged inside the insert section, where the table is
-   already held. *)
+(* Resolve: lock-free snapshot lookup (the hot path — no mutex, no
+   write, just an [Atomic.get] and a functional [Map] descent), unlocked
+   build on miss, then a locked re-check-and-publish where the loser of
+   a racing build discards its entry and adopts the winner's.  Stale
+   entries are purged as part of assembling the new version. *)
 let entry_for (root : Node.t) : entry =
-  let fast =
-    Obs.with_lock lock (fun () -> Hashtbl.find_opt cache root.Node.nid)
-  in
-  match fast with
+  match IntMap.find_opt root.Node.nid (Stdlib.Atomic.get snapshot) with
   | Some e when entry_root e == root -> e
   | _ ->
       let e =
@@ -174,13 +177,13 @@ let entry_for (root : Node.t) : entry =
         else build root
       in
       Obs.with_lock lock (fun () ->
-          purge_stale ();
-          match Hashtbl.find_opt cache root.Node.nid with
+          let m = Stdlib.Atomic.get snapshot in
+          match IntMap.find_opt root.Node.nid m with
           | Some e' when entry_root e' == root ->
               (* lost a racing build: adopt the winner's entry *)
               e'
           | _ ->
-              Hashtbl.replace cache root.Node.nid e;
+              Stdlib.Atomic.set snapshot (IntMap.add root.Node.nid e (purge_stale m));
               e)
 
 (* Resolve the index serving [n]'s tree, building it on first use.
@@ -322,16 +325,17 @@ let index_nodes n : int option = Option.map (fun ix -> ix.ix_nodes) (index_for n
 
 type stats = { st_roots : int; st_nodes : int }
 
+(* Statistics read the snapshot lock-free too (the planner calls these
+   on every plan); stale entries are skipped rather than purged — the
+   next publish drops them. *)
 let stats () : stats =
-  Obs.with_lock lock @@ fun () ->
-  purge_stale ();
-  Hashtbl.fold
-    (fun _ e acc ->
-      match e with
-      | Indexed ix ->
+  IntMap.fold
+    (fun key e acc ->
+      match live_entry key e with
+      | Some (Indexed ix) ->
           { st_roots = acc.st_roots + 1; st_nodes = acc.st_nodes + ix.ix_nodes }
-      | Unindexable _ -> acc)
-    cache
+      | Some (Unindexable _) | None -> acc)
+    (Stdlib.Atomic.get snapshot)
     { st_roots = 0; st_nodes = 0 }
 
 (* Exact per-qname cardinality summed over every cached index: the
@@ -343,19 +347,17 @@ let name_count (tbl : index -> (string, Node.t array) Hashtbl.t) (name : string)
     : int option =
   if !mode = Off then None
   else begin
-    Obs.with_lock lock @@ fun () ->
-    purge_stale ();
     let found = ref false and total = ref 0 in
-    Hashtbl.iter
-      (fun _ e ->
-        match e with
-        | Indexed ix ->
+    IntMap.iter
+      (fun key e ->
+        match live_entry key e with
+        | Some (Indexed ix) ->
             found := true;
             (match Hashtbl.find_opt (tbl ix) name with
             | Some arr -> total := !total + Array.length arr
             | None -> ())
-        | Unindexable _ -> ())
-      cache;
+        | Some (Unindexable _) | None -> ())
+      (Stdlib.Atomic.get snapshot);
     if !found then Some !total else None
   end
 
