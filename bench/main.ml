@@ -29,6 +29,11 @@
                           queries at domain budgets 1/2/4, speedups and
                           partition-task counts; writes
                           bench/BENCH_scale.json (or --json=FILE)
+     main.exe offload   — relational-backend offload: XMark Q8/Q9 plus
+                          group-by/order-by shapes under the native, rel
+                          and auto backends, with byte-identity checks;
+                          writes bench/BENCH_offload.json (or
+                          --json=FILE)
      main.exe micro     — bechamel microbenchmarks of the join kernels
      main.exe all       — everything above except micro
 
@@ -754,6 +759,151 @@ let fused_bench () =
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Relational-offload benchmark                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Join/group-by/order-by workloads under the three backend modes.  The
+   backend is a planning-time choice, so each mode gets its own prepare;
+   every mode's serialized result is checked byte-identical against the
+   native run. *)
+let offload_bench () =
+  let module Obs = Xqc_obs.Obs in
+  let module Rel = Xqc.Rel_algebra in
+  let size = 1_000_000 in
+  let warm_runs = 5 in
+  let doc = Xqc_workload.Xmark.generate ~target_bytes:size () in
+  let ctx = make_xmark_ctx doc in
+  let queries =
+    [
+      ("Q8", Xqc_workload.Xmark_queries.q8);
+      ("Q9", Xqc_workload.Xmark_queries.q9);
+      ( "group-count",
+        {|for $p in $auction/site/people/person
+          let $w := for $o in $auction/site/open_auctions/open_auction
+                    where $o/bidder/personref/@person = $p/@id
+                    return $o
+          return <bids person="{$p/@id}">{count($w)}</bids>|} );
+      ( "order-names",
+        {|for $p in $auction/site/people/person
+          order by $p/name descending empty least
+          return $p/name/text()|} );
+    ]
+  in
+  let counter name =
+    match List.assoc_opt name (Obs.global_counters ()) with
+    | Some n -> n
+    | None -> 0
+  in
+  Printf.eprintf
+    "=== Relational-offload microbenchmark: %dKB XMark document ===\n"
+    (size / 1000);
+  Printf.eprintf "%-12s %-8s %10s %10s %9s %10s %6s %6s\n" "query" "mode"
+    "cold_ms" "warm_ms" "subplans" "rel_rows" "fallbk" "match";
+  let saved_backend = !Rel.backend in
+  let records = ref [] in
+  let warm_times = Hashtbl.create 16 in
+  let modes = [ ("native", Rel.Native); ("rel", Rel.Rel); ("auto", Rel.Auto) ] in
+  (* Plan every (query, mode) pair before any execution: the auto gate
+     consults index statistics, which only exist after a run, so
+     planning up front reproduces what a fresh process (the CLI) sees. *)
+  let plans =
+    List.map
+      (fun (qname, q) ->
+        let per_mode =
+          List.map
+            (fun (mode_name, mode) ->
+              Rel.backend := mode;
+              let prepared = Xqc.prepare q in
+              let static_subplans =
+                match Xqc.physical_plan prepared with
+                | None -> 0
+                | Some pq ->
+                    Xqc.Physical.fold
+                      (fun acc (n : Xqc.Physical.t) ->
+                        match n.Xqc.Physical.pop with
+                        | Xqc.Physical.PRelational _ -> acc + 1
+                        | _ -> acc)
+                      0 pq.Xqc.Physical.pmain
+              in
+              (mode_name, prepared, static_subplans))
+            modes
+        in
+        (qname, per_mode))
+      queries
+  in
+  Rel.backend := saved_backend;
+  List.iter
+    (fun (qname, per_mode) ->
+      let reference = ref "" in
+      List.iter
+        (fun (mode_name, prepared, static_subplans) ->
+          let sub0 = counter "rel_subplans" in
+          let rows0 = counter "rel_rows" in
+          let fb0 = counter "rel_fallbacks" in
+          let t0 = Unix.gettimeofday () in
+          let result = Xqc.run prepared ctx in
+          let cold = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          let subplans = counter "rel_subplans" - sub0 in
+          let rel_rows = counter "rel_rows" - rows0 in
+          let fallbacks = counter "rel_fallbacks" - fb0 in
+          let warm = ref infinity in
+          for _ = 1 to warm_runs do
+            let t0 = Unix.gettimeofday () in
+            ignore (Xqc.run prepared ctx);
+            warm := Float.min !warm ((Unix.gettimeofday () -. t0) *. 1000.0)
+          done;
+          let rendered = Xqc.serialize result in
+          if mode_name = "native" then reference := rendered;
+          let identical = rendered = !reference in
+          if not identical then
+            Printf.eprintf "MISMATCH: %s under %s diverges from native\n" qname
+              mode_name;
+          Hashtbl.replace warm_times (qname, mode_name) !warm;
+          Printf.eprintf "%-12s %-8s %10.3f %10.4f %9d %10d %6d %6s\n" qname
+            mode_name cold !warm static_subplans rel_rows fallbacks
+            (if identical then "ok" else "DIFF");
+          records :=
+            Obs.Obj
+              [
+                ("query", Obs.Str qname);
+                ("mode", Obs.Str mode_name);
+                ("cold_ms", Obs.Float cold);
+                ("warm_ms", Obs.Float !warm);
+                ("rel_subplans_static", Obs.Int static_subplans);
+                ("rel_subplans_run", Obs.Int subplans);
+                ("rel_rows", Obs.Int rel_rows);
+                ("rel_fallbacks", Obs.Int fallbacks);
+                ("identical_to_native", Obs.Bool identical);
+                ("result_items", Obs.Int (List.length result));
+              ]
+            :: !records)
+        per_mode)
+    plans;
+  List.iter
+    (fun (qname, _) ->
+      let native = Hashtbl.find warm_times (qname, "native") in
+      let rel = Hashtbl.find warm_times (qname, "rel") in
+      Printf.eprintf "%-12s rel vs native %8.2fx\n" qname
+        (native /. Float.max rel 0.0001))
+    queries;
+  let record =
+    Obs.Obj
+      [
+        ("bench", Obs.Str "offload");
+        ("doc_bytes", Obs.Int size);
+        ("runs", Obs.Arr (List.rev !records));
+      ]
+  in
+  let path = Option.value !metrics_json_file ~default:"bench/BENCH_offload.json" in
+  try
+    let oc = open_out_bin path in
+    output_string oc (Obs.json_to_string record);
+    output_char oc '\n';
+    close_out oc;
+    Printf.eprintf "wrote %s\n%!" path
+  with Sys_error m -> Printf.eprintf "could not write %s: %s\n%!" path m
+
+(* ------------------------------------------------------------------ *)
 (* Planner benchmark                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1297,6 +1447,7 @@ let () =
     | "planner" -> planner_bench ()
     | "micro" -> micro ()
     | "scale" -> scale_bench ()
+    | "offload" -> offload_bench ()
     | "serve" -> serve_bench ()
     | "all" ->
         figure4 ();
@@ -1307,7 +1458,7 @@ let () =
         ablation ()
     | other ->
         Printf.eprintf
-          "unknown benchmark %S (expected table3|table4|table5|figure4|saxon|ablation|metrics|early-exit|axis-index|fused|planner|micro|scale|serve|all)\n"
+          "unknown benchmark %S (expected table3|table4|table5|figure4|saxon|ablation|metrics|early-exit|axis-index|fused|planner|micro|scale|offload|serve|all)\n"
           other;
         Stdlib.exit 1
   in

@@ -57,6 +57,37 @@ let par_arg =
 
 let apply_par par = Option.iter (fun n -> Xqc.Domain_pool.set_budget (Some n)) par
 
+let backend_conv =
+  let parse s =
+    match Xqc.Rel_algebra.backend_of_string s with
+    | Some b -> Ok b
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown backend %S (native, rel or auto)" s))
+  in
+  Arg.conv
+    (parse, fun ppf b -> Format.pp_print_string ppf (Xqc.Rel_algebra.backend_name b))
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "backend" ] ~docv:"MODE"
+        ~doc:
+          "Relational offload mode: native (never offload), rel (offload \
+           every lowerable subplan to the shredded-table engine), or auto \
+           (cost-based per-subplan choice).  Overrides XQC_BACKEND; default \
+           native.")
+
+let apply_backend b = Option.iter (fun b -> Xqc.Rel_algebra.backend := b) b
+
+let collections_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "collection" ] ~docv:"NAME=F1,F2,..."
+        ~doc:
+          "Bind fn:collection(\"NAME\") to the document nodes of the listed \
+           files, in order.  Repeatable.")
+
 let indent_arg =
   Arg.(value & flag & info [ "indent" ] ~doc:"Indent the serialized output.")
 
@@ -94,7 +125,7 @@ let load_query query query_file =
   | Some _, Some _ -> Error "give either a query argument or --query-file, not both"
   | None, None -> Error "no query given (positional argument or --query-file)"
 
-let make_context docs vars =
+let make_context ?(collections = []) docs vars =
   let ctx = Xqc.context ~resolver:(fun uri -> Xqc.parse_document ~uri (read_file uri)) () in
   List.iter
     (fun path ->
@@ -112,6 +143,23 @@ let make_context docs vars =
           Xqc.bind_variable ctx name [ Xqc.Item.Node doc ]
       | None -> failwith (Printf.sprintf "--var expects NAME=FILE, got %S" spec))
     vars;
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | Some i ->
+          let name = String.sub spec 0 i in
+          let files =
+            String.split_on_char ','
+              (String.sub spec (i + 1) (String.length spec - i - 1))
+            |> List.filter (fun f -> f <> "")
+          in
+          let nodes =
+            List.map (fun f -> Xqc.parse_document ~uri:f (read_file f)) files
+          in
+          Xqc.Dynamic_ctx.bind_collection ctx name nodes
+      | None ->
+          failwith (Printf.sprintf "--collection expects NAME=F1,F2,..., got %S" spec))
+    collections;
   ctx
 
 let stats_arg =
@@ -143,8 +191,8 @@ let write_stats_json prepared path =
   | None, _ -> ()
 
 let run_cmd =
-  let action strategy project no_fuse par indent stats stats_json query
-      query_file docs vars =
+  let action strategy project no_fuse par backend indent stats stats_json query
+      query_file docs vars collections =
     match load_query query query_file with
     | Error m ->
         prerr_endline m;
@@ -153,7 +201,8 @@ let run_cmd =
         try
           if no_fuse then Xqc.Codegen.mode := Xqc.Codegen.Off;
           apply_par par;
-          let ctx = make_context docs vars in
+          apply_backend backend;
+          let ctx = make_context ~collections docs vars in
           let stats = stats || stats_json <> None in
           let prepared = Xqc.prepare ~strategy ~project ~fuse:(not no_fuse) ~stats q in
           let result = Xqc.run prepared ctx in
@@ -175,8 +224,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Evaluate a query and print the serialized result.")
     Term.(
       const action $ strategy_arg $ project_arg $ no_fuse_arg $ par_arg
-      $ indent_arg $ stats_arg $ stats_json_arg $ query_arg $ query_file_arg
-      $ docs_arg $ vars_arg)
+      $ backend_arg $ indent_arg $ stats_arg $ stats_json_arg $ query_arg
+      $ query_file_arg $ docs_arg $ vars_arg $ collections_arg)
 
 let explain_cmd =
   let analyze_arg =
@@ -188,8 +237,8 @@ let explain_cmd =
              and print phase timings, per-operator runtime statistics, and \
              the rewrite-rule trace instead of the static report.")
   in
-  let action strategy project no_fuse analyze stats_json query query_file docs
-      vars =
+  let action strategy project no_fuse backend analyze stats_json query
+      query_file docs vars collections =
     match load_query query query_file with
     | Error m ->
         prerr_endline m;
@@ -197,8 +246,9 @@ let explain_cmd =
     | Ok q -> (
         try
           if no_fuse then Xqc.Codegen.mode := Xqc.Codegen.Off;
+          apply_backend backend;
           if analyze then begin
-            let ctx = make_context docs vars in
+            let ctx = make_context ~collections docs vars in
             let prepared =
               Xqc.prepare ~strategy ~project ~fuse:(not no_fuse) ~stats:true q
             in
@@ -224,8 +274,9 @@ let explain_cmd =
           the query and print the EXPLAIN ANALYZE report (annotated plan \
           with per-operator calls, time and cardinality).")
     Term.(
-      const action $ strategy_arg $ project_arg $ no_fuse_arg $ analyze_arg
-      $ stats_json_arg $ query_arg $ query_file_arg $ docs_arg $ vars_arg)
+      const action $ strategy_arg $ project_arg $ no_fuse_arg $ backend_arg
+      $ analyze_arg $ stats_json_arg $ query_arg $ query_file_arg $ docs_arg
+      $ vars_arg $ collections_arg)
 
 let gen_cmd =
   let kind_arg =
@@ -381,10 +432,11 @@ let serve_cmd =
           ~doc:"Queue-depth/inflight gauge sampling period.")
   in
   let action unix_socket host port workers queue_depth timeout_ms preload
-      strategy no_fuse par verbose trace_sample slow_ms slow_log
+      strategy no_fuse par backend verbose trace_sample slow_ms slow_log
       no_slow_analyze gauge_interval_ms =
     try
       apply_par par;
+      apply_backend backend;
       let preload =
         List.map
           (fun spec ->
@@ -434,8 +486,8 @@ let serve_cmd =
     Term.(
       const action $ unix_socket_arg $ host_arg $ port_arg $ workers_arg
       $ queue_arg $ timeout_arg $ preload_arg $ strategy_arg $ no_fuse_arg
-      $ par_arg $ verbose_arg $ trace_sample_arg $ slow_ms_arg $ slow_log_arg
-      $ no_slow_analyze_arg
+      $ par_arg $ backend_arg $ verbose_arg $ trace_sample_arg $ slow_ms_arg
+      $ slow_log_arg $ no_slow_analyze_arg
       $ gauge_interval_arg)
 
 (* JSON accessors for rendering server responses client-side. *)

@@ -48,6 +48,11 @@ module Store = Xqc_store.Store
 module Domain_pool = Xqc_runtime.Domain_pool
 module Par_exec = Xqc_runtime.Par_exec
 module Codegen = Xqc_codegen.Codegen
+module Rel_algebra = Xqc_rel.Rel_algebra
+module Rel_sql = Xqc_rel.Rel_sql
+module Rel_exec = Xqc_rel.Rel_exec
+module Shred = Xqc_rel.Shred
+module Rel_lower = Xqc_rel_lower.Lower
 module Obs = Xqc_obs.Obs
 module Trace = Xqc_obs.Trace
 module Slow_log = Xqc_obs.Slow_log
@@ -270,21 +275,50 @@ let prepare ?(strategy = Optimized) ?(project = false) ?(stats = false)
 
 (* LRU cache over [prepare], keyed by everything that shapes the
    compiled plan: query text, strategy, the projection, materialization
-   and fusion knobs, and the store's index and fuse modes — physical
-   planning is statistics-sensitive, so a plan prepared with indexing
-   off must not be reused once indexes are available (and vice versa),
-   and a fuse-mode change must replan for the same reason.
+   and fusion knobs, the store's index mode, the codegen mode, and the
+   relational backend mode — physical planning is statistics-sensitive,
+   so a plan prepared with indexing off must not be reused once indexes
+   are available (and vice versa), and a fuse- or backend-mode change
+   must replan for the same reason.
    Stats-collecting preparations are never cached — each caller of
    [~stats:true] expects its own collector.  Recency is a global tick;
    eviction scans for the minimum (the cache is small, capacity beats
    constant factors). *)
 
-(* The final int is the parallelism degree the plan was annotated with:
-   a plan annotated under [--par 4] must not be reused after the budget
-   drops to 1 (and vice versa) — the annotation changes the compiled
-   execution strategy, not just a runtime gate. *)
-type plan_key =
-  string * strategy * bool * bool * bool * Store.mode * Codegen.mode * int
+(* Every execution-mode knob that shapes a compiled plan, gathered in
+   one record so the cache key cannot silently drift from the set of
+   modes: adding a knob here forces the compiler to visit every place a
+   key is built.  [m_par] is the parallelism degree the plan was
+   annotated with: a plan annotated under [--par 4] must not be reused
+   after the budget drops to 1 (and vice versa) — the annotation changes
+   the compiled execution strategy, not just a runtime gate.  [m_backend]
+   keys the relational-offload mode the planner spliced under. *)
+type exec_modes = {
+  m_strategy : strategy;
+  m_project : bool;
+  m_materialize : bool;
+  m_fuse : bool;
+  m_par : int;  (** domain-pool per-query degree at planning time *)
+  m_index : Store.mode;
+  m_codegen : Codegen.mode;
+  m_backend : Rel_algebra.backend;
+}
+
+(* The ambient execution modes: everything not passed explicitly is read
+   from the process-wide knobs, exactly as [prepare] will read them. *)
+let current_exec_modes ~strategy ~project ~materialize ~fuse () : exec_modes =
+  {
+    m_strategy = strategy;
+    m_project = project;
+    m_materialize = materialize;
+    m_fuse = fuse;
+    m_par = Domain_pool.query_degree ();
+    m_index = !Store.mode;
+    m_codegen = !Codegen.mode;
+    m_backend = !Rel_algebra.backend;
+  }
+
+type plan_key = string * exec_modes
 
 (* All cache state is guarded by [plan_lock]: the query server's worker
    domains share this cache (prepared statements resolve through it), so
@@ -324,14 +358,7 @@ let prepare_cached ?(strategy = Optimized) ?(project = false)
     ?(materialize = false) ?(fuse = true) (source : string) : prepared =
   Trace.in_span "plan-cache" @@ fun () ->
   let key =
-    ( source,
-      strategy,
-      project,
-      materialize,
-      fuse,
-      !Store.mode,
-      !Codegen.mode,
-      Domain_pool.query_degree () )
+    (source, current_exec_modes ~strategy ~project ~materialize ~fuse ())
   in
   let hit =
     Obs.with_lock plan_lock (fun () ->
@@ -436,6 +463,28 @@ let explain ?(strategy = Optimized) (source : string) : string =
       let config = planner_config strategy None in
       let physical = Planner.plan ~config optimized in
       Buffer.add_string buf (Pretty.physical_to_string physical);
+      (match
+         List.rev
+           (Physical.fold
+              (fun acc (n : Physical.t) ->
+                match n.Physical.pop with
+                | Physical.PRelational { rplan; rfields; _ } ->
+                    (rplan, rfields) :: acc
+                | _ -> acc)
+              [] physical)
+       with
+      | [] -> ()
+      | subplans ->
+          Buffer.add_string buf "\n\n=== Relational subplans ===\n";
+          List.iteri
+            (fun i (rplan, rfields) ->
+              Buffer.add_string buf
+                (Printf.sprintf "#%d [%d ops -> %s]\n%s\nSQL:\n%s\n" (i + 1)
+                   (Rel_algebra.size rplan)
+                   (String.concat ";" rfields)
+                   (Rel_algebra.to_string rplan)
+                   (Rel_sql.emit rplan)))
+            subplans);
       (match Codegen.annotate physical with
       | [] -> ()
       | segments ->

@@ -1,0 +1,242 @@
+(* The second lowering: logical algebra -> relational algebra.
+
+   Recognizes the table-shaped fragment of the logical algebra that
+   maps onto Rel_algebra — scans of a downward navigation chain rooted
+   at a free variable, row numbering, general-comparison selections,
+   split-predicate joins (inner and left-outer), the XQuery group-by
+   and order-by — and refuses everything else by returning None, in
+   which case the planner keeps the native lowering for that subplan.
+
+   The checks here are what make the engine's restrictions static:
+   column types are tracked (node / int / bool / node-sequence) so join
+   keys are guaranteed to atomize to untyped atomics, paths only
+   navigate from node columns, and the null side of an outer join is
+   all-node.  A final guard verifies the relational plan's column list
+   equals [Algebra.output_fields] of the source subplan — the tuple
+   bridge in the evaluator relies on the two layouts agreeing. *)
+
+open Xqc_frontend
+module A = Xqc_algebra.Algebra
+module R = Xqc_rel.Rel_algebra
+module Promotion = Xqc_types.Promotion
+
+type ctype = TNode | TInt | TBool | TNodes
+type env = (string * ctype) list
+
+let ( let* ) = Option.bind
+
+let step_of (axis : Ast.axis) (test : Ast.node_test) : R.rstep option =
+  let* rt =
+    match test with
+    | Ast.Name_test "*" -> Some R.RStar
+    | Ast.Name_test nm -> Some (R.RName nm)
+    | Ast.Kind_test _ -> None
+  in
+  match axis with
+  | Ast.Child -> Some { R.ra = R.RChild; rt }
+  | Ast.Descendant -> Some { R.ra = R.RDesc; rt }
+  | Ast.Descendant_or_self -> Some { R.ra = R.RDescSelf; rt }
+  | Ast.Attribute_axis -> Some { R.ra = R.RAttr; rt }
+  | _ -> None
+
+(* The //-fusion the physical step chain also performs: a
+   descendant-or-self::node() hop followed by a child step is one
+   descendant step.  Without it every path written with // would keep
+   an unlowerable node() kind test. *)
+let rec fuse = function
+  | (Ast.Descendant_or_self, Ast.Kind_test Xqc_types.Seqtype.It_node)
+    :: (Ast.Child, t)
+    :: rest ->
+      fuse ((Ast.Descendant, t) :: rest)
+  | s :: rest -> s :: fuse rest
+  | [] -> []
+
+let path_of (steps : (Ast.axis * Ast.node_test) list) : R.rpath option =
+  let rec go = function
+    | [] -> Some []
+    | (a, t) :: rest ->
+        let* s = step_of a t in
+        let* r = go rest in
+        Some (s :: r)
+  in
+  go (fuse steps)
+
+(* A navigation chain [root/step1/step2/...], steps in application
+   order. *)
+let rec chain (root : A.plan -> 'a option) (p : A.plan) :
+    ('a * (Ast.axis * Ast.node_test) list) option =
+  match root p with
+  | Some v -> Some (v, [])
+  | None -> (
+      match p with
+      | A.TreeJoin (axis, test, inner) ->
+          let* v, steps = chain root inner in
+          Some (v, steps @ [ (axis, test) ])
+      | _ -> None)
+
+let var_root = function A.Var v -> Some v | _ -> None
+let field_root = function A.FieldAccess f -> Some f | _ -> None
+
+let node_typed (env : env) (f : string) : bool =
+  match List.assoc_opt f env with Some (TNode | TNodes) -> true | _ -> false
+
+(* A comparison/sort key: a field, or a downward path from a node
+   field. *)
+let key_of (env : env) (p : A.plan) : R.key option =
+  let* f, steps = chain field_root p in
+  let* path = path_of steps in
+  let* _ = List.assoc_opt f env in
+  match path with
+  | [] -> Some { R.k_src = f; k_path = [] }
+  | _ :: _ when node_typed env f -> Some { R.k_src = f; k_path = path }
+  | _ -> None
+
+(* A join key additionally has to be node-typed even without a path, so
+   its atoms are untyped and the engine's string comparison is exact. *)
+let join_key_of (env : env) (p : A.plan) : R.key option =
+  let* k = key_of env p in
+  if node_typed env k.R.k_src then Some k else None
+
+let cmp_of = function
+  | "op:general-eq" -> Some Promotion.Eq
+  | "op:general-ne" -> Some Promotion.Ne
+  | "op:general-lt" -> Some Promotion.Lt
+  | "op:general-le" -> Some Promotion.Le
+  | "op:general-gt" -> Some Promotion.Gt
+  | "op:general-ge" -> Some Promotion.Ge
+  | _ -> None
+
+let operand_of (env : env) (p : A.plan) : R.operand option =
+  match p with
+  | A.Scalar a -> Some (R.OLit a)
+  | _ ->
+      let* k = key_of env p in
+      Some (R.OKey k)
+
+let pred_of (env : env) (p : A.plan) : R.rpred option =
+  let p = match p with A.Call ("fn:boolean", [ inner ]) -> inner | p -> p in
+  match p with
+  | A.Call (name, [ l; r ]) ->
+      let* op = cmp_of name in
+      let* lo = operand_of env l in
+      let* ro = operand_of env r in
+      Some { R.rp_op = op; rp_left = lo; rp_right = ro }
+  | _ -> None
+
+let fresh (env : env) (q : string) : bool = not (List.mem_assoc q env)
+
+let disjoint (a : env) (b : env) : bool =
+  not (List.exists (fun (c, _) -> List.mem_assoc c b) a)
+
+let rec table (p : A.plan) : (R.plan * env) option =
+  match p with
+  | A.MapFromItem (A.TupleConstruct [ (f, A.Input) ], src) ->
+      let* v, steps = chain var_root src in
+      let* path = path_of steps in
+      Some (R.RScan { param = v; path; out = f }, [ (f, TNode) ])
+  | A.MapIndex (q, t) | A.MapIndexStep (q, t) ->
+      let* input, env = table t in
+      if fresh env q then Some (R.RRowNum { out = q; input }, (q, TInt) :: env)
+      else None
+  | A.Select (pred, t) ->
+      let* input, env = table t in
+      let* rp = pred_of env pred in
+      Some (R.RSelect { pred = rp; input }, env)
+  | A.Join (A.Split_pred { op; left_key; right_key }, t1, t2)
+    when op <> Promotion.Ne ->
+      let* left, lenv = table t1 in
+      let* right, renv = table t2 in
+      if not (disjoint lenv renv) then None
+      else
+        let* lk = join_key_of lenv left_key in
+        let* rk = join_key_of renv right_key in
+        Some
+          ( R.RJoin
+              { null_flag = None; op; left_key = lk; right_key = rk; left; right },
+            lenv @ renv )
+  | A.LOuterJoin (q, A.Split_pred { op; left_key; right_key }, t1, t2)
+    when op <> Promotion.Ne ->
+      let* left, lenv = table t1 in
+      let* right, renv = table t2 in
+      if
+        (not (disjoint lenv renv))
+        || (not (fresh lenv q))
+        || (not (fresh renv q))
+        (* unmatched left rows null out the right side: only node
+           columns have an empty-sequence encoding *)
+        || List.exists (fun (_, ty) -> ty <> TNode) renv
+      then None
+      else
+        let* lk = join_key_of lenv left_key in
+        let* rk = join_key_of renv right_key in
+        Some
+          ( R.RJoin
+              {
+                null_flag = Some q;
+                op;
+                left_key = lk;
+                right_key = rk;
+                left;
+                right;
+              },
+            (q, TBool) :: (lenv @ renv) )
+  | A.GroupBy
+      ( {
+          A.g_agg;
+          g_indices;
+          g_nulls;
+          g_post = A.Input;
+          g_pre = A.FieldAccess f;
+        },
+        t ) ->
+      let* input, env = table t in
+      if
+        (match List.assoc_opt f env with Some TNode -> false | _ -> true)
+        || (not (fresh env g_agg))
+        || List.exists (fun c -> not (List.mem_assoc c env)) g_indices
+        || List.exists (fun c -> not (List.mem_assoc c env)) g_nulls
+      then None
+      else
+        Some
+          ( R.RGroup
+              {
+                agg_out = g_agg;
+                indices = g_indices;
+                nulls = g_nulls;
+                part = f;
+                input;
+              },
+            env @ [ (g_agg, TNodes) ] )
+  | A.OrderBy (specs, t) ->
+      let* input, env = table t in
+      let rec keys = function
+        | [] -> Some []
+        | (s : A.sort_spec) :: rest ->
+            let* k = key_of env s.A.skey in
+            let* r = keys rest in
+            Some
+              ({
+                 R.rs_key = k;
+                 rs_desc = s.A.sdir = Ast.Descending;
+                 rs_empty_greatest = s.A.sempty = Ast.Empty_greatest;
+               }
+              :: r)
+      in
+      let* ks = keys specs in
+      Some (R.ROrder { keys = ks; input }, env)
+  | _ -> None
+
+(* Only offer the relational plan when its column list reproduces the
+   native output layout exactly — the eval bridge compiles downstream
+   operators against it. *)
+let lower (p : A.plan) : R.plan option =
+  let* rp, _env = table p in
+  if R.cols rp = A.output_fields p then Some rp else None
+
+(* Does the plan contain a join or group — the shapes Auto offloads? *)
+let rec heavy (rp : R.plan) : bool =
+  match rp with
+  | R.RJoin _ | R.RGroup _ -> true
+  | R.RScan _ -> false
+  | R.RRowNum { input; _ } | R.RSelect { input; _ } | R.ROrder { input; _ } ->
+      heavy input

@@ -1,0 +1,15 @@
+(** The second lowering: logical algebra -> relational algebra.
+
+    Partial by design — [lower] recognizes the table-shaped fragment
+    ({!Xqc_rel.Rel_algebra}'s operator set) and returns [None] for
+    anything else, in which case the planner keeps the native lowering
+    for that subplan. *)
+
+val lower : Xqc_algebra.Algebra.plan -> Xqc_rel.Rel_algebra.plan option
+(** The relational twin of a logical subplan, or [None] when the
+    subplan is outside the lowerable fragment.  On success the plan's
+    [Rel_algebra.cols] equal [Algebra.output_fields] of the source. *)
+
+val heavy : Xqc_rel.Rel_algebra.plan -> bool
+(** Does the plan contain a join or group — the shapes the [Auto]
+    backend offloads? *)

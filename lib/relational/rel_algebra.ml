@@ -1,0 +1,213 @@
+(* The relational algebra of the offload backend — the second lowering
+   target beside the physical algebra (Ferry/Pathfinder direction).
+
+   Plans run over *shredded* documents: columnar tables keyed by the
+   pre/size interval encoding that [Node.renumber] already maintains
+   (see Shred).  The operator set is deliberately small — exactly the
+   table-shaped subplans of the logical algebra that the lowering
+   (Lower) accepts: scans of a navigation path rooted at a free
+   variable, row numbering, selections, equality/inequality joins
+   (inner and left-outer with a null flag), the XQuery group-by and
+   order-by.  Everything column-valued is a node (a row index into the
+   shred), a machine integer or a boolean, so the in-memory engine
+   (Rel_exec) works on flat int arrays; Rel_sql renders the same plan
+   as portable SQLite-dialect SQL for a future external backend.
+
+   The operators mirror the *exact* sequence semantics of the native
+   evaluator — left-major join order with matches in inner input order
+   and existential de-duplication, first-occurrence group order,
+   stable sorts — so a plan can be executed by either backend with
+   byte-identical results. *)
+
+module Promotion = Xqc_types.Promotion
+
+(* Which lowering the planner uses: [Native] never offloads, [Rel]
+   offloads every lowerable subplan, [Auto] offloads join/group-shaped
+   subplans the cost model judges heavy enough.  The XQC_BACKEND
+   environment variable seeds the initial mode; --backend overrides. *)
+type backend = Native | Rel | Auto
+
+let backend_of_string s =
+  match String.lowercase_ascii s with
+  | "native" | "off" -> Some Native
+  | "rel" | "relational" | "sql" -> Some Rel
+  | "auto" -> Some Auto
+  | _ -> None
+
+let backend_name = function Native -> "native" | Rel -> "rel" | Auto -> "auto"
+
+let backend =
+  ref
+    (match Option.map backend_of_string (Sys.getenv_opt "XQC_BACKEND") with
+    | Some (Some b) -> b
+    | _ -> Native)
+
+(* Estimated native cost above which [Auto] offloads a join/group
+   subplan when index statistics exist (without statistics Auto is
+   optimistic, like the planner's partitioning gate). *)
+let auto_cost_threshold = ref 500.
+
+type col = string
+(** Column names are the logical algebra's tuple field names. *)
+
+(* Navigation steps over the shred: the downward axes the interval
+   encoding answers with range arithmetic.  [RStar] is the element
+   wildcard. *)
+type raxis = RChild | RDesc | RDescSelf | RAttr
+type rtest = RName of string | RStar
+type rstep = { ra : raxis; rt : rtest }
+type rpath = rstep list
+
+type key = { k_src : col; k_path : rpath }
+(** A comparison key: navigate [k_path] from the node(s) in column
+    [k_src] and atomize.  An empty path reads the column itself. *)
+
+(* One predicate operand: a key or a literal from the query text. *)
+type operand = OKey of key | OLit of Xqc_xml.Atomic.t
+
+type rpred = { rp_op : Promotion.cmp_op; rp_left : operand; rp_right : operand }
+
+(* One order-by key with its direction and empty-sequence placement. *)
+type rsort = { rs_key : key; rs_desc : bool; rs_empty_greatest : bool }
+
+type plan =
+  | RScan of { param : string; path : rpath; out : col }
+      (** one row per node reached by [path] from the single node bound
+          to the free variable [param], in document order *)
+  | RRowNum of { out : col; input : plan }
+      (** prepend a column of consecutive 1-based row numbers
+          (MapIndex/MapIndexStep) *)
+  | RSelect of { pred : rpred; input : plan }
+      (** keep rows satisfying the existential general comparison *)
+  | RJoin of {
+      null_flag : col option;  (** [Some q]: left outer join, flag q *)
+      op : Promotion.cmp_op;
+      left_key : key;
+      right_key : key;
+      left : plan;
+      right : plan;
+    }
+  | RGroup of {
+      agg_out : col;
+      indices : col list;
+      nulls : col list;
+      part : col;  (** the node column each non-null row contributes *)
+      input : plan;
+    }
+  | ROrder of { keys : rsort list; input : plan }
+
+(* Output columns, mirroring [Algebra.output_fields] on the source
+   subplan — the bridge back into the tuple pipeline relies on the two
+   layouts agreeing. *)
+let rec cols (p : plan) : col list =
+  match p with
+  | RScan { out; _ } -> [ out ]
+  | RRowNum { out; input } -> out :: cols input
+  | RSelect { input; _ } -> cols input
+  | RJoin { null_flag; left; right; _ } -> (
+      let merged = cols left @ cols right in
+      match null_flag with Some q -> q :: merged | None -> merged)
+  | RGroup { agg_out; input; _ } -> cols input @ [ agg_out ]
+  | ROrder { input; _ } -> cols input
+
+let rec size (p : plan) : int =
+  match p with
+  | RScan _ -> 1
+  | RRowNum { input; _ } | RSelect { input; _ } | RGroup { input; _ }
+  | ROrder { input; _ } ->
+      1 + size input
+  | RJoin { left; right; _ } -> 1 + size left + size right
+
+(* Free variables, in first-use order, de-duplicated. *)
+let params (p : plan) : string list =
+  let seen = Hashtbl.create 4 in
+  let out = ref [] in
+  let rec go = function
+    | RScan { param; _ } ->
+        if not (Hashtbl.mem seen param) then begin
+          Hashtbl.add seen param ();
+          out := param :: !out
+        end
+    | RRowNum { input; _ } | RSelect { input; _ } | RGroup { input; _ }
+    | ROrder { input; _ } ->
+        go input
+    | RJoin { left; right; _ } ->
+        go left;
+        go right
+  in
+  go p;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Rendering (explain)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let axis_name = function
+  | RChild -> "child"
+  | RDesc -> "desc"
+  | RDescSelf -> "desc-or-self"
+  | RAttr -> "attr"
+
+let step_to_string (s : rstep) =
+  Printf.sprintf "%s::%s" (axis_name s.ra)
+    (match s.rt with RName n -> n | RStar -> "*")
+
+let path_to_string (p : rpath) =
+  if p = [] then "." else String.concat "/" (List.map step_to_string p)
+
+let key_to_string (k : key) =
+  if k.k_path = [] then Printf.sprintf "#%s" k.k_src
+  else Printf.sprintf "#%s/%s" k.k_src (path_to_string k.k_path)
+
+let operand_to_string = function
+  | OKey k -> key_to_string k
+  | OLit a -> Printf.sprintf "%S" (Xqc_xml.Atomic.to_string a)
+
+let pred_to_string (p : rpred) =
+  Printf.sprintf "%s %s %s"
+    (operand_to_string p.rp_left)
+    (Promotion.cmp_op_name p.rp_op)
+    (operand_to_string p.rp_right)
+
+let label (p : plan) : string =
+  match p with
+  | RScan { param; path; out } ->
+      Printf.sprintf "RScan[$%s/%s -> %s]" param (path_to_string path) out
+  | RRowNum { out; _ } -> Printf.sprintf "RRowNum[%s]" out
+  | RSelect { pred; _ } -> Printf.sprintf "RSelect[%s]" (pred_to_string pred)
+  | RJoin { null_flag; op; left_key; right_key; _ } ->
+      Printf.sprintf "%s<%s>[%s, %s]"
+        (match null_flag with
+        | Some q -> Printf.sprintf "RLeftOuterJoin[%s]" q
+        | None -> "RJoin")
+        (Promotion.cmp_op_name op) (key_to_string left_key)
+        (key_to_string right_key)
+  | RGroup { agg_out; indices; nulls; part; _ } ->
+      Printf.sprintf "RGroup[%s,[%s],[%s],part=%s]" agg_out
+        (String.concat ";" indices) (String.concat ";" nulls) part
+  | ROrder { keys; _ } ->
+      Printf.sprintf "ROrder[%s]"
+        (String.concat ","
+           (List.map
+              (fun k ->
+                Printf.sprintf "%s %s" (key_to_string k.rs_key)
+                  (if k.rs_desc then "desc" else "asc"))
+              keys))
+
+let to_string (p : plan) : string =
+  let buf = Buffer.create 256 in
+  let rec go indent p =
+    Buffer.add_string buf (String.make indent ' ');
+    Buffer.add_string buf (label p);
+    Buffer.add_char buf '\n';
+    match p with
+    | RScan _ -> ()
+    | RRowNum { input; _ } | RSelect { input; _ } | RGroup { input; _ }
+    | ROrder { input; _ } ->
+        go (indent + 2) input
+    | RJoin { left; right; _ } ->
+        go (indent + 2) left;
+        go (indent + 2) right
+  in
+  go 0 p;
+  Buffer.contents buf

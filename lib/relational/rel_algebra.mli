@@ -1,0 +1,70 @@
+(** The relational algebra of the offload backend: the operator set the
+    lowering ({!Lower} in [xqc_rel_lower]) targets, executed over
+    shredded documents by {!Rel_exec} or rendered as SQL by {!Rel_sql}.
+
+    The operators mirror the exact sequence semantics of the native
+    evaluator (left-major join order, matches in inner input order with
+    existential de-duplication, first-occurrence group order, stable
+    sorts), so either backend yields byte-identical results. *)
+
+module Promotion = Xqc_types.Promotion
+
+(** Backend selection knob ([--backend] / [XQC_BACKEND]): [Native]
+    never offloads, [Rel] offloads every lowerable subplan, [Auto]
+    offloads join/group subplans the cost model judges heavy enough. *)
+type backend = Native | Rel | Auto
+
+val backend : backend ref
+val backend_of_string : string -> backend option
+val backend_name : backend -> string
+
+val auto_cost_threshold : float ref
+(** Estimated native cost above which [Auto] offloads when index
+    statistics exist (optimistic without statistics). *)
+
+type col = string
+
+type raxis = RChild | RDesc | RDescSelf | RAttr
+type rtest = RName of string | RStar
+type rstep = { ra : raxis; rt : rtest }
+type rpath = rstep list
+
+type key = { k_src : col; k_path : rpath }
+type operand = OKey of key | OLit of Xqc_xml.Atomic.t
+type rpred = { rp_op : Promotion.cmp_op; rp_left : operand; rp_right : operand }
+type rsort = { rs_key : key; rs_desc : bool; rs_empty_greatest : bool }
+
+type plan =
+  | RScan of { param : string; path : rpath; out : col }
+  | RRowNum of { out : col; input : plan }
+  | RSelect of { pred : rpred; input : plan }
+  | RJoin of {
+      null_flag : col option;
+      op : Promotion.cmp_op;
+      left_key : key;
+      right_key : key;
+      left : plan;
+      right : plan;
+    }
+  | RGroup of {
+      agg_out : col;
+      indices : col list;
+      nulls : col list;
+      part : col;
+      input : plan;
+    }
+  | ROrder of { keys : rsort list; input : plan }
+
+val cols : plan -> col list
+(** Output columns; must agree with [Algebra.output_fields] of the
+    lowered subplan — the tuple bridge relies on it. *)
+
+val size : plan -> int
+val params : plan -> string list
+(** Free variables in first-use order, de-duplicated. *)
+
+val path_to_string : rpath -> string
+val key_to_string : key -> string
+val pred_to_string : rpred -> string
+val label : plan -> string
+val to_string : plan -> string

@@ -1,0 +1,451 @@
+(* The in-memory columnar engine of the relational backend.
+
+   Tables are flat arrays in column order — node columns are int row
+   indexes into a shred (-1 for the empty sequence), aggregate columns
+   are offset/element int pairs, row numbers and null flags are int and
+   bool arrays — so navigation, joins and grouping run without per-row
+   boxing.  Values only materialize as atoms at comparison points,
+   where the engine calls the same [Promotion] entry points as the
+   native evaluator ([general_compare], [order_key],
+   [compare_order_keys]) so both backends agree byte-for-byte,
+   including on error behaviour.
+
+   The engine is deliberately partial: anything outside its contract —
+   parameters that are not nodes of one shreddable document, join keys
+   that atomize to something other than untyped atomics, non-singleton
+   order keys — raises [Fallback], and the eval bridge reruns the
+   native twin of the subplan.  Comparison-level dynamic errors
+   (Type_mismatch, Cast_error) are simply allowed to escape: the bridge
+   treats them as a fallback too, and the twin reproduces the exact
+   native error. *)
+
+open Xqc_xml
+module Promotion = Xqc_types.Promotion
+module R = Rel_algebra
+
+exception Fallback of string
+(** A known engine limitation (not an error in the query): the caller
+    should rerun the subplan on the native backend. *)
+
+let fallback fmt = Printf.ksprintf (fun s -> raise (Fallback s)) fmt
+
+type col =
+  | CNode of { nsh : Shred.t; rows : int array }  (** -1 = empty *)
+  | CNodes of { nsh : Shred.t; offs : int array; elems : int array }
+      (** row i holds elems\[offs.(i) .. offs.(i+1)); offs has n+1 entries *)
+  | CInt of int array
+  | CBool of bool array
+
+type table = { n : int; cols : (string * col) list }
+
+(* ------------------------------------------------------------------ *)
+(* Column access                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let col_of (t : table) (name : string) : col =
+  match List.assoc_opt name t.cols with
+  | Some c -> c
+  | None -> fallback "column #%s not in table" name
+
+let items_of_col (c : col) (i : int) : Item.sequence =
+  match c with
+  | CNode { nsh; rows } ->
+      let r = rows.(i) in
+      if r < 0 then [] else [ Item.Node nsh.Shred.nodes.(r) ]
+  | CNodes { nsh; offs; elems } ->
+      let rec go j acc =
+        if j < offs.(i) then acc
+        else go (j - 1) (Item.Node nsh.Shred.nodes.(elems.(j)) :: acc)
+      in
+      go (offs.(i + 1) - 1) []
+  | CInt a -> [ Item.Atom (Atomic.Integer a.(i)) ]
+  | CBool a -> [ Item.Atom (Atomic.Boolean a.(i)) ]
+
+(* The atoms a comparison key yields for row [i]: navigate the key path
+   from the column's node(s) and read typed values off the dictionary.
+   Untyped-by-construction for node columns — shreds refuse validated
+   trees. *)
+let key_atoms (t : table) (k : R.key) (i : int) : Atomic.t list =
+  let rows_atoms nsh rows path =
+    match (rows, path) with
+    | [], _ -> []
+    | rs, [] -> List.map (Shred.atom nsh) rs
+    | [ r ], path -> List.map (Shred.atom nsh) (Shred.path_rows nsh path r)
+    | rs, path ->
+        List.map (Shred.atom nsh)
+          (List.sort_uniq compare
+             (List.concat_map (Shred.path_rows nsh path) rs))
+  in
+  match (col_of t k.R.k_src, k.R.k_path) with
+  | CNode { nsh; rows }, path ->
+      let r = rows.(i) in
+      rows_atoms nsh (if r < 0 then [] else [ r ]) path
+  | CNodes { nsh; offs; elems }, path ->
+      let rec slice j acc =
+        if j < offs.(i) then acc else slice (j - 1) (elems.(j) :: acc)
+      in
+      rows_atoms nsh (slice (offs.(i + 1) - 1) []) path
+  | CInt a, [] -> [ Atomic.Integer a.(i) ]
+  | CBool a, [] -> [ Atomic.Boolean a.(i) ]
+  | (CInt _ | CBool _), _ :: _ -> fallback "path over a scalar column"
+
+let key_items (t : table) (k : R.key) (i : int) : Item.sequence =
+  List.map Item.atom (key_atoms t k i)
+
+let operand_items (t : table) (o : R.operand) (i : int) : Item.sequence =
+  match o with
+  | R.OKey k -> key_items t k i
+  | R.OLit a -> [ Item.Atom a ]
+
+(* ------------------------------------------------------------------ *)
+(* Row selection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let gather_col (c : col) (idx : int array) : col =
+  match c with
+  | CNode { nsh; rows } ->
+      CNode
+        { nsh; rows = Array.map (fun i -> if i < 0 then -1 else rows.(i)) idx }
+  | CInt a -> CInt (Array.map (fun i -> a.(i)) idx)
+  | CBool a -> CBool (Array.map (fun i -> a.(i)) idx)
+  | CNodes { nsh; offs; elems } ->
+      let m = Array.length idx in
+      let offs' = Array.make (m + 1) 0 in
+      Array.iteri
+        (fun k i -> offs'.(k + 1) <- offs'.(k) + (offs.(i + 1) - offs.(i)))
+        idx;
+      let elems' = Array.make offs'.(m) 0 in
+      Array.iteri
+        (fun k i ->
+          Array.blit elems offs.(i) elems' offs'.(k) (offs.(i + 1) - offs.(i)))
+        idx;
+      CNodes { nsh; offs = offs'; elems = elems' }
+
+(* Select rows [idx] (-1 only legal for node columns: the null side of
+   an outer join). *)
+let gather (t : table) (idx : int array) : table =
+  let null_ok c =
+    match c with
+    | CNode _ -> ()
+    | _ -> fallback "outer join null over a non-node column"
+  in
+  let has_null = Array.exists (fun i -> i < 0) idx in
+  {
+    n = Array.length idx;
+    cols =
+      List.map
+        (fun (name, c) ->
+          if has_null then null_ok c;
+          (name, gather_col c idx))
+        t.cols;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Operators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let eval_scan ~(lookup : string -> Item.sequence) (param : string)
+    (path : R.rpath) (out : R.col) : table =
+  let items = lookup param in
+  let located =
+    List.map
+      (fun it ->
+        match it with
+        | Item.Node nd -> (
+            match Shred.find nd with
+            | Some loc -> loc
+            | None -> fallback "parameter $%s not shreddable" param)
+        | Item.Atom _ -> fallback "parameter $%s is not a node" param)
+      items
+  in
+  let nsh =
+    match located with
+    | [] -> fallback "parameter $%s is empty" param
+    | (sh, _) :: rest ->
+        List.iter
+          (fun (sh', _) ->
+            if sh' != sh then fallback "parameter $%s spans documents" param)
+          rest;
+        sh
+  in
+  let rows =
+    match located with
+    | [ (_, r) ] -> Shred.path_rows nsh path r
+    | many ->
+        List.sort_uniq compare
+          (List.concat_map (fun (_, r) -> Shred.path_rows nsh path r) many)
+  in
+  { n = List.length rows; cols = [ (out, CNode { nsh; rows = Array.of_list rows }) ] }
+
+let eval_select (pred : R.rpred) (t : table) : table =
+  let keep = ref [] in
+  for i = t.n - 1 downto 0 do
+    if
+      Promotion.general_compare pred.R.rp_op
+        (operand_items t pred.R.rp_left i)
+        (operand_items t pred.R.rp_right i)
+    then keep := i :: !keep
+  done;
+  gather t (Array.of_list !keep)
+
+(* Join keys must atomize to untyped atomics (node columns over
+   unvalidated trees guarantee it), under which every general
+   comparison is a plain string comparison — equality by hash bucket,
+   order predicates existentially via per-row min/max keys. *)
+let key_strings (t : table) (k : R.key) (i : int) : string list =
+  List.map
+    (function
+      | Atomic.Untyped s -> s
+      | a -> fallback "join key of type %s" (Atomic.to_string a))
+    (key_atoms t k i)
+
+let minmax (ss : string list) : (string * string) option =
+  match ss with
+  | [] -> None
+  | s :: rest ->
+      Some
+        (List.fold_left
+           (fun (lo, hi) s ->
+             ((if s < lo then s else lo), if s > hi then s else hi))
+           (s, s) rest)
+
+let eval_join ~(null_flag : R.col option) (op : Promotion.cmp_op)
+    (left_key : R.key) (right_key : R.key) (lt : table) (rt : table) : table =
+  let rkeys = Array.init rt.n (fun j -> key_strings rt right_key j) in
+  (* matches for one left row, ascending j (= inner input order),
+     duplicate-free — the order and existential de-duplication of the
+     native join emission *)
+  let matches_of : string list -> int list =
+    match op with
+    | Promotion.Eq ->
+        let buckets : (string, int list ref) Hashtbl.t =
+          Hashtbl.create (max 16 rt.n)
+        in
+        Array.iteri
+          (fun j ss ->
+            List.iter
+              (fun s ->
+                match Hashtbl.find_opt buckets s with
+                | Some l -> if List.hd !l <> j then l := j :: !l
+                | None -> Hashtbl.add buckets s (ref [ j ]))
+              ss)
+          rkeys;
+        fun ls ->
+          List.sort_uniq compare
+            (List.concat_map
+               (fun s ->
+                 match Hashtbl.find_opt buckets s with
+                 | Some l -> !l
+                 | None -> [])
+               ls)
+    | Promotion.Ne -> fallback "!= join"
+    | (Promotion.Lt | Promotion.Le | Promotion.Gt | Promotion.Ge) as op ->
+        (* exists l in L, r in R with l <op> r  <=>  the extreme pair
+           satisfies it: sort right rows by the relevant extreme and
+           binary-search the boundary per left row *)
+        let extreme_r (lo, hi) =
+          match op with
+          | Promotion.Lt | Promotion.Le -> hi (* need max r *)
+          | _ -> lo (* need min r *)
+        in
+        let keyed =
+          Array.of_list
+            (List.filter_map
+               (fun j ->
+                 Option.map (fun mm -> (extreme_r mm, j)) (minmax rkeys.(j)))
+               (List.init rt.n Fun.id))
+        in
+        Array.sort compare keyed;
+        let nk = Array.length keyed in
+        (* first index whose key satisfies [ok] — keys ascending, [ok]
+           monotone upward for Lt/Le (suffix) and we flip for Gt/Ge *)
+        let suffix_from ok =
+          let lo = ref 0 and hi = ref nk in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            if ok (fst keyed.(mid)) then hi := mid else lo := mid + 1
+          done;
+          !lo
+        in
+        fun ls ->
+          match minmax ls with
+          | None -> []
+          | Some (lmin, lmax) ->
+              let collect lo hi =
+                let rec go i acc =
+                  if i < lo then acc else go (i - 1) (snd keyed.(i) :: acc)
+                in
+                List.sort compare (go (hi - 1) [])
+              in
+              (match op with
+              | Promotion.Lt -> collect (suffix_from (fun r -> lmin < r)) nk
+              | Promotion.Le -> collect (suffix_from (fun r -> lmin <= r)) nk
+              | Promotion.Gt -> collect 0 (suffix_from (fun r -> lmax <= r))
+              | Promotion.Ge -> collect 0 (suffix_from (fun r -> lmax < r))
+              | _ -> assert false)
+  in
+  let li = ref [] and ri = ref [] and fl = ref [] in
+  for i = lt.n - 1 downto 0 do
+    let ls = key_strings lt left_key i in
+    match (matches_of ls, null_flag) with
+    | [], None -> ()
+    | [], Some _ ->
+        li := i :: !li;
+        ri := -1 :: !ri;
+        fl := true :: !fl
+    | js, _ ->
+        (* left-major: every match of row i before any of row i+1 *)
+        let rec push = function
+          | [] -> ()
+          | j :: rest ->
+              push rest;
+              li := i :: !li;
+              ri := j :: !ri;
+              fl := false :: !fl
+        in
+        push js
+  done;
+  let li = Array.of_list !li and ri = Array.of_list !ri in
+  let left_out = gather lt li and right_out = gather rt ri in
+  let merged = { n = Array.length li; cols = left_out.cols @ right_out.cols } in
+  match null_flag with
+  | None -> merged
+  | Some q ->
+      { merged with cols = (q, CBool (Array.of_list !fl)) :: merged.cols }
+
+let eval_group ~(agg_out : R.col) (indices : R.col list) (nulls : R.col list)
+    (part : R.col) (t : table) : table =
+  let part_sh, part_rows =
+    match col_of t part with
+    | CNode { nsh; rows } -> (nsh, rows)
+    | _ -> fallback "group part #%s is not a node column" part
+  in
+  let null_cols = List.map (col_of t) nulls in
+  let is_null i =
+    List.exists (fun c -> Item.effective_boolean_value (items_of_col c i)) null_cols
+  in
+  (* a row's contribution to its group's aggregate: its part node, or
+     nothing when any null-test field is true (or the slot is empty) *)
+  let contrib i acc =
+    if is_null i then acc
+    else
+      let r = part_rows.(i) in
+      if r < 0 then acc else r :: acc
+  in
+  let emit (firsts : int list) (groups : int list list) : table =
+    let firsts = Array.of_list firsts in
+    let m = Array.length firsts in
+    let offs = Array.make (m + 1) 0 in
+    List.iteri (fun k g -> offs.(k + 1) <- offs.(k) + List.length g) groups;
+    let elems = Array.make offs.(m) 0 in
+    List.iteri (fun k g -> List.iteri (fun j r -> elems.(offs.(k) + j) <- r) g) groups;
+    let base = gather t firsts in
+    {
+      base with
+      cols =
+        base.cols @ [ (agg_out, CNodes { nsh = part_sh; offs; elems }) ];
+    }
+  in
+  match indices with
+  | [] ->
+      (* no grouping criteria: the whole input is one partition *)
+      if t.n = 0 then emit [] []
+      else
+        let g = ref [] in
+        for i = t.n - 1 downto 0 do
+          g := contrib i !g
+        done;
+        emit [ 0 ] [ !g ]
+  | index_cols ->
+      let index_cols = List.map (col_of t) index_cols in
+      let key_of i =
+        String.concat "\x00"
+          (List.map
+             (fun c ->
+               String.concat ","
+                 (List.map Item.string_value (items_of_col c i)))
+             index_cols)
+      in
+      let partitions : (string, int * int list ref) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let order = ref [] in
+      for i = 0 to t.n - 1 do
+        let k = key_of i in
+        match Hashtbl.find_opt partitions k with
+        | Some (_, g) -> g := contrib i !g
+        | None ->
+            Hashtbl.add partitions k (i, ref (contrib i []));
+            order := k :: !order
+      done;
+      let keys = List.rev !order in
+      emit
+        (List.map (fun k -> fst (Hashtbl.find partitions k)) keys)
+        (List.map (fun k -> List.rev !(snd (Hashtbl.find partitions k))) keys)
+
+let eval_order (keys : R.rsort list) (t : table) : table =
+  (* classify every key once, exactly like the native order_by; a
+     non-singleton key is a dynamic error natively — fall back and let
+     the twin raise it *)
+  let keyed =
+    List.map
+      (fun (s : R.rsort) ->
+        ( s,
+          Array.init t.n (fun i ->
+              match key_atoms t s.R.rs_key i with
+              | [] -> None
+              | [ a ] -> Some (Promotion.order_key a)
+              | _ -> fallback "order by key is not a singleton") ))
+      keys
+  in
+  let compare_rows i j =
+    let rec go = function
+      | [] -> 0
+      | ((s : R.rsort), ks) :: rest ->
+          let c =
+            match (ks.(i), ks.(j)) with
+            | None, None -> 0
+            | None, Some _ -> if s.R.rs_empty_greatest then 1 else -1
+            | Some _, None -> if s.R.rs_empty_greatest then -1 else 1
+            | Some a, Some b -> Promotion.compare_order_keys a b
+          in
+          let c = if s.R.rs_desc then -c else c in
+          if c <> 0 then c else go rest
+    in
+    go keyed
+  in
+  let idx = List.stable_sort compare_rows (List.init t.n Fun.id) in
+  gather t (Array.of_list idx)
+
+(* ------------------------------------------------------------------ *)
+(* Plan evaluation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval ~(lookup : string -> Item.sequence) (p : R.plan) : table =
+  match p with
+  | R.RScan { param; path; out } -> eval_scan ~lookup param path out
+  | R.RRowNum { out; input } ->
+      let t = eval ~lookup input in
+      { t with cols = (out, CInt (Array.init t.n (fun i -> i + 1))) :: t.cols }
+  | R.RSelect { pred; input } -> eval_select pred (eval ~lookup input)
+  | R.RJoin { null_flag; op; left_key; right_key; left; right } ->
+      eval_join ~null_flag op left_key right_key (eval ~lookup left)
+        (eval ~lookup right)
+  | R.RGroup { agg_out; indices; nulls; part; input } ->
+      eval_group ~agg_out indices nulls part (eval ~lookup input)
+  | R.ROrder { keys; input } -> eval_order keys (eval ~lookup input)
+
+let run (p : R.plan) ~(lookup : string -> Item.sequence) :
+    Item.sequence array list =
+  let t = eval ~lookup p in
+  let cols = List.map snd t.cols in
+  let width = List.length cols in
+  let rec rows i acc =
+    if i < 0 then acc
+    else begin
+      let tup = Array.make width [] in
+      List.iteri (fun k c -> tup.(k) <- items_of_col c i) cols;
+      rows (i - 1) (tup :: acc)
+    end
+  in
+  rows (t.n - 1) []

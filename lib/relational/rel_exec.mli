@@ -1,0 +1,23 @@
+(** The in-memory columnar engine of the relational backend.
+
+    Executes {!Rel_algebra} plans over shredded documents using flat
+    int arrays — no per-row boxing — while calling the same
+    [Promotion] comparison entry points as the native evaluator, so
+    both backends produce byte-identical sequences (tuple order, match
+    order, group order, sort stability and error behaviour included). *)
+
+open Xqc_xml
+
+exception Fallback of string
+(** A known engine limitation (not a query error): the caller should
+    rerun the subplan on the native backend.  Comparison-level dynamic
+    errors ([Promotion.Type_mismatch], [Atomic.Cast_error]) escape
+    as-is and should be handled the same way — the native twin
+    reproduces the exact error. *)
+
+val run :
+  Rel_algebra.plan ->
+  lookup:(string -> Item.sequence) ->
+  Item.sequence array list
+(** Evaluate the plan with free variables resolved by [lookup]; one
+    tuple per result row, slots in [Rel_algebra.cols] order. *)

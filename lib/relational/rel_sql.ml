@@ -1,0 +1,302 @@
+(* Render a relational plan as portable SQL (SQLite dialect) over the
+   shredded-document schema, so a future external backend can be
+   dropped in behind the same plan interface.
+
+   The emitted statements assume the relational encoding Shred builds
+   in memory, as three tables:
+
+     node (pre INTEGER PRIMARY KEY, size INTEGER, level INTEGER,
+           kind INTEGER,          -- 0 doc, 1 elem, 2 attr, 3 text,
+                                  -- 4 comment, 5 pi
+           qname_id INTEGER, value_id INTEGER)
+     qname (id INTEGER PRIMARY KEY, name TEXT)
+     value (id INTEGER PRIMARY KEY, value TEXT)
+
+   There is no parent column: the downward axes are rendered with the
+   pre/size interval arithmetic the columnar engine uses — child is
+   interval containment plus [level = parent.level + 1], descendant is
+   containment alone, attributes are containment plus level plus
+   [kind = 2].  Plan parameters become named placeholders [:p_var]
+   holding the pre id of the bound node.
+
+   Each operator becomes one CTE carrying its logical columns (node
+   columns as pre ids) plus explicit ordering columns, so the final
+   SELECT can reproduce the engine's deterministic row order with an
+   ORDER BY.  Sequence-valued aggregates have no first-class SQL
+   shape; RGroup renders them as GROUP_CONCAT over the members' string
+   values, which is the documented approximation of this renderer. *)
+
+module R = Rel_algebra
+module Promotion = Xqc_types.Promotion
+
+let quote_ident (s : string) : string =
+  Printf.sprintf "\"%s\"" (String.concat "\"\"" (String.split_on_char '"' s))
+
+let quote_str (s : string) : string =
+  Printf.sprintf "'%s'" (String.concat "''" (String.split_on_char '\'' s))
+
+let placeholder (v : string) : string =
+  let b = Buffer.create (String.length v + 3) in
+  Buffer.add_string b ":p_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    v;
+  Buffer.contents b
+
+let op_sql = function
+  | Promotion.Eq -> "="
+  | Promotion.Ne -> "<>"
+  | Promotion.Lt -> "<"
+  | Promotion.Le -> "<="
+  | Promotion.Gt -> ">"
+  | Promotion.Ge -> ">="
+
+(* Join condition of one navigation step, from node alias [p] to node
+   alias [c]. *)
+let step_cond ~(p : string) ~(c : string) (s : R.rstep) : string =
+  let interval ge =
+    Printf.sprintf "%s.pre %s %s.pre AND %s.pre < %s.pre + %s.size" c
+      (if ge then ">=" else ">")
+      p c p p
+  in
+  let shape =
+    match s.R.ra with
+    | R.RChild ->
+        Printf.sprintf "%s AND %s.level = %s.level + 1 AND %s.kind = 1"
+          (interval false) c p c
+    | R.RDesc -> Printf.sprintf "%s AND %s.kind = 1" (interval false) c
+    | R.RDescSelf -> Printf.sprintf "%s AND %s.kind = 1" (interval true) c
+    | R.RAttr ->
+        Printf.sprintf "%s AND %s.level = %s.level + 1 AND %s.kind = 2"
+          (interval false) c p c
+  in
+  match s.R.rt with
+  | R.RStar -> shape
+  | R.RName nm ->
+      Printf.sprintf
+        "%s AND %s.qname_id = (SELECT id FROM qname WHERE name = %s)" shape c
+        (quote_str nm)
+
+(* FROM/JOIN chain navigating [path] from the node whose pre id is the
+   SQL expression [src]; returns (from_clause, where_cond, last_alias).
+   Aliases are [prefix0 .. prefixN]. *)
+let path_chain ~(prefix : string) ~(src : string) (path : R.rpath) :
+    string * string * string =
+  let alias i = Printf.sprintf "%s%d" prefix i in
+  let joins =
+    List.mapi
+      (fun i s ->
+        Printf.sprintf " JOIN node %s ON %s" (alias (i + 1))
+          (step_cond ~p:(alias i) ~c:(alias (i + 1)) s))
+      path
+  in
+  ( Printf.sprintf "node %s%s" (alias 0) (String.concat "" joins),
+    Printf.sprintf "%s.pre = %s" (alias 0) src,
+    alias (List.length path) )
+
+(* Correlated derived table of a key's string values (column [v]):
+   navigate the path from table alias [t]'s column and read the value
+   dictionary. *)
+let key_values ~(t : string) ~(prefix : string) (k : R.key) : string =
+  let src = Printf.sprintf "%s.%s" t (quote_ident k.R.k_src) in
+  let from_, where_, last = path_chain ~prefix ~src k.R.k_path in
+  Printf.sprintf
+    "SELECT v.value AS v FROM %s JOIN value v ON v.id = %s.value_id WHERE %s"
+    from_ last where_
+
+let operand_values ~(t : string) ~(prefix : string) (o : R.operand) : string =
+  match o with
+  | R.OKey k -> key_values ~t ~prefix k
+  | R.OLit a ->
+      Printf.sprintf "SELECT %s AS v" (quote_str (Xqc_xml.Atomic.to_string a))
+
+(* Existential general comparison between two operands over row
+   alias(es) [tl]/[tr]. *)
+let exists_pred ~(tl : string) ~(tr : string) (op : Promotion.cmp_op)
+    (l : R.operand) (r : R.operand) : string =
+  Printf.sprintf "EXISTS (SELECT 1 FROM (%s) lk, (%s) rk WHERE lk.v %s rk.v)"
+    (operand_values ~t:tl ~prefix:"lk" l)
+    (operand_values ~t:tr ~prefix:"rk" r)
+    (op_sql op)
+
+(* Scalar rendering of a key for GROUP BY / ORDER BY: node columns go
+   through the value dictionary (scalar columns pass through via
+   COALESCE), navigated keys take the first reached value. *)
+let scalar_expr ~(t : string) (k : R.key) : string =
+  if k.R.k_path = [] then
+    Printf.sprintf
+      "COALESCE((SELECT v.value FROM node kn JOIN value v ON v.id = kn.value_id WHERE kn.pre = %s.%s), %s.%s)"
+      t (quote_ident k.R.k_src) t (quote_ident k.R.k_src)
+  else
+    let from_, where_, last =
+      path_chain ~prefix:"kp"
+        ~src:(Printf.sprintf "%s.%s" t (quote_ident k.R.k_src))
+        k.R.k_path
+    in
+    Printf.sprintf
+      "(SELECT v.value FROM %s JOIN value v ON v.id = %s.value_id WHERE %s LIMIT 1)"
+      from_ last where_
+
+(* Effective-boolean-value test of a column (group-by null tests). *)
+let ebv_expr ~(t : string) (c : R.col) : string =
+  Printf.sprintf "(COALESCE(%s.%s, 0) <> 0 OR %s.%s IS NOT NULL)" t
+    (quote_ident c) t (quote_ident c)
+
+(* One emitted CTE: its logical columns (SQL name = quoted logical
+   name) plus [extras] — already-quoted ordering columns downstream
+   operators must keep selecting.  [ords] (all already quoted) is the
+   ORDER BY list reproducing engine row order, drawn from both. *)
+type rel = { name : string; rcols : R.col list; ords : string list; extras : string list }
+
+let emit (p : R.plan) : string =
+  let ctes = ref [] in
+  let counter = ref 0 in
+  let fresh prefix =
+    let i = !counter in
+    incr counter;
+    Printf.sprintf "%s%d" prefix i
+  in
+  let add_cte sql rcols ords extras =
+    let name = fresh "t" in
+    ctes := (name, sql) :: !ctes;
+    { name; rcols; ords; extras }
+  in
+  let col_list ~t cols =
+    List.map (fun c -> Printf.sprintf "%s.%s" t (quote_ident c)) cols
+  in
+  (* the full select list an operator forwards from its input *)
+  let passthrough ~t (r : rel) =
+    col_list ~t r.rcols @ List.map (fun o -> Printf.sprintf "%s.%s" t o) r.extras
+  in
+  let commas = String.concat ", " in
+  let ord_list ~t (r : rel) =
+    commas (List.map (fun o -> Printf.sprintf "%s.%s" t o) r.ords)
+  in
+  let rec go (p : R.plan) : rel =
+    match p with
+    | R.RScan { param; path; out } ->
+        let from_, where_, last =
+          path_chain ~prefix:"s" ~src:(placeholder param) path
+        in
+        add_cte
+          (Printf.sprintf "SELECT DISTINCT %s.pre AS %s FROM %s WHERE %s" last
+             (quote_ident out) from_ where_)
+          [ out ]
+          [ quote_ident out ]
+          []
+    | R.RRowNum { out; input } ->
+        let i = go input in
+        add_cte
+          (Printf.sprintf
+             "SELECT ROW_NUMBER() OVER (ORDER BY %s) AS %s, %s FROM %s t"
+             (ord_list ~t:"t" i) (quote_ident out)
+             (commas (passthrough ~t:"t" i))
+             i.name)
+          (out :: i.rcols) i.ords i.extras
+    | R.RSelect { pred; input } ->
+        let i = go input in
+        add_cte
+          (Printf.sprintf "SELECT %s FROM %s t WHERE %s"
+             (commas (passthrough ~t:"t" i))
+             i.name
+             (exists_pred ~tl:"t" ~tr:"t" pred.R.rp_op pred.R.rp_left
+                pred.R.rp_right))
+          i.rcols i.ords i.extras
+    | R.RJoin { null_flag; op; left_key; right_key; left; right } ->
+        let l = go left and r = go right in
+        let on_ =
+          exists_pred ~tl:"l" ~tr:"r" op (R.OKey left_key) (R.OKey right_key)
+        in
+        let sel = commas (passthrough ~t:"l" l @ passthrough ~t:"r" r) in
+        let rcols_lr = l.rcols @ r.rcols in
+        let ords = l.ords @ r.ords and extras = l.extras @ r.extras in
+        (match null_flag with
+        | None ->
+            add_cte
+              (Printf.sprintf "SELECT %s FROM %s l JOIN %s r ON %s" sel l.name
+                 r.name on_)
+              rcols_lr ords extras
+        | Some q ->
+            let probe =
+              match r.rcols with
+              | c :: _ -> Printf.sprintf "r.%s" (quote_ident c)
+              | [] -> "r.rowid"
+            in
+            add_cte
+              (Printf.sprintf
+                 "SELECT CASE WHEN %s IS NULL THEN 1 ELSE 0 END AS %s, %s FROM %s l LEFT JOIN %s r ON %s"
+                 probe (quote_ident q) sel l.name r.name on_)
+              (q :: rcols_lr) ords extras)
+    | R.RGroup { agg_out; indices; nulls; part; input } ->
+        let i = go input in
+        let keys =
+          List.map
+            (fun c -> scalar_expr ~t:"t" { R.k_src = c; k_path = [] })
+            indices
+        in
+        let not_null =
+          match nulls with
+          | [] -> ""
+          | ns ->
+              Printf.sprintf " FILTER (WHERE NOT (%s))"
+                (String.concat " OR " (List.map (ebv_expr ~t:"t") ns))
+        in
+        let agg =
+          Printf.sprintf
+            "GROUP_CONCAT((SELECT v.value FROM node pn JOIN value v ON v.id = pn.value_id WHERE pn.pre = t.%s), '')%s AS %s"
+            (quote_ident part) not_null (quote_ident agg_out)
+        in
+        let out_cols =
+          List.map
+            (fun c ->
+              Printf.sprintf "MIN(t.%s) AS %s" (quote_ident c) (quote_ident c))
+            i.rcols
+        in
+        (* first-occurrence group order: carry the minimum of each
+           ordering column into a fresh pass-through column *)
+        let ords' = List.map (fun _ -> quote_ident (fresh "ord")) i.ords in
+        let min_ords =
+          List.map2
+            (fun o o' -> Printf.sprintf "MIN(t.%s) AS %s" o o')
+            i.ords ords'
+        in
+        add_cte
+          (Printf.sprintf "SELECT %s FROM %s t%s"
+             (commas (out_cols @ [ agg ] @ min_ords))
+             i.name
+             (if keys = [] then "" else " GROUP BY " ^ commas keys))
+          (i.rcols @ [ agg_out ])
+          ords' ords'
+    | R.ROrder { keys; input } ->
+        let i = go input in
+        let key_sql (s : R.rsort) =
+          Printf.sprintf "%s %s %s"
+            (scalar_expr ~t:"t" s.R.rs_key)
+            (if s.R.rs_desc then "DESC" else "ASC")
+            (if s.R.rs_empty_greatest then "NULLS LAST" else "NULLS FIRST")
+        in
+        let ord = quote_ident (fresh "ord") in
+        add_cte
+          (Printf.sprintf
+             "SELECT %s, ROW_NUMBER() OVER (ORDER BY %s) AS %s FROM %s t"
+             (commas (passthrough ~t:"t" i))
+             (commas
+                (List.map key_sql keys
+                @ List.map (fun o -> Printf.sprintf "t.%s" o) i.ords))
+             ord i.name)
+          i.rcols [ ord ] [ ord ]
+  in
+  let top = go p in
+  let withs =
+    String.concat ",\n"
+      (List.rev_map
+         (fun (name, sql) -> Printf.sprintf "%s AS (%s)" name sql)
+         !ctes)
+  in
+  Printf.sprintf "WITH %s\nSELECT %s FROM %s%s" withs
+    (commas (col_list ~t:top.name top.rcols))
+    top.name
+    (if top.ords = [] then "" else " ORDER BY " ^ ord_list ~t:top.name top)

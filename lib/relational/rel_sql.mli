@@ -1,0 +1,10 @@
+(** Render a relational plan as portable SQL (SQLite dialect) over the
+    shredded-document schema
+    [node(pre, size, level, kind, qname_id, value_id)] +
+    [qname(id, name)] + [value(id, value)], with plan parameters as
+    [:p_var] placeholders.  Documentation-grade: the statement shape
+    (interval-arithmetic axes, EXISTS joins, window-function row
+    numbers and orderings) is what an external backend would execute;
+    sequence aggregates are approximated with GROUP_CONCAT. *)
+
+val emit : Rel_algebra.plan -> string

@@ -1,0 +1,369 @@
+(* Document shredding: columnar relational tables over the pre/size
+   interval encoding.
+
+   A shred turns one renumbered document root into flat int arrays —
+   node(pre, size, level, kind, qname_id, value_id) plus qname and
+   value dictionaries — with row i holding the node whose preorder id
+   is [base + i].  Subtree membership, child/descendant navigation and
+   per-qname lookups then become range arithmetic and binary search
+   over int arrays, exactly like the structural name indexes of
+   Xqc_store, and the node's data-model string value is one dictionary
+   probe.
+
+   Cache protocol (copied from Store): shreds are keyed by the root's
+   nid at build time and published through one [Atomic] holding an
+   immutable map — readers take no lock.  [Node.renumber], the only
+   operation that changes ids, gives the root a fresh nid, so a stale
+   shred can never be looked up again; stale entries are purged on
+   publish.  The build walk verifies strictly consecutive preorder ids
+   and refuses validated (type-annotated) trees, whose typed values
+   the untyped column encoding cannot represent; such roots are
+   recorded [Unshreddable] so they are not re-walked per query. *)
+
+open Xqc_xml
+module Obs = Xqc_obs.Obs
+module R = Rel_algebra
+
+let c_shreds = Obs.global_counter "rel_shreds"
+let c_shred_nodes = Obs.global_counter "rel_shred_nodes"
+
+(* Kind codes of the [kinds] column. *)
+let k_document = 0
+let k_element = 1
+let k_attribute = 2
+let k_text = 3
+let k_comment = 4
+let k_pi = 5
+
+type t = {
+  root : Node.t;
+  base : int;  (** root nid at build: row i holds nid [base + i] *)
+  n : int;
+  nodes : Node.t array;  (** row -> node (the bridge back to items) *)
+  sizes : int array;  (** subtree node count, self included *)
+  levels : int array;
+  kinds : int array;
+  parents : int array;  (** parent row, -1 for the root *)
+  qids : int array;  (** qname dictionary id, -1 when unnamed *)
+  vids : int array;  (** value dictionary id of the string value *)
+  qnames : string array;
+  values : string array;
+  elem_rows : int array array;  (** qid -> element rows, ascending *)
+  attr_rows : int array array;  (** qid -> attribute rows, ascending *)
+  all_elems : int array;  (** every element row, ascending *)
+}
+
+type entry = Shredded of t | Unshreddable of Node.t
+
+exception Not_shreddable
+
+(* ------------------------------------------------------------------ *)
+(* Build                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type dict = { tbl : (string, int) Hashtbl.t; mutable rev : string list; mutable next : int }
+
+let dict_make () = { tbl = Hashtbl.create 64; rev = []; next = 0 }
+
+let dict_id (d : dict) (s : string) : int =
+  match Hashtbl.find_opt d.tbl s with
+  | Some i -> i
+  | None ->
+      let i = d.next in
+      Hashtbl.add d.tbl s i;
+      d.rev <- s :: d.rev;
+      d.next <- i + 1;
+      i
+
+let dict_array (d : dict) : string array =
+  let a = Array.make d.next "" in
+  List.iteri (fun i s -> a.(d.next - 1 - i) <- s) d.rev;
+  a
+
+let build (root : Node.t) : entry =
+  let total = Node.size root in
+  if total = 0 then Unshreddable root
+  else
+    let base = root.Node.nid in
+    let nodes = Array.make total root in
+    let sizes = Array.make total 0 in
+    let levels = Array.make total 0 in
+    let kinds = Array.make total 0 in
+    let parents = Array.make total (-1) in
+    let qids = Array.make total (-1) in
+    let vids = Array.make total (-1) in
+    let qdict = dict_make () and vdict = dict_make () in
+    let elem_acc : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+    let attr_acc : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+    let all_elems = ref [] in
+    let push tbl qid row =
+      match Hashtbl.find_opt tbl qid with
+      | Some l -> l := row :: !l
+      | None -> Hashtbl.add tbl qid (ref [ row ])
+    in
+    let count = ref 0 in
+    let rec go level parent_row (nd : Node.t) =
+      let row = !count in
+      (* the encoding requires exactly consecutive preorder ids *)
+      if row >= total || nd.Node.nid <> base + row then raise Not_shreddable;
+      if Node.type_annotation nd <> None then raise Not_shreddable;
+      incr count;
+      nodes.(row) <- nd;
+      levels.(row) <- level;
+      parents.(row) <- parent_row;
+      (match nd.Node.desc with
+      | Node.Document _ ->
+          kinds.(row) <- k_document;
+          vids.(row) <- dict_id vdict (Node.string_value nd)
+      | Node.Element { ename; _ } ->
+          kinds.(row) <- k_element;
+          let q = dict_id qdict ename in
+          qids.(row) <- q;
+          vids.(row) <- dict_id vdict (Node.string_value nd);
+          push elem_acc q row;
+          all_elems := row :: !all_elems
+      | Node.Attribute { aname; avalue; _ } ->
+          kinds.(row) <- k_attribute;
+          let q = dict_id qdict aname in
+          qids.(row) <- q;
+          vids.(row) <- dict_id vdict avalue;
+          push attr_acc q row
+      | Node.Text s ->
+          kinds.(row) <- k_text;
+          vids.(row) <- dict_id vdict s
+      | Node.Comment s ->
+          kinds.(row) <- k_comment;
+          vids.(row) <- dict_id vdict s
+      | Node.Pi { target; pdata } ->
+          kinds.(row) <- k_pi;
+          qids.(row) <- dict_id qdict target;
+          vids.(row) <- dict_id vdict pdata);
+      List.iter (go (level + 1) row) (Node.attributes nd);
+      List.iter (go (level + 1) row) (Node.children nd);
+      sizes.(row) <- !count - row
+    in
+    match go 0 (-1) root with
+    | exception Not_shreddable -> Unshreddable root
+    | () ->
+        if !count <> total then Unshreddable root
+        else begin
+          let rows_of tbl =
+            let a = Array.make qdict.next [||] in
+            Hashtbl.iter
+              (fun qid l -> a.(qid) <- Array.of_list (List.rev !l))
+              tbl;
+            a
+          in
+          Obs.incr_counter c_shreds;
+          Obs.add_counter c_shred_nodes total;
+          Shredded
+            {
+              root;
+              base;
+              n = total;
+              nodes;
+              sizes;
+              levels;
+              kinds;
+              parents;
+              qids;
+              vids;
+              qnames = dict_array qdict;
+              values = dict_array vdict;
+              elem_rows = rows_of elem_acc;
+              attr_rows = rows_of attr_acc;
+              all_elems = Array.of_list (List.rev !all_elems);
+            }
+        end
+
+(* ------------------------------------------------------------------ *)
+(* Cache (the Store publication protocol)                              *)
+(* ------------------------------------------------------------------ *)
+
+let lock = Obs.tmutex "shred_publish"
+
+module IntMap = Map.Make (Int)
+
+let snapshot : entry IntMap.t Stdlib.Atomic.t = Stdlib.Atomic.make IntMap.empty
+
+let entry_root = function Shredded s -> s.root | Unshreddable r -> r
+
+let cache_size () = IntMap.cardinal (Stdlib.Atomic.get snapshot)
+
+let clear () =
+  Obs.with_lock lock (fun () -> Stdlib.Atomic.set snapshot IntMap.empty)
+
+let purge_stale (m : entry IntMap.t) : entry IntMap.t =
+  IntMap.filter (fun key e -> (entry_root e).Node.nid = key) m
+
+let live_entry key e = if (entry_root e).Node.nid = key then Some e else None
+
+let entry_for (root : Node.t) : entry =
+  let key = root.Node.nid in
+  match
+    Option.bind (IntMap.find_opt key (Stdlib.Atomic.get snapshot)) (live_entry key)
+  with
+  | Some e -> e
+  | None ->
+      (* build outside the lock (idempotent; a racing loser's publish is
+         a harmless overwrite), publish under it *)
+      let e = build root in
+      Obs.with_lock lock (fun () ->
+          let m = Stdlib.Atomic.get snapshot in
+          match Option.bind (IntMap.find_opt key m) (live_entry key) with
+          | Some winner -> winner
+          | None ->
+              Stdlib.Atomic.set snapshot (IntMap.add key e (purge_stale m));
+              e)
+
+let of_root (root : Node.t) : t option =
+  match entry_for root with Shredded s -> Some s | Unshreddable _ -> None
+
+(* Locate an arbitrary node inside its root's shred: its row is its
+   nid offset, verified by physical identity (a renumbered tree would
+   miss the cache and rebuild, but belt and braces). *)
+let find (n : Node.t) : (t * int) option =
+  match of_root (Node.root n) with
+  | None -> None
+  | Some sh ->
+      let row = n.Node.nid - sh.base in
+      if row >= 0 && row < sh.n && sh.nodes.(row) == n then Some (sh, row)
+      else None
+
+(* ------------------------------------------------------------------ *)
+(* Observation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let value (sh : t) (row : int) : string =
+  let v = sh.vids.(row) in
+  if v < 0 then "" else sh.values.(v)
+
+let atom (sh : t) (row : int) : Atomic.t = Atomic.Untyped (value sh row)
+
+let qid_of_name (sh : t) (name : string) : int option =
+  (* the dictionary is small; scan once per plan operator evaluation *)
+  let n = Array.length sh.qnames in
+  let rec go i =
+    if i >= n then None
+    else if String.equal sh.qnames.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Navigation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* First index in [arr] with value >= v (arr ascending). *)
+let lower_bound (arr : int array) (v : int) : int =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Rows of [arr] inside [lo, hi) appended to [acc] in ascending order. *)
+let range_rows (arr : int array) (lo : int) (hi : int) : int list =
+  let i0 = lower_bound arr lo in
+  let rec go i acc = if i < i0 then acc else go (i - 1) (arr.(i) :: acc) in
+  let rec last i = if i < Array.length arr && arr.(i) < hi then last (i + 1) else i in
+  go (last i0 - 1) []
+
+let attrs_of (sh : t) (r : int) : int list =
+  if sh.kinds.(r) <> k_element then []
+  else begin
+    let stop = r + sh.sizes.(r) in
+    let rec go i acc =
+      if i < stop && sh.kinds.(i) = k_attribute then go (i + 1) (i :: acc)
+      else List.rev acc
+    in
+    go (r + 1) []
+  end
+
+let children_of (sh : t) (r : int) : int list =
+  if sh.kinds.(r) <> k_element && sh.kinds.(r) <> k_document then []
+  else begin
+    let stop = r + sh.sizes.(r) in
+    (* attributes come first in preorder; skip them, then hop siblings
+       by subtree size *)
+    let rec skip_attrs i =
+      if i < stop && sh.kinds.(i) = k_attribute then skip_attrs (i + 1) else i
+    in
+    let rec go i acc =
+      if i >= stop then List.rev acc else go (i + sh.sizes.(i)) (i :: acc)
+    in
+    go (skip_attrs (r + 1)) []
+  end
+
+let step_rows (sh : t) (s : R.rstep) (r : int) : int list =
+  match (s.R.ra, s.R.rt) with
+  | R.RChild, R.RName nm -> (
+      match qid_of_name sh nm with
+      | None -> []
+      | Some q ->
+          List.filter
+            (fun c -> sh.kinds.(c) = k_element && sh.qids.(c) = q)
+            (children_of sh r))
+  | R.RChild, R.RStar ->
+      List.filter (fun c -> sh.kinds.(c) = k_element) (children_of sh r)
+  | R.RAttr, R.RName nm -> (
+      match qid_of_name sh nm with
+      | None -> []
+      | Some q -> List.filter (fun a -> sh.qids.(a) = q) (attrs_of sh r))
+  | R.RAttr, R.RStar -> attrs_of sh r
+  | R.RDesc, R.RName nm -> (
+      match qid_of_name sh nm with
+      | None -> []
+      | Some q -> range_rows sh.elem_rows.(q) (r + 1) (r + sh.sizes.(r)))
+  | R.RDesc, R.RStar -> range_rows sh.all_elems (r + 1) (r + sh.sizes.(r))
+  | R.RDescSelf, R.RName nm -> (
+      match qid_of_name sh nm with
+      | None -> []
+      | Some q -> range_rows sh.elem_rows.(q) r (r + sh.sizes.(r)))
+  | R.RDescSelf, R.RStar -> range_rows sh.all_elems r (r + sh.sizes.(r))
+
+(* Apply a whole path from one row.  Each step's output over ascending
+   disjoint inputs is ascending by construction for the downward axes,
+   but nested descendant inputs can interleave — close with a cheap
+   sort_uniq exactly like the native tree_join closes with
+   sort_doc_order (already-sorted inputs cost one comparison pass). *)
+let path_rows (sh : t) (path : R.rpath) (r : int) : int list =
+  List.fold_left
+    (fun rows s ->
+      match rows with
+      | [] -> []
+      | [ one ] -> step_rows sh s one
+      | many -> List.sort_uniq compare (List.concat_map (step_rows sh s) many))
+    [ r ] path
+
+(* ------------------------------------------------------------------ *)
+(* Rebuild (round-trip testing)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Reconstruct a fresh tree from the columns alone — [nodes] is not
+   consulted — so tests can check the shred captured the document. *)
+let rebuild (sh : t) : Node.t =
+  let kids = Array.make sh.n [] in
+  for r = sh.n - 1 downto 1 do
+    kids.(sh.parents.(r)) <- r :: kids.(sh.parents.(r))
+  done;
+  let name r = sh.qnames.(sh.qids.(r)) in
+  let rec make r : Node.t =
+    let k = sh.kinds.(r) in
+    if k = k_element then begin
+      let attrs, children =
+        List.partition (fun c -> sh.kinds.(c) = k_attribute) kids.(r)
+      in
+      Node.element (name r) ~attrs:(List.map make attrs)
+        ~children:(List.map make children)
+    end
+    else if k = k_document then Node.document (List.map make kids.(r))
+    else if k = k_attribute then Node.attribute (name r) (value sh r)
+    else if k = k_text then Node.text (value sh r)
+    else if k = k_comment then Node.comment (value sh r)
+    else Node.pi (name r) (value sh r)
+  in
+  let t = make 0 in
+  Node.renumber t;
+  t

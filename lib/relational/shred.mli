@@ -1,0 +1,65 @@
+(** Document shredding: columnar relational tables over the pre/size
+    interval encoding.
+
+    One shred holds one renumbered document root as flat int columns —
+    [node(pre, size, level, kind, qname_id, value_id)] plus qname and
+    value dictionaries — with row [i] holding the node whose preorder
+    id is [base + i].  Shreds are cached per root with the same
+    invalidation keying as the structural indexes of [Xqc_store]: keyed
+    by the root's nid, published through an [Atomic] snapshot, and
+    never looked up again once [Node.renumber] moves the root's id. *)
+
+open Xqc_xml
+
+(** Kind codes of the [kinds] column. *)
+
+val k_document : int
+val k_element : int
+val k_attribute : int
+val k_text : int
+val k_comment : int
+val k_pi : int
+
+type t = private {
+  root : Node.t;
+  base : int;  (** root nid at build: row i holds nid [base + i] *)
+  n : int;
+  nodes : Node.t array;  (** row -> node (the bridge back to items) *)
+  sizes : int array;  (** subtree node count, self included *)
+  levels : int array;
+  kinds : int array;
+  parents : int array;  (** parent row, -1 for the root *)
+  qids : int array;  (** qname dictionary id, -1 when unnamed *)
+  vids : int array;  (** value dictionary id of the string value *)
+  qnames : string array;
+  values : string array;
+  elem_rows : int array array;  (** qid -> element rows, ascending *)
+  attr_rows : int array array;  (** qid -> attribute rows, ascending *)
+  all_elems : int array;  (** every element row, ascending *)
+}
+
+val of_root : Node.t -> t option
+(** Shred for the given root, cached.  [None] when the root is not
+    shreddable: ids not exactly consecutive in preorder (the tree needs
+    a renumber) or type-annotated nodes present. *)
+
+val find : Node.t -> (t * int) option
+(** Shred of the node's root plus the node's row in it. *)
+
+val value : t -> int -> string
+(** The data-model string value of the row's node. *)
+
+val atom : t -> int -> Atomic.t
+(** [Atomic.Untyped (value sh row)] — typed value of an unvalidated node. *)
+
+val step_rows : t -> Rel_algebra.rstep -> int -> int list
+val path_rows : t -> Rel_algebra.rpath -> int -> int list
+(** Rows reached by the path from one row, in ascending (document)
+    order, duplicate-free. *)
+
+val rebuild : t -> Node.t
+(** Reconstruct a fresh renumbered tree from the columns alone (the
+    [nodes] bridge is not consulted) — shred/rebuild round-trip tests. *)
+
+val cache_size : unit -> int
+val clear : unit -> unit

@@ -427,6 +427,10 @@ let table : (string * (Dynamic_ctx.t -> xvalue list -> xvalue)) list =
       fun ctx args ->
         let uri = string_of_arg "fn:doc" (one_arg "fn:doc" args) in
         [ Item.Node (resolve_document ctx uri) ] );
+    ( "fn:collection",
+      fun ctx args ->
+        let name = string_of_arg "fn:collection" (one_arg "fn:collection" args) in
+        List.map (fun d -> Item.Node d) (resolve_collection ctx name) );
     (* --- comparisons introduced by normalization --- *)
     ("op:general-eq", general Promotion.Eq);
     ("op:general-ne", general Promotion.Ne);

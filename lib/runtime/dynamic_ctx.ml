@@ -29,6 +29,8 @@ and t = {
   globals : (string, xvalue) Hashtbl.t;
   functions : (string, func) Hashtbl.t;
   documents : (string, Node.t) Hashtbl.t;
+  collections : (string, Node.t list) Hashtbl.t;
+      (** named document collections behind fn:collection, in bind order *)
   resolver : (string -> Node.t) option;
   mutable params : (string * xvalue) list;  (** current function frame *)
   mutable deadline : float option;
@@ -45,6 +47,7 @@ let create ?(schema = Schema.empty) ?resolver () =
     globals = Hashtbl.create 16;
     functions = Hashtbl.create 16;
     documents = Hashtbl.create 4;
+    collections = Hashtbl.create 4;
     resolver;
     params = [];
     deadline = None;
@@ -76,6 +79,13 @@ let check_deadline ctx =
 let bind_global ctx name value = Hashtbl.replace ctx.globals name value
 
 let bind_document ctx uri doc = Hashtbl.replace ctx.documents uri doc
+
+let bind_collection ctx name docs = Hashtbl.replace ctx.collections name docs
+
+let resolve_collection ctx name : Node.t list =
+  match Hashtbl.find_opt ctx.collections name with
+  | Some docs -> docs
+  | None -> dynamic_error "no collection bound under %S" name
 
 let lookup_variable ctx name : xvalue =
   match List.assoc_opt name ctx.params with
@@ -127,6 +137,7 @@ let clone_for_task (ctx : t) : t =
     globals = ctx.globals;
     functions = ctx.functions;
     documents = Hashtbl.copy ctx.documents;
+    collections = ctx.collections;
     resolver = ctx.resolver;
     params = ctx.params;
     deadline = ctx.deadline;

@@ -29,6 +29,8 @@ and t = {
   globals : (string, xvalue) Hashtbl.t;
   functions : (string, func) Hashtbl.t;
   documents : (string, Node.t) Hashtbl.t;
+  collections : (string, Node.t list) Hashtbl.t;
+      (** named document collections behind fn:collection, in bind order *)
   resolver : (string -> Node.t) option;
   mutable params : (string * xvalue) list;  (** current function frame *)
   mutable deadline : float option;
@@ -57,6 +59,13 @@ val check_deadline : t -> unit
 
 val bind_global : t -> string -> xvalue -> unit
 val bind_document : t -> string -> Node.t -> unit
+
+val bind_collection : t -> string -> Node.t list -> unit
+(** Bind a named collection for [fn:collection]; the member order is
+    the sequence order the function returns. *)
+
+val resolve_collection : t -> string -> Node.t list
+(** @raise Dynamic_error when no collection is bound under the name. *)
 
 val lookup_variable : t -> string -> xvalue
 (** Parameter frame first, then globals.

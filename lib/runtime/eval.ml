@@ -75,6 +75,11 @@ let ebv (v : dval) : bool = Item.effective_boolean_value (as_items v)
 let true_flag : Item.sequence = [ Item.Atom (Atomic.Boolean true) ]
 let false_flag : Item.sequence = [ Item.Atom (Atomic.Boolean false) ]
 
+(* Relational-backend bridge telemetry (see the PRelational case). *)
+let c_rel_subplans = Obs.global_counter "rel_subplans"
+let c_rel_rows = Obs.global_counter "rel_rows"
+let c_rel_fallbacks = Obs.global_counter "rel_fallbacks"
+
 (* ------------------------------------------------------------------ *)
 (* Layout management                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -292,7 +297,8 @@ let stream_kind_of (pop : P.pop) : Obs.stream_kind =
   | P.PTupleConstruct _ | P.PMapSome _ | P.PMapEvery _ ->
       Obs.Streamed
   | P.POrderBy _ | P.PGroupBy _ | P.PNestedLoop _ | P.PHashJoin _
-  | P.PSortJoin _ | P.PProduct _ | P.PMapToItem _ | P.PMaterialize _ ->
+  | P.PSortJoin _ | P.PProduct _ | P.PMapToItem _ | P.PMaterialize _
+  | P.PRelational _ ->
       Obs.Blocking
   | _ -> Obs.Opaque
 
@@ -727,23 +733,42 @@ and compile_node (env : cenv) (p : P.t) : comp * layout =
       in
       ( (fun ctx inp ->
           let items = as_items (ci ctx inp) in
-          if not (Par_exec.eligible ~par (List.length items)) then
-            Xml (run_seq ctx items)
-          else
-            (* Partitioned run: contiguous doc-ordered chunks of the
-               context sequence each evaluate the whole step chain on
-               their own domain (per-step stats are skipped — partition
-               slots report instead), then merge.  See par_exec.ml for
-               the order argument. *)
+          (* Partitioned run: chunks of the context sequence each
+             evaluate the whole step chain on their own domain (per-step
+             stats are skipped — partition slots report instead), then
+             merge.  See par_exec.ml for the order argument. *)
+          let run_chunked chunks =
             Xml
               (Par_exec.merge_node_items
-                 (Par_exec.run_partitions ~par ~ctx
+                 (Par_exec.run_chunks ~ctx
                     ~task:(fun i tctx chunk ->
-                      record_partition pstats.(i) (fun () ->
+                      let record =
+                        if Array.length pstats = 0 then fun f -> f ()
+                        else
+                          record_partition pstats.(i mod Array.length pstats)
+                      in
+                      record (fun () ->
                           List.fold_left
                             (fun items (s, _) -> step_join tctx.schema s items)
                             chunk comps))
-                    items))),
+                    chunks))
+          in
+          (* A multi-document context (fn:collection) fans out one chunk
+             per document regardless of width — whole documents are the
+             unit of work, and chunk-order concatenation preserves the
+             collection's binding order.  Single-document contexts keep
+             the width-gated contiguous chunking. *)
+          let doc_chunks =
+            if par > 1 && Domain_pool.budget () > 1 then
+              Par_exec.chunk_by_root items
+            else None
+          in
+          match doc_chunks with
+          | Some chunks -> run_chunked chunks
+          | None ->
+              if not (Par_exec.eligible ~par (List.length items)) then
+                Xml (run_seq ctx items)
+              else run_chunked (Par_exec.chunk par items)),
         [] )
   | P.PTreeProject (paths, input) ->
       let ci, _ = compile env input in
@@ -934,6 +959,50 @@ and compile_node (env : cenv) (p : P.t) : comp * layout =
       ( (fun ctx inp ->
           match ci ctx inp with Xml _ as v -> v | Tab s -> tab_list (List.of_seq s)),
         li )
+  | P.PRelational { rplan; rfields; rparams = _; fallback } ->
+      (* offloaded table subplan: run the relational engine over the
+         shredded documents and bridge the rows back as a (strict)
+         tuple table.  Any engine signal except a deadline — a stated
+         limitation (Rel_exec.Fallback) or a comparison-level dynamic
+         error — reruns the native twin, which reproduces the exact
+         native result or error.  The twin compiles lazily so the happy
+         path pays nothing for it; its layout can order fields
+         differently, so a positional remap onto [rfields] is computed
+         once at force time. *)
+      let twin =
+        lazy
+          (let c, l = compile env fallback in
+           if l = rfields then c
+           else
+             let perm =
+               Array.of_list
+                 (List.map
+                    (fun f ->
+                      match field_index l f with
+                      | Some i -> i
+                      | None ->
+                          compile_error "relational twin layout lacks #%s" f)
+                    rfields)
+             in
+             fun ctx inp ->
+               Tab
+                 (Seq.map
+                    (fun t -> Array.map (fun i -> t.(i)) perm)
+                    (as_table (c ctx inp))))
+      in
+      ( (fun ctx inp ->
+          match
+            Xqc_rel.Rel_exec.run rplan ~lookup:(fun v -> lookup_variable ctx v)
+          with
+          | tuples ->
+              Obs.incr_counter c_rel_subplans;
+              Obs.add_counter c_rel_rows (List.length tuples);
+              tab_list tuples
+          | exception Dynamic_ctx.Timeout -> raise Dynamic_ctx.Timeout
+          | exception _ ->
+              Obs.incr_counter c_rel_fallbacks;
+              (Lazy.force twin) ctx inp),
+        rfields )
   | P.PMap (dep, input) ->
       let ci, li = compile env input in
       let cd, ld = compile { layout = li; drain = env.drain } dep in

@@ -53,15 +53,50 @@ let chunk (k : int) (xs : 'a list) : 'a list list =
     !out
   end
 
-(* Split [items] into at most [par] contiguous chunks and run [task i
-   ctx_i chunk_i] for each on the domain pool, returning per-chunk
-   results in chunk order.  Each task gets its own cloned context; the
-   first exception is re-raised in the caller.  A single-chunk split
-   runs inline on the caller's own context. *)
-let run_partitions ~(par : int) ~(ctx : Dynamic_ctx.t)
-    ~(task : int -> Dynamic_ctx.t -> 'a list -> 'b) (items : 'a list) :
+(* One chunk per document: group consecutive nodes sharing a root.
+   The natural partitioning for fn:collection-style inputs, where whole
+   documents are the unit of work and chunk concatenation preserves the
+   collection's binding order (roots are distinct trees, so per-chunk
+   outputs cannot interleave).  [None] when the input holds an atom or
+   spans fewer than two roots — the caller falls back to contiguous
+   width chunking. *)
+let chunk_by_root (items : Item.sequence) : Item.sequence list option =
+  let exception Not_nodes in
+  let root_of = function
+    | Item.Node n -> Node.root n
+    | Item.Atom _ -> raise Not_nodes
+  in
+  match items with
+  | [] | [ _ ] -> None
+  | first :: _ -> (
+      try
+        let chunks = ref [] and cur = ref [] in
+        let cur_root = ref (root_of first) in
+        List.iter
+          (fun it ->
+            let r = root_of it in
+            if r == !cur_root then cur := it :: !cur
+            else begin
+              chunks := List.rev !cur :: !chunks;
+              cur := [ it ];
+              cur_root := r
+            end)
+          items;
+        chunks := List.rev !cur :: !chunks;
+        match List.rev !chunks with
+        | [] | [ _ ] -> None
+        | cs -> Some cs
+      with Not_nodes -> None)
+
+(* Run caller-made chunks on the domain pool: [task i ctx_i chunk_i]
+   for each, returning per-chunk results in chunk order.  Each task gets
+   its own cloned context; the first exception is re-raised in the
+   caller.  A single-chunk list runs inline on the caller's own
+   context.  More chunks than the pool budget simply queue. *)
+let run_chunks ~(ctx : Dynamic_ctx.t)
+    ~(task : int -> Dynamic_ctx.t -> 'a list -> 'b) (chunks : 'a list list) :
     'b list =
-  match chunk par items with
+  match chunks with
   | [] -> []
   | [ one ] -> [ task 0 ctx one ]
   | chunks ->
@@ -71,6 +106,12 @@ let run_partitions ~(par : int) ~(ctx : Dynamic_ctx.t)
              let tctx = Dynamic_ctx.clone_for_task ctx in
              fun () -> task i tctx c)
            chunks)
+
+(* Split [items] into at most [par] contiguous chunks and run them. *)
+let run_partitions ~(par : int) ~(ctx : Dynamic_ctx.t)
+    ~(task : int -> Dynamic_ctx.t -> 'a list -> 'b) (items : 'a list) :
+    'b list =
+  run_chunks ~ctx ~task (chunk par items)
 
 (* Document-order merge of per-partition node outputs: concatenation is
    already the merge on disjoint partitions (the common case, where

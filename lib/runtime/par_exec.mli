@@ -22,6 +22,23 @@ val chunk : int -> 'a list -> 'a list list
 (** At most [k] contiguous, near-equal, non-empty chunks (exposed for
     tests). *)
 
+val chunk_by_root : Item.sequence -> Item.sequence list option
+(** One chunk per document: group consecutive nodes sharing a root —
+    the partitioning for [fn:collection] inputs, where concatenating
+    per-chunk outputs preserves the collection's binding order.
+    [None] when the input holds an atom or spans fewer than two
+    roots. *)
+
+val run_chunks :
+  ctx:Dynamic_ctx.t ->
+  task:(int -> Dynamic_ctx.t -> 'a list -> 'b) ->
+  'a list list ->
+  'b list
+(** Run caller-made chunks on the domain pool (the caller participates),
+    returning per-chunk results in chunk order; chunks beyond the pool
+    budget queue.  The first task exception is re-raised in the caller
+    after the batch settles. *)
+
 val run_partitions :
   par:int ->
   ctx:Dynamic_ctx.t ->

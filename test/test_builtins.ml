@@ -85,7 +85,16 @@ let cases =
     ([ "fs:document" ], "document ctor", "count(document { <a/> }/a)", "1");
   ]
 
-let covered = List.concat_map (fun (names, _, _, _) -> names) cases
+(* fn:collection needs a context-level binding that eval_string cannot
+   express, so it gets a dedicated case below. *)
+let test_collection () =
+  let ctx = Xqc.context () in
+  Xqc.Dynamic_ctx.bind_collection ctx "c" [ doc ];
+  Alcotest.(check string) "collection" "2"
+    (Xqc.serialize (Xqc.run (Xqc.prepare "count(collection(\"c\")//a)") ctx))
+
+let covered =
+  "fn:collection" :: List.concat_map (fun (names, _, _, _) -> names) cases
 
 let make_case (_, name, q, expected) =
   Alcotest.test_case name `Quick (fun () -> Alcotest.(check string) name expected (eval q))
@@ -119,7 +128,9 @@ let make_error_case (name, q) =
 let () =
   Alcotest.run "builtins"
     [
-      ("functions", List.map make_case cases);
+      ( "functions",
+        List.map make_case cases
+        @ [ Alcotest.test_case "collection" `Quick test_collection ] );
       ("coverage", [ Alcotest.test_case "all builtins covered" `Quick test_coverage ]);
       ("errors", List.map make_error_case error_cases);
     ]

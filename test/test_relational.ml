@@ -1,0 +1,479 @@
+(* The relational offload backend: shredding, the second lowering, the
+   columnar engine, and the planner splice.
+
+   The load-bearing property mirrors test_par: for every strategy, a
+   run under --backend rel (and auto) must be observationally identical
+   to the same strategy's native run — same serialized bytes, same
+   errors — over random documents and queries chosen to hit every
+   lowered operator.  The engine is allowed to decline at run time
+   (Rel_exec.Fallback reruns the native twin), so agreement is the
+   whole contract; separate tests pin that offload actually engages on
+   the join/group shapes. *)
+
+module Rel = Xqc.Rel_algebra
+module A = Xqc.Algebra
+
+let with_backend b f =
+  let saved = !Rel.backend in
+  Rel.backend := b;
+  Fun.protect ~finally:(fun () -> Rel.backend := saved) f
+
+let counter name =
+  match List.assoc_opt name (Xqc.Obs.global_counters ()) with
+  | Some v -> v
+  | None -> 0
+
+(* -------- shredding -------- *)
+
+let doc_gen : Xqc.Node.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let value = oneofl [ "1"; "2"; "3"; "10"; "1.5"; "0"; "x y" ] in
+  let person i =
+    value >>= fun age ->
+    oneofl [ "a"; "b"; "c" ] >>= fun name ->
+    int_bound 2 >>= fun pets ->
+    return
+      (Printf.sprintf
+         {|<person id="p%d" age="%s"><name>%s</name>%s</person>|} i age name
+         (String.concat ""
+            (List.init pets (fun p -> Printf.sprintf "<pet>x%d</pet>" p))))
+  in
+  let order _i =
+    value >>= fun amount ->
+    int_bound 6 >>= fun who ->
+    return
+      (Printf.sprintf {|<order buyer="p%d"><amount>%s</amount></order>|} who
+         amount)
+  in
+  int_range 2 7 >>= fun np ->
+  int_range 0 8 >>= fun no ->
+  let rec seq f n acc =
+    if n = 0 then return (List.rev acc)
+    else f n >>= fun x -> seq f (n - 1) (x :: acc)
+  in
+  seq person np [] >>= fun persons ->
+  seq order no [] >>= fun orders ->
+  return
+    (Xqc.parse_document
+       (Printf.sprintf
+          "<db><people>%s</people><orders><!--log-->%s</orders></db>"
+          (String.concat "" persons) (String.concat "" orders)))
+
+let serialize_tree (n : Xqc.Node.t) = Xqc.serialize [ Xqc.Item.Node n ]
+
+(* Shred -> rebuild reproduces the tree from the columns alone. *)
+let prop_shred_roundtrip doc =
+  Xqc.Node.renumber doc;
+  match Xqc.Shred.of_root doc with
+  | None -> QCheck.Test.fail_report "renumbered untyped document must shred"
+  | Some sh ->
+      let rebuilt = Xqc.Shred.rebuild sh in
+      String.equal (serialize_tree doc) (serialize_tree rebuilt)
+      || QCheck.Test.fail_reportf "rebuild diverged:\n%s\nvs\n%s"
+           (serialize_tree doc) (serialize_tree rebuilt)
+
+let test_shred_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"shred -> rebuild = identity" ~count:100
+       (QCheck.make doc_gen) prop_shred_roundtrip)
+
+let test_shred_columns () =
+  let doc =
+    Xqc.parse_document {|<a x="1"><b>t</b><c><b>u</b></c></a>|}
+  in
+  Xqc.Node.renumber doc;
+  let sh = Option.get (Xqc.Shred.of_root doc) in
+  Alcotest.(check int) "row count = tree size" (Xqc.Node.size doc) sh.Xqc.Shred.n;
+  Alcotest.(check int) "root is whole tree" sh.Xqc.Shred.n
+    sh.Xqc.Shred.sizes.(0);
+  (* the cache hands back the same shred *)
+  let again = Option.get (Xqc.Shred.of_root doc) in
+  Alcotest.(check bool) "cached" true (sh == again);
+  (* per-row string values agree with the data model *)
+  Array.iteri
+    (fun row node ->
+      Alcotest.(check string) "string value" (Xqc.Item.string_value (Xqc.Item.Node node))
+        (Xqc.Shred.value sh row))
+    sh.Xqc.Shred.nodes
+
+(* -------- the lowering, on hand-built plans -------- *)
+
+let scan v out path =
+  A.MapFromItem
+    ( A.TupleConstruct [ (out, A.Input) ],
+      List.fold_left
+        (fun acc name -> A.TreeJoin (Xqc.Ast.Child, Xqc.Ast.Name_test name, acc))
+        (A.Var v) path )
+
+let split_join ?(op = Xqc.Promotion.Eq) lk rk l r =
+  A.Join (A.Split_pred { op; left_key = lk; right_key = rk }, l, r)
+
+let attr_key f name =
+  A.TreeJoin (Xqc.Ast.Attribute_axis, Xqc.Ast.Name_test name, A.FieldAccess f)
+
+let test_lower_units () =
+  let people = scan "d" "p" [ "people"; "person" ] in
+  let orders = scan "d" "o" [ "orders"; "order" ] in
+  (* plain scan *)
+  (match Xqc.Rel_lower.lower people with
+  | Some rp ->
+      Alcotest.(check (list string)) "scan cols" [ "p" ] (Rel.cols rp);
+      Alcotest.(check bool) "scan is light" false (Xqc.Rel_lower.heavy rp)
+  | None -> Alcotest.fail "scan must lower");
+  (* equality split join *)
+  (match
+     Xqc.Rel_lower.lower
+       (split_join (attr_key "p" "id") (attr_key "o" "buyer") people orders)
+   with
+  | Some rp ->
+      Alcotest.(check (list string)) "join cols" [ "p"; "o" ] (Rel.cols rp);
+      Alcotest.(check bool) "join is heavy" true (Xqc.Rel_lower.heavy rp);
+      Alcotest.(check (list string)) "join params" [ "d" ] (Rel.params rp)
+  | None -> Alcotest.fail "equality split join must lower");
+  (* Ne split joins are outside the engine's exactness envelope *)
+  Alcotest.(check bool) "ne join refused" true
+    (Xqc.Rel_lower.lower
+       (split_join ~op:Xqc.Promotion.Ne (attr_key "p" "id")
+          (attr_key "o" "buyer") people orders)
+    = None);
+  (* whole-predicate joins are not split, hence not lowerable *)
+  Alcotest.(check bool) "whole-pred join refused" true
+    (Xqc.Rel_lower.lower
+       (A.Join (A.Pred (A.Scalar (Xqc.Atomic.Boolean true)), people, orders))
+    = None);
+  (* selection with a literal operand *)
+  (match
+     Xqc.Rel_lower.lower
+       (A.Select
+          ( A.Call
+              ( "op:general-gt",
+                [ attr_key "p" "age"; A.Scalar (Xqc.Atomic.Integer 2) ] ),
+            people ))
+   with
+  | Some rp -> Alcotest.(check (list string)) "select cols" [ "p" ] (Rel.cols rp)
+  | None -> Alcotest.fail "literal selection must lower");
+  (* // fuses into a descendant step instead of being refused *)
+  (match
+     Xqc.Rel_lower.lower
+       (A.MapFromItem
+          ( A.TupleConstruct [ ("x", A.Input) ],
+            A.TreeJoin
+              ( Xqc.Ast.Child,
+                Xqc.Ast.Name_test "person",
+                A.TreeJoin
+                  ( Xqc.Ast.Descendant_or_self,
+                    Xqc.Ast.Kind_test Xqc.Seqtype.It_node,
+                    A.Var "d" ) ) ))
+   with
+  | Some _ -> ()
+  | None -> Alcotest.fail "//person must lower via fusion");
+  (* arbitrary calls stay native *)
+  Alcotest.(check bool) "call refused" true
+    (Xqc.Rel_lower.lower (A.Call ("fn:count", [ A.Var "d" ])) = None)
+
+(* -------- SQL well-formedness -------- *)
+
+let rel_subplans_of (q : string) : (Rel.plan * string list) list =
+  with_backend Rel.Rel (fun () ->
+      let prepared = Xqc.prepare q in
+      match Xqc.physical_plan prepared with
+      | None -> []
+      | Some pq ->
+          List.rev
+            (Xqc.Physical.fold
+               (fun acc (n : Xqc.Physical.t) ->
+                 match n.Xqc.Physical.pop with
+                 | Xqc.Physical.PRelational { rplan; rfields; _ } ->
+                     (rplan, rfields) :: acc
+                 | _ -> acc)
+               [] pq.Xqc.Physical.pmain))
+
+let offloadable_queries =
+  [
+    "for $p in $d//person, $o in $d//order where $o/@buyer = $p/@id return \
+     <hit>{$p/name/text()}</hit>";
+    "for $p in $d//person let $os := (for $o in $d//order where $o/@buyer = \
+     $p/@id return $o) return <p n=\"{$p/name/text()}\">{count($os)}</p>";
+    "for $p in $d//person order by $p/@age descending, $p/@id return \
+     $p/name/text()";
+    "for $p in $d/db/people/person where $p/@age > 2 return $p/@id";
+    "for $p in $d//person where $p/name = \"a\" order by $p/@id descending \
+     empty greatest return $p";
+  ]
+
+let balanced s =
+  let depth = ref 0 and ok = ref true in
+  String.iter
+    (fun c ->
+      if c = '(' then incr depth
+      else if c = ')' then begin
+        decr depth;
+        if !depth < 0 then ok := false
+      end)
+    s;
+  !ok && !depth = 0
+
+let test_sql_wellformed () =
+  let total = ref 0 in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun (rplan, _fields) ->
+          incr total;
+          let sql = Xqc.Rel_sql.emit rplan in
+          Alcotest.(check bool) "starts with WITH" true
+            (String.length sql > 4 && String.sub sql 0 4 = "WITH");
+          Alcotest.(check bool) "balanced parens" true (balanced sql);
+          Alcotest.(check bool) "even quote count" true
+            (String.fold_left (fun n c -> if c = '\'' then n + 1 else n) 0 sql
+             mod 2
+            = 0);
+          let contains needle =
+            let nl = String.length needle and sl = String.length sql in
+            let rec go i = i + nl <= sl && (String.sub sql i nl = needle || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool) "selects from node" true (contains "FROM node");
+          Alcotest.(check bool) "deterministic order" true (contains "ORDER BY"))
+        (rel_subplans_of q))
+    offloadable_queries;
+  Alcotest.(check bool) "at least one subplan per query lowered" true
+    (!total >= List.length offloadable_queries)
+
+(* -------- backend equivalence (the acceptance property) -------- *)
+
+let queries =
+  Array.of_list
+    (offloadable_queries
+    @ [
+        (* shapes that must NOT offload, or that fall back at run time —
+           agreement still required *)
+        "count($d//person)";
+        "for $p in $d//person order by $p/pet return $p/@id";
+        "for $p in $d//person order by $p/name return $p/@age";
+        "for $a in $d//person, $b in $d//person where $a/@age = $b/@age \
+         return 1";
+        "for $p in $d//person where $p/@age < 2 return $p/name";
+        "distinct-values($d//order/@buyer)";
+        "for $p in $d//person[position() > 1] return $p/@id";
+      ])
+
+let run_one strategy doc q =
+  match
+    Xqc.eval_string ~strategy ~variables:[ ("d", [ Xqc.Item.Node doc ]) ] q
+  with
+  | items -> "OK:" ^ Xqc.serialize items
+  | exception Xqc.Error _ -> "ERROR"
+
+let prop_backends_agree (qi, doc) =
+  let q = queries.(qi) in
+  List.for_all
+    (fun strategy ->
+      let reference = with_backend Rel.Native (fun () -> run_one strategy doc q) in
+      List.for_all
+        (fun backend ->
+          let got = with_backend backend (fun () -> run_one strategy doc q) in
+          String.equal got reference
+          || QCheck.Test.fail_reportf
+               "strategy %s, backend %s:\n  native: %s\n  got:    %s"
+               (Xqc.strategy_name strategy) (Rel.backend_name backend)
+               reference got)
+        [ Rel.Rel; Rel.Auto ])
+    Xqc.all_strategies
+
+let arb =
+  QCheck.make
+    ~print:(fun (qi, _) -> queries.(qi))
+    QCheck.Gen.(pair (int_bound (Array.length queries - 1)) doc_gen)
+
+let test_backends_agree =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"rel/auto = native, all strategies" ~count:60 arb
+       prop_backends_agree)
+
+(* -------- offload engages on XMark -------- *)
+
+let xmark_q8 =
+  "for $p in $auction/site/people/person let $a := (for $t in \
+   $auction/site/closed_auctions/closed_auction where $t/buyer/@person = \
+   $p/@id return $t) return <item person=\"{$p/name/text()}\">{count($a)}</item>"
+
+let test_xmark_offload () =
+  let doc = Xqc_workload.Xmark.generate ~target_bytes:150_000 () in
+  let run () =
+    Xqc.serialize
+      (Xqc.eval_string ~variables:[ ("auction", [ Xqc.Item.Node doc ]) ] xmark_q8)
+  in
+  let reference = with_backend Rel.Native run in
+  let before = counter "rel_subplans" in
+  let fallbacks_before = counter "rel_fallbacks" in
+  let got = with_backend Rel.Rel run in
+  Alcotest.(check string) "byte-identical to native" reference got;
+  Alcotest.(check bool) "offload engaged" true (counter "rel_subplans" > before);
+  Alcotest.(check int) "no run-time fallback" fallbacks_before
+    (counter "rel_fallbacks");
+  (* auto must also choose to offload the join.  The native runs above
+     built index statistics, so the cost gate is live — lower the
+     threshold so the 150 KB test document clears it (real workloads
+     clear the default at real sizes). *)
+  let saved_thr = !Rel.auto_cost_threshold in
+  Rel.auto_cost_threshold := 1.;
+  Fun.protect ~finally:(fun () -> Rel.auto_cost_threshold := saved_thr)
+  @@ fun () ->
+  let before_auto = counter "rel_subplans" in
+  let got_auto = with_backend Rel.Auto run in
+  Alcotest.(check string) "auto byte-identical" reference got_auto;
+  Alcotest.(check bool) "auto offloaded the join" true
+    (counter "rel_subplans" > before_auto)
+
+(* -------- plan-cache keying: flipping any execution mode replans ---- *)
+
+let test_plan_cache_modes () =
+  let q = "for $x in (1,2,3) return $x + 1" in
+  let misses () = counter "plan_cache_misses" in
+  let base () = ignore (Xqc.prepare_cached q) in
+  let check_flip name flip restore =
+    Xqc.clear_plan_cache ();
+    base ();
+    let warm = misses () in
+    base ();
+    Alcotest.(check int) (name ^ ": warm hit") warm (misses ());
+    flip ();
+    Fun.protect ~finally:restore (fun () ->
+        base ();
+        Alcotest.(check int) (name ^ ": flip replans") (warm + 1) (misses ()))
+  in
+  check_flip "strategy"
+    (fun () -> ignore (Xqc.prepare_cached ~strategy:Xqc.Optimized_nl q))
+    (fun () -> ());
+  (* the strategy flip above already compiled under nl; re-anchor *)
+  let saved_store = !Xqc.Store.mode in
+  check_flip "index mode"
+    (fun () -> Xqc.Store.mode := Xqc.Store.Off)
+    (fun () -> Xqc.Store.mode := saved_store);
+  let saved_cg = !Xqc.Codegen.mode in
+  check_flip "codegen mode"
+    (fun () -> Xqc.Codegen.mode := Xqc.Codegen.Off)
+    (fun () -> Xqc.Codegen.mode := saved_cg);
+  check_flip "backend"
+    (fun () -> Rel.backend := Rel.Rel)
+    (fun () -> Rel.backend := Rel.Native);
+  check_flip "par degree"
+    (fun () -> Xqc.Domain_pool.set_budget (Some 3))
+    (fun () -> Xqc.Domain_pool.set_budget None);
+  (* the boolean knobs are explicit prepare_cached arguments *)
+  List.iter
+    (fun (name, prep) ->
+      Xqc.clear_plan_cache ();
+      base ();
+      let warm = misses () in
+      prep ();
+      Alcotest.(check int) (name ^ ": flip replans") (warm + 1) (misses ()))
+    [
+      ("project", fun () -> ignore (Xqc.prepare_cached ~project:true q));
+      ("materialize", fun () -> ignore (Xqc.prepare_cached ~materialize:true q));
+      ("fuse", fun () -> ignore (Xqc.prepare_cached ~fuse:false q));
+    ]
+
+(* -------- fn:collection and per-document fan-out -------- *)
+
+let mk_db i =
+  Xqc.parse_document
+    (Printf.sprintf
+       "<db><people>%s</people></db>"
+       (String.concat ""
+          (List.init (i + 2) (fun p ->
+               Printf.sprintf {|<person id="d%dp%d"><name>n%d</name></person>|}
+                 i p p))))
+
+let test_collection_builtin () =
+  let docs = [ mk_db 0; mk_db 1; mk_db 2 ] in
+  let ctx = Xqc.context () in
+  Xqc.Dynamic_ctx.bind_collection ctx "c" docs;
+  let run q = Xqc.serialize (Xqc.run (Xqc.prepare q) ctx) in
+  Alcotest.(check string) "count across documents" "9"
+    (run {|count(collection("c")//person)|});
+  (* the sequence fn:collection returns is in binding order *)
+  Alcotest.(check string) "first member is first bound doc" "d0p0"
+    (run {|string((collection("c"))[1]//person[1]/@id)|});
+  (match Xqc.run (Xqc.prepare {|collection("missing")|}) ctx with
+  | _ -> Alcotest.fail "unbound collection must raise"
+  | exception Xqc.Error _ -> ())
+
+let test_collection_parallel () =
+  let docs = List.init 5 mk_db in
+  let q = {|for $p in collection("c")/db/people/person return $p/@id|} in
+  let run () =
+    let ctx = Xqc.context () in
+    Xqc.Dynamic_ctx.bind_collection ctx "c" docs;
+    Xqc.serialize (Xqc.run (Xqc.prepare q) ctx)
+  in
+  let reference = run () in
+  let saved_min = !Xqc.Par_exec.par_min_items in
+  let saved_thr = !Xqc.Planner.default_par_threshold in
+  Xqc.Domain_pool.set_budget (Some 4);
+  Xqc.Par_exec.par_min_items := 1;
+  Xqc.Planner.default_par_threshold := 0.;
+  Fun.protect
+    ~finally:(fun () ->
+      Xqc.Domain_pool.set_budget None;
+      Xqc.Par_exec.par_min_items := saved_min;
+      Xqc.Planner.default_par_threshold := saved_thr)
+    (fun () ->
+      Alcotest.(check string) "per-document fan-out preserves order" reference
+        (run ()))
+
+let test_chunk_by_root () =
+  let d1 = mk_db 0 and d2 = mk_db 1 in
+  Xqc.Node.renumber d1;
+  Xqc.Node.renumber d2;
+  let items1 = [ Xqc.Item.Node d1 ] and items2 = [ Xqc.Item.Node d2 ] in
+  (* nodes carry parent back-pointers, so compare physically *)
+  let same a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun x y ->
+           match (x, y) with
+           | Xqc.Item.Node m, Xqc.Item.Node n -> m == n
+           | _ -> false)
+         a b
+  in
+  (match Xqc.Par_exec.chunk_by_root (items1 @ items2) with
+  | Some [ c1; c2 ] ->
+      Alcotest.(check bool) "chunk 1 = doc 1" true (same c1 items1);
+      Alcotest.(check bool) "chunk 2 = doc 2" true (same c2 items2)
+  | _ -> Alcotest.fail "two documents must make two chunks");
+  Alcotest.(check bool) "single root: no doc chunking" true
+    (Option.is_none (Xqc.Par_exec.chunk_by_root items1));
+  Alcotest.(check bool) "atoms: no doc chunking" true
+    (Option.is_none
+       (Xqc.Par_exec.chunk_by_root
+          [
+            Xqc.Item.Atom (Xqc.Atomic.Integer 1);
+            Xqc.Item.Atom (Xqc.Atomic.Integer 2);
+          ]))
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "shred",
+        [
+          test_shred_roundtrip;
+          Alcotest.test_case "columns and cache" `Quick test_shred_columns;
+        ] );
+      ("lower", [ Alcotest.test_case "unit plans" `Quick test_lower_units ]);
+      ("sql", [ Alcotest.test_case "well-formed" `Quick test_sql_wellformed ]);
+      ( "equivalence",
+        [
+          test_backends_agree;
+          Alcotest.test_case "xmark offload" `Quick test_xmark_offload;
+        ] );
+      ( "plan-cache",
+        [ Alcotest.test_case "mode knobs replan" `Quick test_plan_cache_modes ] );
+      ( "collection",
+        [
+          Alcotest.test_case "builtin" `Quick test_collection_builtin;
+          Alcotest.test_case "parallel fan-out" `Quick test_collection_parallel;
+          Alcotest.test_case "chunk by root" `Quick test_chunk_by_root;
+        ] );
+    ]
