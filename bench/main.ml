@@ -34,6 +34,10 @@
                           and auto backends, with byte-identity checks;
                           writes bench/BENCH_offload.json (or
                           --json=FILE)
+     main.exe update    — update microbenchmark: small XQUF updates on a
+                          1MB XMark document, incremental index
+                          maintenance vs reparse-on-write; writes
+                          bench/BENCH_update.json (or --json=FILE)
      main.exe micro     — bechamel microbenchmarks of the join kernels
      main.exe all       — everything above except micro
 
@@ -1416,6 +1420,143 @@ let serve_bench () =
    with Sys_error m -> Printf.eprintf "could not write %s: %s\n%!" path m)
 
 (* ------------------------------------------------------------------ *)
+(* Update microbenchmark                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Small updates against a ~1MB XMark document: the incremental path
+   (one live gap-numbered tree whose structural indexes are patched in
+   place) against the reparse-on-write baseline (serialize + reparse +
+   reindex after every write — what keeping the indexes fresh costs
+   without incremental maintenance).  Both paths answer the same
+   index-backed probe after every write and must agree; the gapped
+   numbering is expected to absorb every one of these small updates
+   without a single full renumber. *)
+let update_bench () =
+  let module Obs = Xqc_obs.Obs in
+  let size = 1_000_000 in
+  let n_updates = 40 in
+  let xml = Xqc_workload.Xmark.generate_string ~target_bytes:size () in
+  let probe = "count($auction//item)" in
+  let regions =
+    [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+  in
+  let scripts =
+    List.init n_updates (fun i ->
+        match i mod 3 with
+        | 0 ->
+            (* Spread appends across parents: a fresh parent's tail slack
+               absorbs a small subtree, but piling appends onto one parent
+               would exhaust it and force full renumbers. *)
+            let j = i / 3 in
+            if j < Array.length regions then
+              Printf.sprintf
+                "insert node <item id=\"bench-%d\"><name>b%d</name></item> \
+                 as last into $auction/site/regions/%s"
+                i i regions.(j)
+            else
+              Printf.sprintf
+                "insert node <incategory category=\"bench%d\"/> as last \
+                 into ($auction//item)[%d]"
+                i (30 + j)
+        | 1 ->
+            Printf.sprintf
+              "replace value of node (($auction//person)[%d]/name)[1] with \
+               \"r%d\""
+              ((i mod 20) + 1)
+              i
+        | _ ->
+            Printf.sprintf
+              "insert node <note>touch%d</note> into \
+               ($auction//open_auction)[%d]"
+              i
+              ((i mod 20) + 1))
+  in
+  let counter name =
+    match List.assoc_opt name (Obs.global_counters ()) with
+    | Some v -> v
+    | None -> 0
+  in
+  let make_ctx root =
+    let ctx = Xqc.context () in
+    Xqc.bind_document ctx "auction.xml" root;
+    Xqc.bind_variable ctx "auction" [ Xqc.Item.Node root ];
+    ctx
+  in
+  let compiled = List.map (fun s -> Xqc.Update.compile s) scripts in
+  let probe_p = Xqc.prepare ~strategy:Xqc.Saxon_like probe in
+  (* incremental: one live tree, indexes patched per write *)
+  let renumbers0 = counter "full_renumbers" in
+  let patches0 = counter "incremental_index_patches" in
+  let root = Xqc.parse_document ~uri:"auction.xml" xml in
+  Xqc.Node.renumber_gapped root;
+  ignore (Xqc.Store.index_nodes root);
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun c ->
+      ignore (Xqc.Update.apply_to_root c ~make_ctx root);
+      ignore (Xqc.run probe_p (make_ctx root)))
+    compiled;
+  let incr_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let renumbers = counter "full_renumbers" - renumbers0 in
+  let patches = counter "incremental_index_patches" - patches0 in
+  let incr_answer = Xqc.serialize (Xqc.run probe_p (make_ctx root)) in
+  let incr_bytes = Xqc.serialize [ Xqc.Item.Node root ] in
+  (* baseline: reparse and reindex the whole document on every write *)
+  let bytes = ref xml in
+  let last_answer = ref "" in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun c ->
+      let r = Xqc.parse_document ~uri:"auction.xml" !bytes in
+      Xqc.Node.renumber_gapped r;
+      ignore (Xqc.Store.index_nodes r);
+      ignore (Xqc.Update.apply_to_root c ~make_ctx r);
+      bytes := Xqc.serialize [ Xqc.Item.Node r ];
+      last_answer := Xqc.serialize (Xqc.run probe_p (make_ctx r));
+      Xqc.Store.purge_root r)
+    compiled;
+  let reparse_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let agree = String.equal incr_answer !last_answer in
+  let bytes_agree = String.equal incr_bytes !bytes in
+  let speedup = reparse_ms /. Float.max incr_ms 0.001 in
+  Printf.eprintf
+    "=== Update microbenchmark: %d small updates on a %dKB XMark document ===\n"
+    n_updates (size / 1000);
+  Printf.eprintf "incremental        %10.1fms  (%d index patches, %d full renumbers)\n"
+    incr_ms patches renumbers;
+  Printf.eprintf "reparse-on-write   %10.1fms\n" reparse_ms;
+  Printf.eprintf "speedup            %10.1fx  (answers agree: %b, bytes agree: %b)\n"
+    speedup agree bytes_agree;
+  let record =
+    Obs.Obj
+      [
+        ("bench", Obs.Str "update");
+        ("doc_bytes", Obs.Int size);
+        ("updates", Obs.Int n_updates);
+        ("incremental_ms", Obs.Float incr_ms);
+        ("reparse_ms", Obs.Float reparse_ms);
+        ("speedup", Obs.Float speedup);
+        ("full_renumbers", Obs.Int renumbers);
+        ("incremental_index_patches", Obs.Int patches);
+        ("probe", Obs.Str probe);
+        ("final_answer", Obs.Str incr_answer);
+        ("answers_agree", Obs.Bool agree);
+        ("bytes_agree", Obs.Bool bytes_agree);
+      ]
+  in
+  let path = Option.value !metrics_json_file ~default:"bench/BENCH_update.json" in
+  (try
+     let oc = open_out_bin path in
+     output_string oc (Obs.json_to_string record);
+     output_char oc '\n';
+     close_out oc;
+     Printf.eprintf "wrote %s\n%!" path
+   with Sys_error m -> Printf.eprintf "could not write %s: %s\n%!" path m);
+  if not (agree && bytes_agree) then (
+    Printf.eprintf "FAIL: incremental and reparse-on-write paths diverged\n";
+    Stdlib.exit 1)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -1448,6 +1589,7 @@ let () =
     | "micro" -> micro ()
     | "scale" -> scale_bench ()
     | "offload" -> offload_bench ()
+    | "update" -> update_bench ()
     | "serve" -> serve_bench ()
     | "all" ->
         figure4 ();
@@ -1458,7 +1600,7 @@ let () =
         ablation ()
     | other ->
         Printf.eprintf
-          "unknown benchmark %S (expected table3|table4|table5|figure4|saxon|ablation|metrics|early-exit|axis-index|fused|planner|micro|scale|offload|serve|all)\n"
+          "unknown benchmark %S (expected table3|table4|table5|figure4|saxon|ablation|metrics|early-exit|axis-index|fused|planner|micro|scale|offload|update|serve|all)\n"
           other;
         Stdlib.exit 1
   in

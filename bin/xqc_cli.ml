@@ -561,6 +561,7 @@ let render_stats (stats : Xqc.Obs.json) : string =
   Printf.bprintf b "prepared statements %d\n" (J.int "prepared_statements" stats);
   Printf.bprintf b "plan cache          %d\n" (J.int "plan_cache_size" stats);
   Printf.bprintf b "stored traces       %d\n" (J.int "traces" stats);
+  Printf.bprintf b "snapshot versions   %d\n" (J.int "snapshot_versions_live" stats);
   (match J.field "latency_ms" stats with
   | Some lat ->
       Printf.bprintf b
@@ -606,6 +607,16 @@ let client_cmd =
       & opt (some string) None
       & info [ "execute" ] ~docv:"NAME" ~doc:"Execute prepared statement NAME.")
   in
+  let update_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "update" ] ~docv:"DOC"
+          ~doc:
+            "Run the query argument as an XQuery Update script (insert, \
+             delete, replace, rename) against the server's preloaded \
+             document DOC.")
+  in
   let stats_flag =
     Arg.(value & flag & info [ "server-stats" ] ~doc:"Print the server's stats JSON.")
   in
@@ -636,7 +647,7 @@ let client_cmd =
              report, \\$(b,trace) to list recent traces, or \\$(b,trace ID) \
              to fetch one stored trace.")
   in
-  let action unix_socket host port repeat timeout_ms prepare execute
+  let action unix_socket host port repeat timeout_ms prepare execute update
       server_stats shutdown trace metrics args =
     try
       let client =
@@ -699,14 +710,34 @@ let client_cmd =
               failed := true)
       | Some _, None -> failwith "--prepare needs a query argument"
       | None, _ -> ());
+      (match (update, query) with
+      | Some doc, Some q ->
+          for _ = 1 to repeat do
+            match C.update_json ?timeout_ms ~trace client ~doc q with
+            | Ok json ->
+                Printf.printf "applied %d; version %d (%s)\n"
+                  (J.int "applied" json) (J.int "version" json)
+                  (match J.field "in_place" json with
+                  | Some (Xqc.Obs.Bool true) -> "in place"
+                  | _ -> "new snapshot");
+                if trace then (
+                  match J.field "trace" json with
+                  | Some tr -> print_string (render_trace_json tr)
+                  | None -> ())
+            | Error (code, m) ->
+                Printf.eprintf "error (%s): %s\n" code m;
+                failed := true
+          done
+      | Some _, None -> failwith "--update needs an update-script argument"
+      | None, _ -> ());
       (match execute with
       | Some name ->
           for _ = 1 to repeat do
             show_json (C.execute_json ?timeout_ms ~trace client name)
           done
       | None -> (
-          match (prepare, query) with
-          | None, Some q ->
+          match (prepare, update, query) with
+          | None, None, Some q ->
               for _ = 1 to repeat do
                 show_json (C.query_json ?timeout_ms ~trace client q)
               done
@@ -730,13 +761,14 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:
          "Send requests to a running query service: evaluate a query \
-          (optionally repeated, optionally traced), prepare/execute named \
-          statements, fetch server statistics, metrics or stored traces, \
-          or request shutdown.")
+          (optionally repeated, optionally traced), run an update script \
+          against a preloaded document, prepare/execute named statements, \
+          fetch server statistics, metrics or stored traces, or request \
+          shutdown.")
     Term.(
       const action $ unix_socket_arg $ host_arg $ port_arg $ repeat_arg
-      $ timeout_arg $ prepare_arg $ execute_arg $ stats_flag $ shutdown_flag
-      $ trace_flag $ metrics_arg $ args_arg)
+      $ timeout_arg $ prepare_arg $ execute_arg $ update_arg $ stats_flag
+      $ shutdown_flag $ trace_flag $ metrics_arg $ args_arg)
 
 (* Live terminal dashboard over the metrics verb: QPS and latency
    percentiles, queue depth, per-worker utilization, the slow-query

@@ -56,6 +56,9 @@ module Rel_lower = Xqc_rel_lower.Lower
 module Obs = Xqc_obs.Obs
 module Trace = Xqc_obs.Trace
 module Slow_log = Xqc_obs.Slow_log
+module Mutate = Xqc_update.Mutate
+module Pul = Xqc_update.Pul
+module Version = Xqc_update.Version
 
 type strategy =
   | No_algebra  (** direct interpretation of the Core AST (pre-paper Galax) *)
@@ -148,6 +151,22 @@ let optimize_query ?trace strategy (q : Compile.compiled_query) : Compile.compil
               { f with Compile.fn_body = Rewrite.optimize ~options ?trace f.Compile.fn_body })
             q.Compile.cfunctions;
       }
+
+(* Compile one core query into a bare runner under [strategy] — the same
+   per-strategy execution paths [prepare] wires up, without the
+   projection/statistics/knob plumbing.  The update driver evaluates
+   every statement's source and target queries through this, so updates
+   exercise whichever engine configuration the session runs queries
+   under. *)
+let runner_of_core ?(strategy = Optimized) (core : Core_ast.cquery) :
+    Dynamic_ctx.t -> Item.sequence =
+  match strategy with
+  | No_algebra -> fun ctx -> Interp.run ctx core
+  | Saxon_like -> fun ctx -> Indexed.run ctx core
+  | Algebra_unoptimized | Optimized_nl | Optimized ->
+      let compiled = optimize_query strategy (Compile.compile_query core) in
+      let planned = plan_query (planner_config strategy None) compiled in
+      fun ctx -> Eval.run ctx planned
 
 (* Project the bindings of analyzable free variables before running,
    restoring the original bindings afterwards.  [ph] times the pruning
@@ -302,6 +321,12 @@ type exec_modes = {
   m_index : Store.mode;
   m_codegen : Codegen.mode;
   m_backend : Rel_algebra.backend;
+  m_docs_gen : int;
+      (** the MVCC document-state generation at planning time: plans are
+          costed against index statistics, and an applied update changes
+          both the statistics and (on full renumber) the identity of the
+          trees they describe — a cached plan must not survive the
+          document state it was planned for *)
 }
 
 (* The ambient execution modes: everything not passed explicitly is read
@@ -316,6 +341,7 @@ let current_exec_modes ~strategy ~project ~materialize ~fuse () : exec_modes =
     m_index = !Store.mode;
     m_codegen = !Codegen.mode;
     m_backend = !Rel_algebra.backend;
+    m_docs_gen = Version.generation ();
   }
 
 type plan_key = string * exec_modes
@@ -554,3 +580,201 @@ let explain_analyze (p : prepared) : string =
 
 let stats_json (p : prepared) : string option =
   Option.map Obs.collector_to_json_string p.stats
+
+(* ------------------------------------------------------------------ *)
+(* Updates (XQuery Update Facility subset)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Driver for update scripts: parse -> normalize (each statement's
+   source/target position becomes a core query sharing the prolog) ->
+   evaluate everything against ONE snapshot through the chosen execution
+   strategy -> merge into a pending update list -> conflict-check and
+   apply in XQUF order.  Registered documents go through the MVCC layer
+   ([Version.with_write]): in place with incremental index patches when
+   no reader is admitted, against a published copy otherwise. *)
+module Update = struct
+  type result = {
+    u_applied : int;  (** primitives applied *)
+    u_version : int;  (** published version id after the write *)
+    u_in_place : bool;  (** live head patched (vs copy published) *)
+  }
+
+  type crunner = Dynamic_ctx.t -> Item.sequence
+
+  type cstmt =
+    | C_insert of crunner * Ast.insert_pos * crunner
+    | C_delete of crunner
+    | C_replace_node of crunner * crunner
+    | C_replace_value of crunner * crunner
+    | C_rename of crunner * crunner
+
+  type compiled = {
+    c_source : string;
+    c_strategy : strategy;
+    c_stmts : cstmt list;
+  }
+
+  let compile ?(strategy = Optimized) (source : string) : compiled =
+    let stmts =
+      try Normalize.normalize_update (Xq_parser.parse_update source) with
+      | Xq_parser.Syntax_error { position; message } ->
+          raise (Error (Printf.sprintf "syntax error at offset %d: %s" position message))
+      | Normalize.Norm_error m -> raise (Error ("normalization error: " ^ m))
+      | Eval.Compile_error m -> raise (Error ("plan compilation error: " ^ m))
+    in
+    let r core = runner_of_core ~strategy core in
+    let stmts =
+      List.map
+        (function
+          | Normalize.N_insert (src, pos, tgt) -> C_insert (r src, pos, r tgt)
+          | Normalize.N_delete tgt -> C_delete (r tgt)
+          | Normalize.N_replace_node (tgt, src) -> C_replace_node (r tgt, r src)
+          | Normalize.N_replace_value (tgt, src) -> C_replace_value (r tgt, r src)
+          | Normalize.N_rename (tgt, name) -> C_rename (r tgt, r name))
+        stmts
+    in
+    { c_source = source; c_strategy = strategy; c_stmts = stmts }
+
+  let update_error fmt = Printf.ksprintf (fun m -> raise (Pul.Update_error m)) fmt
+
+  let single_node what (s : Item.sequence) : Node.t =
+    match s with
+    | [ Item.Node n ] -> n
+    | _ -> update_error "%s must be a single node" what
+
+  let all_nodes what (s : Item.sequence) : Node.t list =
+    List.map
+      (function
+        | Item.Node n -> n
+        | Item.Atom _ -> update_error "%s must be a sequence of nodes" what)
+      s
+
+  (* Construction semantics for inserted content: nodes are deep-copied
+     (the pending list owns its content) and runs of adjacent atomics
+     become one space-separated text node. *)
+  let content_nodes (s : Item.sequence) : Node.t list =
+    let flush atoms acc =
+      if atoms = [] then acc
+      else Node.text (String.concat " " (List.rev atoms)) :: acc
+    in
+    let rec go atoms acc = function
+      | [] -> List.rev (flush atoms acc)
+      | (Item.Atom _ as it) :: rest -> go (Item.string_value it :: atoms) acc rest
+      | Item.Node n :: rest -> go [] (Node.copy n :: flush atoms acc) rest
+    in
+    go [] [] s
+
+  let string_of_seq (s : Item.sequence) : string =
+    String.concat " " (List.map Item.string_value s)
+
+  let is_attr n = Node.kind n = Node.Kattribute
+  let split_attrs ns = List.partition is_attr ns
+
+  (* Evaluate one statement against the snapshot context and produce its
+     pending primitives. *)
+  let prims_of_stmt (ctx : Dynamic_ctx.t) (stmt : cstmt) : Pul.primitive list =
+    match stmt with
+    | C_insert (srcr, pos, tgtr) -> (
+        let attrs, kids = split_attrs (content_nodes (srcr ctx)) in
+        let tgt = tgtr ctx in
+        match pos with
+        | Ast.Into | Ast.As_last_into | Ast.As_first_into ->
+            let t = single_node "insert target" tgt in
+            (match t.Node.desc with
+            | Node.Element _ -> ()
+            | Node.Document _ ->
+                if attrs <> [] then
+                  update_error "cannot insert attributes into a document node"
+            | _ ->
+                update_error "insert into target must be an element or document node");
+            (if attrs = [] then [] else [ Pul.Insert_attributes (t, attrs) ])
+            @
+            if kids = [] then []
+            else
+              [
+                (match pos with
+                | Ast.As_first_into -> Pul.Insert_first (t, kids)
+                | _ -> Pul.Insert_into (t, kids));
+              ]
+        | Ast.Before | Ast.After ->
+            let t = single_node "insert target" tgt in
+            let p =
+              match Node.parent t with
+              | Some p -> p
+              | None -> update_error "insert before/after target has no parent"
+            in
+            (* attribute content attaches to the target's parent, per XQUF *)
+            (if attrs = [] then [] else [ Pul.Insert_attributes (p, attrs) ])
+            @
+            if kids = [] then []
+            else if pos = Ast.Before then [ Pul.Insert_before (t, kids) ]
+            else [ Pul.Insert_after (t, kids) ])
+    | C_delete tgtr ->
+        List.map (fun n -> Pul.Delete n) (all_nodes "delete target" (tgtr ctx))
+    | C_replace_node (tgtr, srcr) ->
+        let t = single_node "replace target" (tgtr ctx) in
+        if Node.parent t = None then update_error "replace target has no parent";
+        let src = content_nodes (srcr ctx) in
+        (match t.Node.desc with
+        | Node.Attribute _ ->
+            if List.exists (fun n -> not (is_attr n)) src then
+              update_error "replacing an attribute requires attribute content"
+        | _ ->
+            if List.exists is_attr src then
+              update_error "attribute content cannot replace a non-attribute node");
+        [ Pul.Replace_node (t, src) ]
+    | C_replace_value (tgtr, srcr) ->
+        let t = single_node "replace target" (tgtr ctx) in
+        [ Pul.Replace_value (t, string_of_seq (srcr ctx)) ]
+    | C_rename (tgtr, namer) ->
+        let t = single_node "rename target" (tgtr ctx) in
+        let name = String.trim (string_of_seq (namer ctx)) in
+        if name = "" then update_error "rename requires a non-empty name";
+        [ Pul.Rename (t, name) ]
+
+  let wrap_errors f =
+    try f () with
+    | Pul.Update_error m -> raise (Error ("update error: " ^ m))
+    | Version.Unknown_document u -> raise (Error ("unknown document: " ^ u))
+    | Dynamic_ctx.Dynamic_error m -> raise (Error ("dynamic error: " ^ m))
+    | Atomic.Cast_error m -> raise (Error ("type error: " ^ m))
+    | Seqtype.Type_assertion_failure m ->
+        raise (Error ("type assertion failure: " ^ m))
+
+  (* Apply a compiled script to a tree the caller owns exclusively — no
+     MVCC, used directly by tests and benchmarks.  Returns the number of
+     applied primitives. *)
+  let apply_to_root (c : compiled) ~(make_ctx : Node.t -> Dynamic_ctx.t)
+      (root : Node.t) : int =
+    wrap_errors (fun () ->
+        let ctx = make_ctx root in
+        let prims = List.concat_map (prims_of_stmt ctx) c.c_stmts in
+        Pul.apply root prims)
+
+  (* Execute a compiled script against the registered document [uri],
+     under its MVCC write lock.  [make_ctx] builds the evaluation
+     context over whichever tree the version layer chose (live head or
+     fresh copy) — bind it exactly as the session's queries would see
+     the document. *)
+  let execute_compiled (c : compiled) ~(uri : string)
+      ~(make_ctx : Node.t -> Dynamic_ctx.t) : result =
+    wrap_errors (fun () ->
+        let applied, in_place =
+          Version.with_write uri (fun root ~in_place ->
+              let ctx = make_ctx root in
+              let prims = List.concat_map (prims_of_stmt ctx) c.c_stmts in
+              (Pul.apply root prims, in_place))
+        in
+        let version =
+          match Version.head uri with Some v -> v.Version.v_id | None -> 0
+        in
+        { u_applied = applied; u_version = version; u_in_place = in_place })
+
+  let execute ?strategy ~(uri : string)
+      ?(make_ctx =
+        fun root ->
+          let ctx = context () in
+          bind_document ctx uri root;
+          ctx) (source : string) : result =
+    execute_compiled (compile ?strategy source) ~uri ~make_ctx
+end

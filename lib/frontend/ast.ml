@@ -118,3 +118,37 @@ type prolog_decl =
   | Variable_decl of string * expr
 
 type query = { prolog : prolog_decl list; main : expr }
+
+(* ------------------------------------------------------------------ *)
+(* Update scripts (XQuery Update Facility subset)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Where an [insert] places its source relative to the target. *)
+type insert_pos =
+  | Into  (** default: as last into *)
+  | As_first_into
+  | As_last_into
+  | Before
+  | After
+
+let insert_pos_to_string = function
+  | Into -> "into"
+  | As_first_into -> "as first into"
+  | As_last_into -> "as last into"
+  | Before -> "before"
+  | After -> "after"
+
+(* One updating statement.  Source/target positions hold ordinary
+   (evaluating) expressions; the W3C "updating expression" stratification
+   reduces in this subset to: updates appear only at statement level. *)
+type update_stmt =
+  | Insert of expr * insert_pos * expr  (** insert node(s) SRC pos TGT *)
+  | Delete of expr  (** delete node(s) TGT *)
+  | Replace_node of expr * expr  (** replace node TGT with SRC *)
+  | Replace_value of expr * expr  (** replace value of node TGT with SRC *)
+  | Rename of expr * expr  (** rename node TGT as NAME *)
+
+(* A comma-separated sequence of updating statements sharing one prolog:
+   all statements are evaluated against the same snapshot, their pending
+   updates merged and applied atomically (snapshot semantics). *)
+type update_script = { uprolog : prolog_decl list; stmts : update_stmt list }

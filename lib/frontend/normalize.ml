@@ -415,3 +415,29 @@ let normalize_query (q : Ast.query) : cquery =
 
 let normalize_string (src : string) : cquery =
   normalize_query (Xq_parser.parse_query src)
+
+(* ------------------------------------------------------------------ *)
+(* Update scripts                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A normalized update statement: every source/target position is a
+   complete core query (sharing the script's prolog), so the update
+   driver can run each through any of the engine's execution
+   strategies unchanged. *)
+type nupdate_stmt =
+  | N_insert of cquery * Ast.insert_pos * cquery
+  | N_delete of cquery
+  | N_replace_node of cquery * cquery  (** target, source *)
+  | N_replace_value of cquery * cquery  (** target, source *)
+  | N_rename of cquery * cquery  (** target, name expression *)
+
+let normalize_update (u : Ast.update_script) : nupdate_stmt list =
+  let q expr = normalize_query { Ast.prolog = u.Ast.uprolog; main = expr } in
+  List.map
+    (function
+      | Ast.Insert (src, pos, tgt) -> N_insert (q src, pos, q tgt)
+      | Ast.Delete tgt -> N_delete (q tgt)
+      | Ast.Replace_node (tgt, src) -> N_replace_node (q tgt, q src)
+      | Ast.Replace_value (tgt, src) -> N_replace_value (q tgt, q src)
+      | Ast.Rename (tgt, name) -> N_rename (q tgt, q name))
+    u.Ast.stmts

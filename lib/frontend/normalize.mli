@@ -17,3 +17,18 @@ val normalize_string : string -> Core_ast.cquery
     @raise Xq_parser.Syntax_error on parse errors.
     @raise Norm_error on context-dependence errors (e.g. "." with no
     context item in scope). *)
+
+(** {1 Update scripts} *)
+
+(** A normalized update statement: every source/target position is a
+    complete core query (sharing the script's prolog), so the update
+    driver can run each through any execution strategy unchanged. *)
+type nupdate_stmt =
+  | N_insert of Core_ast.cquery * Ast.insert_pos * Core_ast.cquery
+      (** source, position, target *)
+  | N_delete of Core_ast.cquery
+  | N_replace_node of Core_ast.cquery * Core_ast.cquery  (** target, source *)
+  | N_replace_value of Core_ast.cquery * Core_ast.cquery  (** target, source *)
+  | N_rename of Core_ast.cquery * Core_ast.cquery  (** target, name expr *)
+
+val normalize_update : Ast.update_script -> nupdate_stmt list

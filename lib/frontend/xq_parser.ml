@@ -1114,3 +1114,76 @@ let parse_query (src : string) : Ast.query =
   { Ast.prolog; main }
 
 let parse_expression (src : string) : Ast.expr = (parse_query src).Ast.main
+
+(* ------------------------------------------------------------------ *)
+(* Update scripts (XQuery Update Facility subset)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* UpdateStmt ::= "insert" ("node"|"nodes") ExprSingle
+                    ("into" | "as" ("first"|"last") "into" | "before" | "after")
+                    ExprSingle
+              | "delete" ("node"|"nodes") ExprSingle
+              | "replace" "value" "of" "node" ExprSingle "with" ExprSingle
+              | "replace" "node" ExprSingle "with" ExprSingle
+              | "rename" "node" ExprSingle "as" ExprSingle
+
+   Source/target positions are ordinary ExprSingles: the W3C "updating
+   expression" stratification collapses in this subset to updates being
+   statement-level only, so the expression grammar is reused unchanged
+   (no keyword below clashes with an operator). *)
+let parse_update_stmt st : Ast.update_stmt =
+  skip_ws st;
+  if eat_word st "insert" then (
+    if not (eat_word st "node" || eat_word st "nodes") then
+      fail st "expected \"node\" or \"nodes\" after insert";
+    let src = parse_expr_single st in
+    let pos =
+      if eat_word st "into" then Ast.Into
+      else if eat_word st "as" then (
+        let first =
+          if eat_word st "first" then true
+          else if eat_word st "last" then false
+          else fail st "expected \"first\" or \"last\" after as"
+        in
+        expect_word st "into";
+        if first then Ast.As_first_into else Ast.As_last_into)
+      else if eat_word st "before" then Ast.Before
+      else if eat_word st "after" then Ast.After
+      else fail st "expected into / as first into / as last into / before / after"
+    in
+    let tgt = parse_expr_single st in
+    Ast.Insert (src, pos, tgt))
+  else if eat_word st "delete" then (
+    if not (eat_word st "node" || eat_word st "nodes") then
+      fail st "expected \"node\" or \"nodes\" after delete";
+    Ast.Delete (parse_expr_single st))
+  else if eat_word st "replace" then
+    if eat_word st "value" then (
+      expect_word st "of";
+      expect_word st "node";
+      let tgt = parse_expr_single st in
+      expect_word st "with";
+      Ast.Replace_value (tgt, parse_expr_single st))
+    else (
+      expect_word st "node";
+      let tgt = parse_expr_single st in
+      expect_word st "with";
+      Ast.Replace_node (tgt, parse_expr_single st))
+  else if eat_word st "rename" then (
+    expect_word st "node";
+    let tgt = parse_expr_single st in
+    expect_word st "as";
+    Ast.Rename (tgt, parse_expr_single st))
+  else fail st "expected an update statement (insert/delete/replace/rename)"
+
+let parse_update (src : string) : Ast.update_script =
+  let st = { src; pos = 0; len = String.length src } in
+  skip_ws st;
+  let uprolog = parse_prolog st in
+  let stmts = ref [ parse_update_stmt st ] in
+  while eat_char st ',' do
+    stmts := parse_update_stmt st :: !stmts
+  done;
+  skip_ws st;
+  if st.pos < st.len then fail st "trailing input after update script";
+  { Ast.uprolog; stmts = List.rev !stmts }

@@ -15,3 +15,9 @@ val parse_query : string -> Ast.query
 val parse_expression : string -> Ast.expr
 (** Parse a query and return its main expression (convenience for
     tests). *)
+
+val parse_update : string -> Ast.update_script
+(** Parse an update script: an optional prolog followed by one or more
+    comma-separated XQUF statements (insert node / delete node /
+    replace [value of] node / rename node).
+    @raise Syntax_error with a byte offset on malformed input. *)

@@ -37,8 +37,12 @@ let k_pi = 5
 
 type t = {
   root : Node.t;
-  base : int;  (** root nid at build: row i holds nid [base + i] *)
+  base : int;  (** root nid at build *)
   n : int;
+  pres : int array;
+      (** row -> preorder nid, strictly ascending.  On gap-numbered
+          (updatable) trees the ids are not consecutive, so node->row is
+          a binary search over this column rather than [nid - base]. *)
   nodes : Node.t array;  (** row -> node (the bridge back to items) *)
   sizes : int array;  (** subtree node count, self included *)
   levels : int array;
@@ -81,10 +85,11 @@ let dict_array (d : dict) : string array =
   a
 
 let build (root : Node.t) : entry =
-  let total = Node.size root in
+  let total = Node.count_nodes root in
   if total = 0 then Unshreddable root
   else
     let base = root.Node.nid in
+    let pres = Array.make total 0 in
     let nodes = Array.make total root in
     let sizes = Array.make total 0 in
     let levels = Array.make total 0 in
@@ -102,12 +107,17 @@ let build (root : Node.t) : entry =
       | None -> Hashtbl.add tbl qid (ref [ row ])
     in
     let count = ref 0 in
+    let last = ref (base - 1) in
     let rec go level parent_row (nd : Node.t) =
       let row = !count in
-      (* the encoding requires exactly consecutive preorder ids *)
-      if row >= total || nd.Node.nid <> base + row then raise Not_shreddable;
+      (* the encoding requires strictly ascending preorder ids (gaps are
+         fine — gap-numbered updatable trees shred too; node->row then
+         binary-searches the [pres] column) *)
+      if row >= total || nd.Node.nid <= !last then raise Not_shreddable;
+      last := nd.Node.nid;
       if Node.type_annotation nd <> None then raise Not_shreddable;
       incr count;
+      pres.(row) <- nd.Node.nid;
       nodes.(row) <- nd;
       levels.(row) <- level;
       parents.(row) <- parent_row;
@@ -161,6 +171,7 @@ let build (root : Node.t) : entry =
               root;
               base;
               n = total;
+              pres;
               nodes;
               sizes;
               levels;
@@ -219,16 +230,28 @@ let entry_for (root : Node.t) : entry =
 let of_root (root : Node.t) : t option =
   match entry_for root with Shredded s -> Some s | Unshreddable _ -> None
 
-(* Locate an arbitrary node inside its root's shred: its row is its
-   nid offset, verified by physical identity (a renumbered tree would
-   miss the cache and rebuild, but belt and braces). *)
+(* First index in [arr] with value >= v (arr ascending). *)
+let lower_bound (arr : int array) (v : int) : int =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* The node's row in [sh], by binary search over the preorder column,
+   verified by physical identity.  [None] for nodes the shred has never
+   seen (stale caches, foreign trees). *)
+let row_of (sh : t) (n : Node.t) : int option =
+  let row = lower_bound sh.pres n.Node.nid in
+  if row < sh.n && sh.nodes.(row) == n then Some row else None
+
+(* Locate an arbitrary node inside its root's shred. *)
 let find (n : Node.t) : (t * int) option =
   match of_root (Node.root n) with
   | None -> None
-  | Some sh ->
-      let row = n.Node.nid - sh.base in
-      if row >= 0 && row < sh.n && sh.nodes.(row) == n then Some (sh, row)
-      else None
+  | Some sh -> (
+      match row_of sh n with Some row -> Some (sh, row) | None -> None)
 
 (* ------------------------------------------------------------------ *)
 (* Observation                                                         *)
@@ -253,15 +276,6 @@ let qid_of_name (sh : t) (name : string) : int option =
 (* ------------------------------------------------------------------ *)
 (* Navigation                                                          *)
 (* ------------------------------------------------------------------ *)
-
-(* First index in [arr] with value >= v (arr ascending). *)
-let lower_bound (arr : int array) (v : int) : int =
-  let lo = ref 0 and hi = ref (Array.length arr) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if arr.(mid) < v then lo := mid + 1 else hi := mid
-  done;
-  !lo
 
 (* Rows of [arr] inside [lo, hi) appended to [acc] in ascending order. *)
 let range_rows (arr : int array) (lo : int) (hi : int) : int list =
@@ -367,3 +381,348 @@ let rebuild (sh : t) : Node.t =
   let t = make 0 in
   Node.renumber t;
   t
+
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance (the update subsystem)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The update path patches columns instead of re-shredding: an inserted
+   or deleted subtree is a contiguous row range (preorder), so every
+   column is an array splice plus a row-shift of the later buckets, and
+   a value change is a dictionary append.  Patches build a fresh record
+   (sharing untouched columns) and republish it under the same root key
+   — the caller guarantees no reader holds the version (MVCC in-place
+   path).  Anything the encoding cannot patch (unknown parent, annotated
+   content) purges the entry instead; the next relational query
+   re-shreds lazily.
+
+   The value dictionary is append-only under patching: stale entries and
+   duplicates are harmless because vids are only ever dereferenced, never
+   compared. *)
+
+let live (root : Node.t) : t option =
+  match IntMap.find_opt root.Node.nid (Stdlib.Atomic.get snapshot) with
+  | Some (Shredded s) when s.root == root -> Some s
+  | _ -> None
+
+let purge_nid (nid : int) : unit =
+  Obs.with_lock lock (fun () ->
+      let m = Stdlib.Atomic.get snapshot in
+      if IntMap.mem nid m then Stdlib.Atomic.set snapshot (IntMap.remove nid m))
+
+let purge_root (root : Node.t) : unit = purge_nid root.Node.nid
+
+let republish (s : t) : unit =
+  Obs.with_lock lock (fun () ->
+      Stdlib.Atomic.set snapshot
+        (IntMap.add s.root.Node.nid (Shredded s)
+           (purge_stale (Stdlib.Atomic.get snapshot))))
+
+exception Unpatchable
+
+let splice (arr : 'a array) (at : int) (add : 'a array) : 'a array =
+  Array.concat
+    [ Array.sub arr 0 at; add; Array.sub arr at (Array.length arr - at) ]
+
+let drop_range (arr : 'a array) (at : int) (k : int) : 'a array =
+  Array.append (Array.sub arr 0 at) (Array.sub arr (at + k) (Array.length arr - at - k))
+
+(* Splice the contiguous ascending run [add] into ascending [arr]
+   (run disjoint from every existing entry). *)
+let splice_sorted (arr : int array) (add : int array) : int array =
+  if Array.length add = 0 then arr else splice arr (lower_bound arr add.(0)) add
+
+(* Walk up the parent column accumulating [row] and its ancestor rows. *)
+let ancestor_rows (parents : int array) (row : int) : int list =
+  let rec up a acc = if a < 0 then List.rev acc else up parents.(a) (a :: acc) in
+  List.rev (up row [])
+
+(* Append-only dictionary growth for one patch. *)
+type growth = { mutable gnew : string list; mutable gnext : int }
+
+let grower (base : string array) = { gnew = []; gnext = Array.length base }
+
+let gadd (g : growth) (s : string) : int =
+  g.gnew <- s :: g.gnew;
+  g.gnext <- g.gnext + 1;
+  g.gnext - 1
+
+let gfreeze (g : growth) (base : string array) : string array =
+  Array.append base (Array.of_list (List.rev g.gnew))
+
+(* Re-derive the string values of [row] and every ancestor (text content
+   below them changed) into fresh vid entries.  [vids] is the already
+   fresh (copied/spliced) column, mutated in place before publish. *)
+let refresh_ancestor_values (vg : growth) (nodes : Node.t array)
+    (parents : int array) (vids : int array) (row : int) : unit =
+  List.iter
+    (fun a -> vids.(a) <- gadd vg (Node.string_value nodes.(a)))
+    (ancestor_rows parents row)
+
+(* [sub] was just placed (ids assigned, tree spliced) under [root]. *)
+let patch_insert (root : Node.t) (sub : Node.t) : bool =
+  match live root with
+  | None -> false
+  | Some sh -> (
+      match
+        let k = Node.count_nodes sub in
+        let r = lower_bound sh.pres sub.Node.nid in
+        (* the whole inserted interval must be new to the shred *)
+        if r = 0 || (r < sh.n && sh.pres.(r) < Node.interval_end sub) then
+          raise Unpatchable;
+        let parent_row =
+          match Node.parent sub with
+          | None -> raise Unpatchable
+          | Some p -> (
+              match row_of sh p with Some pr -> pr | None -> raise Unpatchable)
+        in
+        let tpres = Array.make k 0 in
+        let tnodes = Array.make k sub in
+        let tsizes = Array.make k 0 in
+        let tlevels = Array.make k 0 in
+        let tkinds = Array.make k 0 in
+        let tparents = Array.make k (-1) in
+        let tqids = Array.make k (-1) in
+        let tvids = Array.make k (-1) in
+        let qtbl : (string, int) Hashtbl.t =
+          Hashtbl.create (Array.length sh.qnames)
+        in
+        Array.iteri (fun i s -> Hashtbl.replace qtbl s i) sh.qnames;
+        let qg = grower sh.qnames and vg = grower sh.values in
+        let qid_of s =
+          match Hashtbl.find_opt qtbl s with
+          | Some i -> i
+          | None ->
+              let i = gadd qg s in
+              Hashtbl.add qtbl s i;
+              i
+        in
+        let elem_new : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+        let attr_new : (int, int list ref) Hashtbl.t = Hashtbl.create 4 in
+        let all_new = ref [] in
+        let push tbl qid row =
+          match Hashtbl.find_opt tbl qid with
+          | Some l -> l := row :: !l
+          | None -> Hashtbl.add tbl qid (ref [ row ])
+        in
+        let c = ref 0 in
+        let rec go level pl (nd : Node.t) =
+          if Node.type_annotation nd <> None then raise Unpatchable;
+          let i = !c in
+          incr c;
+          tpres.(i) <- nd.Node.nid;
+          tnodes.(i) <- nd;
+          tlevels.(i) <- level;
+          tparents.(i) <- pl;
+          (match nd.Node.desc with
+          | Node.Document _ ->
+              tkinds.(i) <- k_document;
+              tvids.(i) <- gadd vg (Node.string_value nd)
+          | Node.Element { ename; _ } ->
+              tkinds.(i) <- k_element;
+              tqids.(i) <- qid_of ename;
+              tvids.(i) <- gadd vg (Node.string_value nd);
+              push elem_new tqids.(i) (r + i);
+              all_new := r + i :: !all_new
+          | Node.Attribute { aname; avalue; _ } ->
+              tkinds.(i) <- k_attribute;
+              tqids.(i) <- qid_of aname;
+              tvids.(i) <- gadd vg avalue;
+              push attr_new tqids.(i) (r + i)
+          | Node.Text s ->
+              tkinds.(i) <- k_text;
+              tvids.(i) <- gadd vg s
+          | Node.Comment s ->
+              tkinds.(i) <- k_comment;
+              tvids.(i) <- gadd vg s
+          | Node.Pi { target; pdata } ->
+              tkinds.(i) <- k_pi;
+              tqids.(i) <- qid_of target;
+              tvids.(i) <- gadd vg pdata);
+          List.iter (go (level + 1) i) (Node.attributes nd);
+          List.iter (go (level + 1) i) (Node.children nd);
+          tsizes.(i) <- !c - i
+        in
+        go (sh.levels.(parent_row) + 1) (-1) sub;
+        let shift v = if v >= r then v + k else v in
+        let pres = splice sh.pres r tpres in
+        let nodes = splice sh.nodes r tnodes in
+        let levels = splice sh.levels r tlevels in
+        let kinds = splice sh.kinds r tkinds in
+        let qids = splice sh.qids r tqids in
+        let parents =
+          splice
+            (Array.map shift sh.parents)
+            r
+            (Array.map (fun pl -> if pl < 0 then parent_row else r + pl) tparents)
+        in
+        let sizes = splice sh.sizes r tsizes in
+        (* the inserted subtree grows every ancestor's subtree *)
+        let rec grow a = if a >= 0 then (sizes.(a) <- sizes.(a) + k; grow parents.(a)) in
+        grow parent_row;
+        let vids = splice sh.vids r tvids in
+        refresh_ancestor_values vg nodes parents vids parent_row;
+        let shift_bucket arr = Array.map shift arr in
+        let bucket_of old tbl =
+          let out = Array.make qg.gnext [||] in
+          Array.iteri (fun q rows -> out.(q) <- shift_bucket rows) old;
+          Hashtbl.iter
+            (fun q l ->
+              out.(q) <- splice_sorted out.(q) (Array.of_list (List.rev !l)))
+            tbl;
+          out
+        in
+        {
+          sh with
+          n = sh.n + k;
+          pres;
+          nodes;
+          sizes;
+          levels;
+          kinds;
+          parents;
+          qids;
+          vids;
+          qnames = gfreeze qg sh.qnames;
+          values = gfreeze vg sh.values;
+          elem_rows = bucket_of sh.elem_rows elem_new;
+          attr_rows = bucket_of sh.attr_rows attr_new;
+          all_elems =
+            splice_sorted (shift_bucket sh.all_elems)
+              (Array.of_list (List.rev !all_new));
+        }
+      with
+      | sh' ->
+          republish sh';
+          true
+      | exception Unpatchable ->
+          purge_root root;
+          false)
+
+(* [sub] is being detached from [root] (old ids intact). *)
+let patch_delete (root : Node.t) (sub : Node.t) : bool =
+  match live root with
+  | None -> false
+  | Some sh -> (
+      match row_of sh sub with
+      | None ->
+          purge_root root;
+          false
+      | Some r ->
+          let k = sh.sizes.(r) in
+          let parent_row = sh.parents.(r) in
+          let shift v = if v >= r + k then v - k else v in
+          let drop arr = drop_range arr r k in
+          let parents = Array.map shift (drop sh.parents) in
+          let sizes = drop sh.sizes in
+          let rec shrink a =
+            if a >= 0 then (sizes.(a) <- sizes.(a) - k; shrink parents.(a))
+          in
+          shrink parent_row;
+          let nodes = drop sh.nodes in
+          let vids = drop sh.vids in
+          let vg = grower sh.values in
+          (match parent_row with
+          | -1 -> ()
+          | pr -> refresh_ancestor_values vg nodes parents vids pr);
+          let prune_bucket arr =
+            Array.of_list
+              (List.filter_map
+                 (fun v -> if v >= r && v < r + k then None else Some (shift v))
+                 (Array.to_list arr))
+          in
+          republish
+            {
+              sh with
+              n = sh.n - k;
+              pres = drop sh.pres;
+              nodes;
+              sizes;
+              levels = drop sh.levels;
+              kinds = drop sh.kinds;
+              parents;
+              qids = drop sh.qids;
+              vids;
+              values = gfreeze vg sh.values;
+              elem_rows = Array.map prune_bucket sh.elem_rows;
+              attr_rows = Array.map prune_bucket sh.attr_rows;
+              all_elems = prune_bucket sh.all_elems;
+            };
+          true)
+
+(* [nd] was renamed in place (same nid, same row). *)
+let patch_rename (root : Node.t) (nd : Node.t) : bool =
+  match live root with
+  | None -> false
+  | Some sh -> (
+      match (row_of sh nd, Node.name nd) with
+      | Some r, Some new_name ->
+          let old_q = sh.qids.(r) in
+          let qg = grower sh.qnames in
+          let new_q =
+            let rec scan i =
+              if i >= Array.length sh.qnames then gadd qg new_name
+              else if String.equal sh.qnames.(i) new_name then i
+              else scan (i + 1)
+            in
+            scan 0
+          in
+          let qids = Array.copy sh.qids in
+          qids.(r) <- new_q;
+          let move buckets =
+            let out = Array.make qg.gnext [||] in
+            Array.blit buckets 0 out 0 (Array.length buckets);
+            if old_q >= 0 then
+              out.(old_q) <-
+                Array.of_list
+                  (List.filter (fun v -> v <> r) (Array.to_list out.(old_q)));
+            out.(new_q) <- splice_sorted out.(new_q) [| r |];
+            out
+          in
+          let elem_rows, attr_rows =
+            match nd.Node.desc with
+            | Node.Element _ -> (move sh.elem_rows, sh.attr_rows)
+            | Node.Attribute _ -> (sh.elem_rows, move sh.attr_rows)
+            | _ ->
+                (* pi rename touches only the qname column *)
+                ( (if qg.gnext > Array.length sh.elem_rows then
+                     Array.append sh.elem_rows
+                       (Array.make (qg.gnext - Array.length sh.elem_rows) [||])
+                   else sh.elem_rows),
+                  sh.attr_rows )
+          in
+          let attr_rows =
+            if Array.length attr_rows < qg.gnext then
+              Array.append attr_rows
+                (Array.make (qg.gnext - Array.length attr_rows) [||])
+            else attr_rows
+          in
+          let elem_rows =
+            if Array.length elem_rows < qg.gnext then
+              Array.append elem_rows
+                (Array.make (qg.gnext - Array.length elem_rows) [||])
+            else elem_rows
+          in
+          republish
+            { sh with qids; qnames = gfreeze qg sh.qnames; elem_rows; attr_rows };
+          true
+      | _ ->
+          purge_root root;
+          false)
+
+(* [nd]'s own string value changed in place (text node, attribute,
+   comment or pi payload): fresh vid for the row and its ancestors. *)
+let patch_value (root : Node.t) (nd : Node.t) : bool =
+  match live root with
+  | None -> false
+  | Some sh -> (
+      match row_of sh nd with
+      | None ->
+          purge_root root;
+          false
+      | Some r ->
+          let vg = grower sh.values in
+          let vids = Array.copy sh.vids in
+          refresh_ancestor_values vg sh.nodes sh.parents vids r;
+          republish { sh with vids; values = gfreeze vg sh.values };
+          true)

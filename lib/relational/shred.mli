@@ -22,8 +22,12 @@ val k_pi : int
 
 type t = private {
   root : Node.t;
-  base : int;  (** root nid at build: row i holds nid [base + i] *)
+  base : int;  (** root nid at build (= [pres.(0)]) *)
   n : int;
+  pres : int array;
+      (** row -> nid, strictly ascending.  On densely numbered trees
+          this is [base + row]; on gap-numbered (updatable) trees the
+          node->row bridge is a binary search over this column. *)
   nodes : Node.t array;  (** row -> node (the bridge back to items) *)
   sizes : int array;  (** subtree node count, self included *)
   levels : int array;
@@ -40,7 +44,7 @@ type t = private {
 
 val of_root : Node.t -> t option
 (** Shred for the given root, cached.  [None] when the root is not
-    shreddable: ids not exactly consecutive in preorder (the tree needs
+    shreddable: ids not strictly ascending in preorder (the tree needs
     a renumber) or type-annotated nodes present. *)
 
 val find : Node.t -> (t * int) option
@@ -63,3 +67,35 @@ val rebuild : t -> Node.t
 
 val cache_size : unit -> int
 val clear : unit -> unit
+
+val purge_root : Node.t -> unit
+(** Drop the cached shred for this root (retired document versions,
+    evicted doc caches).  Missing entries are a no-op. *)
+
+val purge_nid : int -> unit
+(** Like {!purge_root} when only the old key survives (the root has
+    already been renumbered). *)
+
+(** {1 Incremental maintenance} — the update subsystem's in-place
+    column patching.  Callers guarantee exclusivity: patches run only
+    on a document version with no admitted readers (the MVCC writer
+    copies otherwise).  Each returns [false] — after purging the stale
+    entry — when the shred cannot be patched; the next relational query
+    re-shreds lazily. *)
+
+val patch_insert : Node.t -> Node.t -> bool
+(** [patch_insert root sub]: [sub] was just placed (ids assigned) under
+    [root]; splice its rows into every column and name bucket. *)
+
+val patch_delete : Node.t -> Node.t -> bool
+(** [patch_delete root sub]: [sub] is being detached (old ids intact);
+    drop its contiguous row range. *)
+
+val patch_rename : Node.t -> Node.t -> bool
+(** The node was renamed in place (same nid, same row): patch the qname
+    column and move the row between name buckets. *)
+
+val patch_value : Node.t -> Node.t -> bool
+(** The node's own string value changed in place (text/attribute/
+    comment/pi payload): fresh value-dictionary entries for the row and
+    its ancestors. *)

@@ -98,6 +98,37 @@ let execute ?timeout_ms ?(trace = false) t name :
       | Some (Obs.Str s) -> Ok s
       | _ -> raise (Client_error "ok response has no result field"))
 
+(* Outcome of an applied update script, from the server's ok response. *)
+type update_result = {
+  ur_applied : int;  (** update primitives applied *)
+  ur_version : int;  (** published document version id *)
+  ur_in_place : bool;  (** live head patched (vs copy published) *)
+}
+
+let update_json ?timeout_ms ?(trace = false) t ~doc source :
+    (Obs.json, string * string) result =
+  result_of (rpc t (Protocol.Update { doc; source; timeout_ms; trace }))
+
+let update ?timeout_ms ?(trace = false) t ~doc source :
+    (update_result, string * string) result =
+  match update_json ?timeout_ms ~trace t ~doc source with
+  | Error _ as e -> e
+  | Ok json ->
+      let int name =
+        match field name json with
+        | Some (Obs.Int n) -> n
+        | _ -> raise (Client_error ("ok response has no " ^ name ^ " field"))
+      in
+      let in_place =
+        match field "in_place" json with Some (Obs.Bool b) -> b | _ -> false
+      in
+      Ok
+        {
+          ur_applied = int "applied";
+          ur_version = int "version";
+          ur_in_place = in_place;
+        }
+
 let stats t : Obs.json =
   match result_of (rpc t Protocol.Stats) with
   | Ok json -> Option.value (field "stats" json) ~default:Obs.Null

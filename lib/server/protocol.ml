@@ -6,6 +6,7 @@
      {"op":"query",    "q":SOURCE, "id":ID?, "timeout_ms":N?, "trace":BOOL?}
      {"op":"prepare",  "name":NAME, "q":SOURCE, "id":ID?}
      {"op":"execute",  "name":NAME, "id":ID?, "timeout_ms":N?, "trace":BOOL?}
+     {"op":"update",   "doc":NAME, "q":SCRIPT, "id":ID?, "timeout_ms":N?, "trace":BOOL?}
      {"op":"stats",    "id":ID?}
      {"op":"metrics",  "id":ID?, "format":"json"|"prometheus"?}
      {"op":"trace",    "id":ID?, "trace_id":N?}
@@ -23,8 +24,14 @@
    Responses echo the request's "id" (Null when absent) and carry
    "status":"ok" plus op-specific fields, or "status":"error" with a
    machine-readable "code" and a human "message".  Error codes:
-   bad_request, unknown_statement, unknown_trace, timeout, overloaded,
-   query_error, shutting_down, internal. *)
+   bad_request, unknown_statement, unknown_document, unknown_trace,
+   timeout, overloaded, query_error, shutting_down, internal.
+
+   "op":"update" runs an XQUF script against the preloaded document
+   named "doc", under its MVCC write lock; ok responses carry "applied"
+   (primitives applied), "version" (published version id) and
+   "in_place" (whether the live head was patched vs a copy published
+   for admitted readers). *)
 
 module Obs = Xqc_obs.Obs
 
@@ -34,6 +41,8 @@ type request =
   | Query of { source : string; timeout_ms : int option; trace : bool }
   | Prepare of { name : string; source : string }
   | Execute of { name : string; timeout_ms : int option; trace : bool }
+  | Update of { doc : string; source : string; timeout_ms : int option; trace : bool }
+      (** run an XQUF script against the preloaded document [doc] *)
   | Stats
   | Metrics of metrics_format
   | Trace_get of int option
@@ -105,6 +114,13 @@ let decode_request (line : string) : envelope =
                     Result.map
                       (fun trace -> Execute { name; timeout_ms; trace })
                       (trace_field json)))
+        | Ok "update" ->
+            Result.bind (str_field "doc" json) (fun doc ->
+                Result.bind (str_field "q" json) (fun source ->
+                    Result.bind (timeout_field json) (fun timeout_ms ->
+                        Result.map
+                          (fun trace -> Update { doc; source; timeout_ms; trace })
+                          (trace_field json))))
         | Ok "stats" -> Ok Stats
         | Ok "metrics" -> Result.map (fun f -> Metrics f) (format_field json)
         | Ok "trace" -> Result.map (fun n -> Trace_get n) (trace_id_field json)
@@ -133,6 +149,11 @@ let encode_request ?(id = Obs.Null) (req : request) : string =
         ("prepare", [ ("name", Obs.Str name); ("q", Obs.Str source) ])
     | Execute { name; timeout_ms; trace } ->
         ("execute", traced (timeout [ ("name", Obs.Str name) ] timeout_ms) trace)
+    | Update { doc; source; timeout_ms; trace } ->
+        ( "update",
+          traced
+            (timeout [ ("doc", Obs.Str doc); ("q", Obs.Str source) ] timeout_ms)
+            trace )
     | Stats -> ("stats", [])
     | Metrics Json_format -> ("metrics", [ ("format", Obs.Str "json") ])
     | Metrics Prometheus_format ->

@@ -206,7 +206,7 @@ type t = {
   inflight : int Atomic.t;  (** admitted (queued or executing) requests *)
   statements : (string, string) Hashtbl.t;  (** prepared name -> source *)
   st_lock : Obs.tmutex;
-  preloaded : (string * string * Xqc.Node.t) list;  (** name, path, doc *)
+  preloaded : (string * string) list;  (** name, path; trees live in {!Xqc.Version} *)
   started : float;
   latency : Obs.histogram;  (** request service time, milliseconds *)
   h_queue_wait : Obs.histogram;  (** admission -> dequeue, milliseconds *)
@@ -249,19 +249,39 @@ let sampled t =
 (* Request evaluation                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Every request gets a fresh dynamic context over the shared read-only
-   preloads: each document is visible to fn:doc under its preload name,
-   its path and its basename, and bound to the variable $name. *)
-let fresh_ctx t =
+(* Readers get snapshot isolation: each request pins every preload's
+   head version when evaluation starts and reads exactly those trees
+   for its whole lifetime, whatever writers publish meanwhile.  Each
+   pinned document is visible to fn:doc under its preload name, its
+   path and its basename, and bound to the variable $name. *)
+let pin_preloads t : (string * string * Xqc.Version.version) list =
+  List.filter_map
+    (fun (name, path) ->
+      Option.map (fun v -> (name, path, v)) (Xqc.Version.pin name))
+    t.preloaded
+
+let bind_preload ctx ~name ~path doc =
+  Xqc.bind_document ctx name doc;
+  Xqc.bind_document ctx path doc;
+  Xqc.bind_document ctx (Filename.basename path) doc;
+  Xqc.bind_variable ctx name [ Xqc.Item.Node doc ]
+
+let ctx_of_pins pins =
   let ctx = Xqc.context () in
   List.iter
-    (fun (name, path, doc) ->
-      Xqc.bind_document ctx name doc;
-      Xqc.bind_document ctx path doc;
-      Xqc.bind_document ctx (Filename.basename path) doc;
-      Xqc.bind_variable ctx name [ Xqc.Item.Node doc ])
-    t.preloaded;
+    (fun (name, path, v) -> bind_preload ctx ~name ~path v.Xqc.Version.v_root)
+    pins;
   ctx
+
+(* Run [f] over a context bound to pinned snapshots; the unpin in
+   [finally] is what lets the version layer purge a retired snapshot
+   once its last reader is done. *)
+let with_snapshot t f =
+  let pins = pin_preloads t in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (name, _, v) -> Xqc.Version.unpin name v) pins)
+    (fun () -> f (ctx_of_pins pins))
 
 let deadline_of t timeout_ms =
   match (timeout_ms, t.cfg.default_timeout_ms) with
@@ -286,16 +306,18 @@ let eval_query t ~id ~tr ~want_trace ~source ~deadline : string =
   let extra = trace_fields tr ~want_trace in
   match
     let prepared = Xqc.prepare_cached ~strategy:t.cfg.strategy source in
-    let ctx = fresh_ctx t in
-    Xqc.Dynamic_ctx.set_trace ctx tr;
-    Xqc.Dynamic_ctx.set_deadline ctx deadline;
-    let te = Obs.now () in
-    let items = Trace.in_span "eval" (fun () -> Xqc.run prepared ctx) in
-    Obs.observe t.h_eval ((Obs.now () -. te) *. 1000.);
-    let ts = Obs.now () in
-    let text = Trace.in_span "serialize" (fun () -> Xqc.serialize items) in
-    Obs.observe t.h_serialize ((Obs.now () -. ts) *. 1000.);
-    (items, text)
+    (* serialization happens under the same pins as evaluation: the
+       result sequence references snapshot nodes *)
+    with_snapshot t (fun ctx ->
+        Xqc.Dynamic_ctx.set_trace ctx tr;
+        Xqc.Dynamic_ctx.set_deadline ctx deadline;
+        let te = Obs.now () in
+        let items = Trace.in_span "eval" (fun () -> Xqc.run prepared ctx) in
+        Obs.observe t.h_eval ((Obs.now () -. te) *. 1000.);
+        let ts = Obs.now () in
+        let text = Trace.in_span "serialize" (fun () -> Xqc.serialize items) in
+        Obs.observe t.h_serialize ((Obs.now () -. ts) *. 1000.);
+        (items, text))
   with
   | items, text ->
       Obs.incr_counter c_ok;
@@ -311,6 +333,56 @@ let eval_query t ~id ~tr ~want_trace ~source ~deadline : string =
   | exception Json_parse.Parse_error m | exception Failure m ->
       Obs.incr_counter c_errors;
       Protocol.response_error ~extra ~id ~code:"internal" m
+
+(* Run an XQUF script against the preloaded document [doc], under its
+   per-document MVCC write lock.  The script's queries evaluate against
+   whichever tree the version layer chose (live head or fresh copy),
+   bound exactly as a reader would see the document; the reply reports
+   how many primitives applied and whether the live head was patched in
+   place (vs a new version published for the admitted readers). *)
+let exec_update t ~id ~tr ~want_trace ~doc ~source ~deadline : string =
+  let extra = trace_fields tr ~want_trace in
+  match List.find_opt (fun (n, _) -> String.equal n doc) t.preloaded with
+  | None ->
+      Obs.incr_counter c_errors;
+      Protocol.response_error ~extra ~id ~code:"unknown_document"
+        (Printf.sprintf "no preloaded document %S" doc)
+  | Some (name, path) -> (
+      let make_ctx root =
+        let ctx = Xqc.context () in
+        bind_preload ctx ~name ~path root;
+        Xqc.Dynamic_ctx.set_trace ctx tr;
+        Xqc.Dynamic_ctx.set_deadline ctx deadline;
+        ctx
+      in
+      match
+        let te = Obs.now () in
+        let r =
+          Trace.in_span "update" (fun () ->
+              Xqc.Update.execute ~strategy:t.cfg.strategy ~uri:name ~make_ctx
+                source)
+        in
+        Obs.observe t.h_eval ((Obs.now () -. te) *. 1000.);
+        r
+      with
+      | r ->
+          Obs.incr_counter c_ok;
+          Protocol.response_ok ~id
+            ([
+               ("applied", Obs.Int r.Xqc.Update.u_applied);
+               ("version", Obs.Int r.Xqc.Update.u_version);
+               ("in_place", Obs.Bool r.Xqc.Update.u_in_place);
+             ]
+            @ trace_fields tr ~want_trace)
+      | exception Xqc.Dynamic_ctx.Timeout ->
+          Obs.incr_counter c_timeouts;
+          Protocol.response_error ~extra ~id ~code:"timeout" "deadline exceeded"
+      | exception Xqc.Error m ->
+          Obs.incr_counter c_errors;
+          Protocol.response_error ~extra ~id ~code:"query_error" m
+      | exception Json_parse.Parse_error m | exception Failure m ->
+          Obs.incr_counter c_errors;
+          Protocol.response_error ~extra ~id ~code:"internal" m)
 
 (* Offer a finished request to the slow-query ring; when it is admitted
    (and analysis is on), re-run it once with a stats collector to attach
@@ -336,11 +408,11 @@ let note_slow t (job : job) ~op ~source ~outcome ~ms =
     then
       try
         let p = Xqc.prepare ~strategy:t.cfg.strategy ~stats:true src in
-        let ctx = fresh_ctx t in
-        Xqc.Dynamic_ctx.set_deadline ctx
-          (Some (Obs.now () +. Float.max (2.0 *. ms /. 1000.) 1.0));
-        ignore (Xqc.run p ctx);
-        ignore (Xqc.serialize (Xqc.run p ctx));
+        with_snapshot t (fun ctx ->
+            Xqc.Dynamic_ctx.set_deadline ctx
+              (Some (Obs.now () +. Float.max (2.0 *. ms /. 1000.) 1.0));
+            ignore (Xqc.run p ctx);
+            ignore (Xqc.serialize (Xqc.run p ctx)));
         Slow_log.set_explain t.slow entry (Xqc.explain_analyze p)
       with e ->
         Slow_log.set_explain t.slow entry
@@ -398,6 +470,11 @@ let handle_job t (job : job) : unit =
                 ~extra:(trace_fields tr ~want_trace)
                 ~id:job.jb_id ~code:"unknown_statement"
                 (Printf.sprintf "no prepared statement %S" name) ))
+    | Protocol.Update { doc; source; _ } ->
+        ( "update",
+          Some source,
+          exec_update t ~id:job.jb_id ~tr ~want_trace ~doc ~source
+            ~deadline:job.jb_deadline )
     | Protocol.Stats | Protocol.Metrics _ | Protocol.Trace_get _
     | Protocol.Ping | Protocol.Shutdown ->
         (* handled inline by the reader; never queued *)
@@ -507,6 +584,7 @@ let stats_json t : Obs.json =
           ] );
       ("latency_ms", Obs.histogram_to_json t.latency);
       ("traces", Obs.Int (Trace.stored_count ()));
+      ("snapshot_versions_live", Obs.Int (Xqc.Version.live_versions ()));
       ( "counters",
         Obs.Obj (List.map (fun (n, v) -> (n, Obs.Int v)) (Obs.global_counters ())) );
     ]
@@ -558,6 +636,7 @@ let metrics_json t : Obs.json =
                  ])
              (gauge_samples t)) );
       ("slow_queries", Slow_log.to_json t.slow);
+      ("snapshot_versions_live", Obs.Int (Xqc.Version.live_versions ()));
       ( "counters",
         Obs.Obj (List.map (fun (n, v) -> (n, Obs.Int v)) (Obs.global_counters ())) );
     ]
@@ -645,6 +724,10 @@ let prometheus_text t : string =
         ( "xqc_slow_queries",
           "Entries currently in the slow-query ring.",
           [ ([], float_of_int (List.length (Slow_log.entries t.slow))) ] );
+      Obs.Prom_gauge
+        ( "xqc_snapshot_versions_live",
+          "Reachable document versions: heads plus retired-but-pinned snapshots.",
+          [ ([], float_of_int (Xqc.Version.live_versions ())) ] );
     ]
   in
   let summary_fams =
@@ -738,6 +821,8 @@ let handle_line t conn line =
               (timeout_ms, trace, "query", Some source)
           | Protocol.Execute { timeout_ms; trace; name } ->
               (timeout_ms, trace, "execute", Some name)
+          | Protocol.Update { timeout_ms; trace; source; _ } ->
+              (timeout_ms, trace, "update", Some source)
           | Protocol.Prepare { name; _ } -> (None, false, "prepare", Some name)
           | _ -> (None, false, "request", None)
         in
@@ -831,18 +916,21 @@ let read_file path =
   close_in ic;
   s
 
-(* Parse and interval-index every preload once, before accepting: the
-   documents (and their name indexes) are shared read-only by all
-   workers for the server's lifetime. *)
+(* Parse, register and interval-index every preload once, before
+   accepting.  Registration makes each document updatable through the
+   MVCC layer (and gap-renumbers it — which is why it must precede the
+   index build: the structural indexes key on node ids); readers then
+   pin per-request snapshots instead of sharing a mutable tree. *)
 let load_preloads cfg =
   List.map
     (fun (name, path) ->
       let doc = Xqc.parse_document ~uri:path (read_file path) in
+      Xqc.Version.register name doc;
       ignore (Xqc.Store.index_nodes doc);
       if cfg.verbose then
         Printf.eprintf "preloaded %s from %s (%d bytes)\n%!" name path
           (in_channel_length (open_in_bin path));
-      (name, path, doc))
+      (name, path))
     cfg.preload
 
 (* Run the server until a shutdown request.  [ready] fires after the

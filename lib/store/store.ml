@@ -61,7 +61,7 @@ type index = {
   ix_elems : (string, Node.t array) Hashtbl.t;
       (* element qname -> nodes in nid order; "*" -> every element *)
   ix_attrs : (string, Node.t array) Hashtbl.t;
-  ix_nodes : int;  (* total nodes walked at build *)
+  mutable ix_nodes : int;  (* total nodes walked at build (patched on update) *)
 }
 
 (* An entry remembers unindexable roots too, so a tree that violates the
@@ -145,7 +145,10 @@ let build (root : Node.t) : entry =
     | Node.Document _ | Node.Text _ | Node.Comment _ | Node.Pi _ -> ());
     List.iter go (Node.attributes n);
     List.iter go (Node.children n);
-    n.Node.extent <- !count - start
+    (* re-derive the extent only when it was never cached: on
+       gap-numbered (updatable) trees the extent is the reserved
+       interval width, which a node-count walk must not clobber *)
+    if n.Node.extent = 0 then n.Node.extent <- !count - start
   in
   go root;
   if not !preorder then Unindexable root
@@ -318,6 +321,159 @@ let attributes_by_name n name : Node.t list option =
       else Some (List.filter (is_child_of ~parent:n) (slice_list arr i j))
 
 let index_nodes n : int option = Option.map (fun ix -> ix.ix_nodes) (index_for n)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance (the update subsystem)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Look up the live index of [root] without building on miss: update
+   patching must only touch indexes that already exist — a missing one
+   is rebuilt lazily by the next query anyway. *)
+let live_index (root : Node.t) : index option =
+  match IntMap.find_opt root.Node.nid (Stdlib.Atomic.get snapshot) with
+  | Some (Indexed ix) when ix.ix_root == root -> Some ix
+  | _ -> None
+
+(* Drop the entry keyed [nid] (retired document versions, evicted doc
+   caches).  Without this an evicted root's index survives until some
+   later publish happens to purge it — pinned memory, satellite of the
+   renumber-only invalidation protocol. *)
+let purge_nid (nid : int) : unit =
+  Obs.with_lock lock (fun () ->
+      let m = Stdlib.Atomic.get snapshot in
+      if IntMap.mem nid m then Stdlib.Atomic.set snapshot (IntMap.remove nid m))
+
+let purge_root (root : Node.t) : unit = purge_nid root.Node.nid
+
+(* In-place patching of the per-name arrays.  Only the update subsystem
+   calls these, and only on a document version with no admitted readers
+   (the MVCC writer builds a fresh copy otherwise), so mutating the
+   arrays inside the published entry races with nobody; the publish lock
+   is still taken so a concurrent build of some other root republishing
+   the snapshot map never interleaves with a table write.  Each patch is
+   O(per-name array) array splicing — no tree walk beyond the changed
+   subtree, no reparse. *)
+
+(* Splice a contiguous ascending run (one inserted subtree's nodes of a
+   given name; their nid interval is disjoint from every existing entry)
+   into a sorted array. *)
+let splice_run (arr : Node.t array) (add : Node.t array) : Node.t array =
+  let n = Array.length arr and k = Array.length add in
+  if k = 0 then arr
+  else begin
+    let p = lower_bound arr add.(0).Node.nid in
+    let out = Array.make (n + k) add.(0) in
+    Array.blit arr 0 out 0 p;
+    Array.blit add 0 out p k;
+    Array.blit arr p out (p + k) (n - p);
+    out
+  end
+
+(* Drop every entry with nid in [lo, hi). *)
+let remove_range (arr : Node.t array) (lo : int) (hi : int) : Node.t array =
+  let i = lower_bound arr lo and j = lower_bound arr hi in
+  if j <= i then arr
+  else begin
+    let n = Array.length arr in
+    let out = Array.make (n - (j - i)) arr.(0) in
+    Array.blit arr 0 out 0 i;
+    Array.blit arr j out i (n - j);
+    out
+  end
+
+(* Per-name node lists (document order) plus the node count of one
+   subtree — the unit of insertion and deletion. *)
+let collect_names (sub : Node.t) =
+  let elems : (string, Node.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let attrs : (string, Node.t list ref) Hashtbl.t = Hashtbl.create 4 in
+  let all = ref [] in
+  let count = ref 0 in
+  let push tbl name n =
+    match Hashtbl.find_opt tbl name with
+    | Some l -> l := n :: !l
+    | None -> Hashtbl.add tbl name (ref [ n ])
+  in
+  let rec go n =
+    incr count;
+    (match n.Node.desc with
+    | Node.Element e ->
+        push elems e.ename n;
+        all := n :: !all
+    | Node.Attribute a -> push attrs a.aname n
+    | Node.Document _ | Node.Text _ | Node.Comment _ | Node.Pi _ -> ());
+    List.iter go (Node.attributes n);
+    List.iter go (Node.children n)
+  in
+  go sub;
+  (elems, attrs, List.rev !all, !count)
+
+(* [sub] was just placed (ids assigned) under [root]: merge its nodes
+   into the live per-name arrays.  [false] = no live index to patch. *)
+let patch_insert (root : Node.t) (sub : Node.t) : bool =
+  match live_index root with
+  | None -> false
+  | Some ix ->
+      let elems, attrs, all, count = collect_names sub in
+      Obs.with_lock lock (fun () ->
+          let add tbl name ns =
+            let run = Array.of_list ns in
+            let cur =
+              Option.value (Hashtbl.find_opt tbl name) ~default:empty_array
+            in
+            Hashtbl.replace tbl name (splice_run cur run)
+          in
+          Hashtbl.iter (fun name l -> add ix.ix_elems name !l) elems;
+          Hashtbl.iter (fun name l -> add ix.ix_attrs name !l) attrs;
+          if all <> [] then add ix.ix_elems "*" all;
+          ix.ix_nodes <- ix.ix_nodes + count);
+      true
+
+(* [sub] is being detached from [root] (ids still intact): remove its
+   whole nid interval from every affected per-name array. *)
+let patch_delete (root : Node.t) (sub : Node.t) : bool =
+  match live_index root with
+  | None -> false
+  | Some ix ->
+      let elems, attrs, all, count = collect_names sub in
+      let lo = sub.Node.nid and hi = Node.interval_end sub in
+      Obs.with_lock lock (fun () ->
+          let rm tbl name =
+            match Hashtbl.find_opt tbl name with
+            | Some arr -> Hashtbl.replace tbl name (remove_range arr lo hi)
+            | None -> ()
+          in
+          Hashtbl.iter (fun name _ -> rm ix.ix_elems name) elems;
+          Hashtbl.iter (fun name _ -> rm ix.ix_attrs name) attrs;
+          if all <> [] then rm ix.ix_elems "*";
+          ix.ix_nodes <- ix.ix_nodes - count);
+      true
+
+(* [n] was renamed in place (same nid): move it between name buckets.
+   The "*" array is name-independent and needs no change. *)
+let patch_rename (root : Node.t) (n : Node.t) ~(old_name : string) : bool =
+  match live_index root with
+  | None -> false
+  | Some ix -> (
+      let tbl =
+        match n.Node.desc with
+        | Node.Element _ -> Some ix.ix_elems
+        | Node.Attribute _ -> Some ix.ix_attrs
+        | Node.Document _ | Node.Text _ | Node.Comment _ | Node.Pi _ -> None
+      in
+      match (tbl, Node.name n) with
+      | Some tbl, Some new_name when not (String.equal old_name new_name) ->
+          Obs.with_lock lock (fun () ->
+              (match Hashtbl.find_opt tbl old_name with
+              | Some arr ->
+                  Hashtbl.replace tbl old_name
+                    (remove_range arr n.Node.nid (n.Node.nid + 1))
+              | None -> ());
+              let cur =
+                Option.value (Hashtbl.find_opt tbl new_name) ~default:empty_array
+              in
+              Hashtbl.replace tbl new_name (splice_run cur [| n |]));
+          true
+      | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Statistics API (physical planner)                                   *)

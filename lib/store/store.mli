@@ -88,3 +88,29 @@ val index_nodes : Node.t -> int option
 
 val cache_size : unit -> int
 val clear : unit -> unit
+
+val purge_root : Node.t -> unit
+(** Drop the cached entry for this root (retired document versions,
+    evicted doc caches).  Missing entries are a no-op. *)
+
+val purge_nid : int -> unit
+(** Like {!purge_root} when only the old key survives (the root has
+    already been renumbered). *)
+
+(** {1 Incremental maintenance} — the update subsystem's in-place index
+    patching.  Callers guarantee exclusivity: patches run only on a
+    document version with no admitted readers (the MVCC writer copies
+    otherwise).  Each returns [false] when the root has no live index to
+    patch (the next query rebuilds lazily). *)
+
+val patch_insert : Node.t -> Node.t -> bool
+(** [patch_insert root sub]: [sub] was just placed (ids assigned) under
+    [root]; splice its nodes into the live per-name arrays. *)
+
+val patch_delete : Node.t -> Node.t -> bool
+(** [patch_delete root sub]: [sub] is being detached (old ids intact);
+    remove its nid interval from every affected per-name array. *)
+
+val patch_rename : Node.t -> Node.t -> old_name:string -> bool
+(** The node was renamed in place (same nid): move it between name
+    buckets. *)

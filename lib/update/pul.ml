@@ -1,0 +1,129 @@
+(* Pending update lists (XQUF snapshot semantics).
+
+   An update script is evaluated *fully* against one snapshot of the
+   data before anything mutates: every statement contributes primitives
+   to a pending list, the merged list is checked for conflicts, and only
+   then is it applied — in the order prescribed by the XQuery Update
+   Facility, so the outcome is independent of statement order within the
+   script.  Targets are physical nodes of the snapshot (resolved during
+   evaluation), which is what makes "delete the node my sibling was
+   renamed by" well-defined: both statements saw the same tree. *)
+
+open Xqc_xml
+module Obs = Xqc_obs.Obs
+
+exception Update_error = Mutate.Update_error
+
+let c_applied = Obs.global_counter "updates_applied"
+let c_conflicts = Obs.global_counter "update_conflicts"
+
+type primitive =
+  | Insert_into of Node.t * Node.t list
+  | Insert_first of Node.t * Node.t list
+  | Insert_last of Node.t * Node.t list
+  | Insert_before of Node.t * Node.t list
+  | Insert_after of Node.t * Node.t list
+  | Insert_attributes of Node.t * Node.t list
+  | Delete of Node.t
+  | Replace_node of Node.t * Node.t list
+  | Replace_value of Node.t * string
+  | Rename of Node.t * string
+
+let target = function
+  | Insert_into (t, _)
+  | Insert_first (t, _)
+  | Insert_last (t, _)
+  | Insert_before (t, _)
+  | Insert_after (t, _)
+  | Insert_attributes (t, _)
+  | Delete t
+  | Replace_node (t, _)
+  | Replace_value (t, _)
+  | Rename (t, _) ->
+      t
+
+(* XQUF compatibility: at most one replace node, one replace value and
+   one rename may address the same target in one pending list.  Targets
+   belong to one snapshot, so their preorder ids identify them. *)
+let check_conflicts (prims : primitive list) : unit =
+  let class_of tag pick =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun pr ->
+        match pick pr with
+        | None -> ()
+        | Some (t : Node.t) ->
+            if Hashtbl.mem seen t.Node.nid then begin
+              Obs.incr_counter c_conflicts;
+              raise
+                (Update_error
+                   (Printf.sprintf "two %s updates target the same node" tag))
+            end;
+            Hashtbl.add seen t.Node.nid ())
+      prims
+  in
+  class_of "replace node" (function Replace_node (t, _) -> Some t | _ -> None);
+  class_of "replace value" (function Replace_value (t, _) -> Some t | _ -> None);
+  class_of "rename" (function Rename (t, _) -> Some t | _ -> None)
+
+(* Apply the checked list against the document rooted at [root] in XQUF
+   order — inserts-into / attribute inserts / non-element value
+   replaces / renames, then the positional inserts, then node replaces,
+   then element-content replaces, then deletes — and return how many
+   primitives were applied. *)
+let apply (root : Node.t) (prims : primitive list) : int =
+  check_conflicts prims;
+  let applied = ref 0 in
+  let step f =
+    List.iter
+      (fun pr ->
+        if f pr then begin
+          incr applied;
+          Obs.incr_counter c_applied
+        end)
+      prims
+  in
+  let is_element (n : Node.t) =
+    match n.Node.desc with Node.Element _ -> true | _ -> false
+  in
+  step (function
+    | Insert_into (t, ns) | Insert_last (t, ns) ->
+        Mutate.insert root (Mutate.P_last t) ns;
+        true
+    | Insert_attributes (t, ns) ->
+        Mutate.insert root (Mutate.P_attr t) ns;
+        true
+    | Replace_value (t, s) when not (is_element t) ->
+        Mutate.replace_value root t s;
+        true
+    | Rename (t, name) ->
+        Mutate.rename root t name;
+        true
+    | _ -> false);
+  step (function
+    | Insert_first (t, ns) ->
+        Mutate.insert root (Mutate.P_first t) ns;
+        true
+    | Insert_before (t, ns) ->
+        Mutate.insert root (Mutate.P_before t) ns;
+        true
+    | Insert_after (t, ns) ->
+        Mutate.insert root (Mutate.P_after t) ns;
+        true
+    | _ -> false);
+  step (function
+    | Replace_node (t, ns) ->
+        Mutate.replace_node root t ns;
+        true
+    | _ -> false);
+  step (function
+    | Replace_value (t, s) when is_element t ->
+        Mutate.replace_value root t s;
+        true
+    | _ -> false);
+  step (function
+    | Delete t ->
+        Mutate.delete root t;
+        true
+    | _ -> false);
+  !applied

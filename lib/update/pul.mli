@@ -1,0 +1,35 @@
+(** Pending update lists: XQUF snapshot semantics.
+
+    A script's statements are evaluated fully against one snapshot, the
+    resulting primitives merged, conflict-checked, and applied in the
+    XQUF-prescribed order — so the outcome does not depend on statement
+    order.  Applied primitives are counted in the [updates_applied]
+    global counter, rejected lists in [update_conflicts]. *)
+
+open Xqc_xml
+
+exception Update_error of string
+(** Alias of [Mutate.Update_error]. *)
+
+type primitive =
+  | Insert_into of Node.t * Node.t list
+  | Insert_first of Node.t * Node.t list
+  | Insert_last of Node.t * Node.t list
+  | Insert_before of Node.t * Node.t list
+  | Insert_after of Node.t * Node.t list
+  | Insert_attributes of Node.t * Node.t list
+  | Delete of Node.t
+  | Replace_node of Node.t * Node.t list
+  | Replace_value of Node.t * string
+  | Rename of Node.t * string
+
+val target : primitive -> Node.t
+
+val check_conflicts : primitive list -> unit
+(** @raise Update_error when two replace-node, two replace-value or two
+    rename primitives address the same target. *)
+
+val apply : Node.t -> primitive list -> int
+(** Conflict-check then apply against the document rooted at the first
+    argument, in XQUF order; returns the number of applied primitives.
+    Caller holds exclusive write access (see [Version.with_write]). *)

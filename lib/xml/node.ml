@@ -198,6 +198,52 @@ let renumber (root : t) : unit =
   in
   assign root
 
+(* Gap-reserving renumber for updatable documents (the update subsystem's
+   nid allocator).  Same preorder discipline as [renumber], but every
+   insertion position reserves [gap] spare ids: after the attributes
+   (before the first child) and after each child.  [extent] then caches
+   the *interval width* — gaps included — rather than the node count, so
+   the descendant test [n.nid < m.nid < n.nid + n.extent] and the store's
+   range arithmetic keep working unchanged, while an insert that fits in
+   the local slack touches no ancestor extent at all.  Use [count_nodes]
+   where the exact node count is needed on a gap-numbered tree. *)
+let renumber_gapped ?(gap = 8) (root : t) : unit =
+  let gap = max 0 gap in
+  let rec measure n =
+    let w = ref 1 in
+    List.iter (fun a -> w := !w + measure a) (attributes n);
+    w := !w + gap;
+    List.iter (fun c -> w := !w + measure c + gap) (children n);
+    n.extent <- !w;
+    !w
+  in
+  let total = measure root in
+  let next = ref (Stdlib.Atomic.fetch_and_add counter total + 1) in
+  let rec assign n =
+    n.nid <- !next;
+    incr next;
+    List.iter assign (attributes n);
+    next := !next + gap;
+    List.iter
+      (fun c ->
+        assign c;
+        next := !next + gap)
+      (children n)
+  in
+  assign root
+
+(* Exact node count by walking — [size]/[extent] over-report on
+   gap-numbered trees (they measure the reserved interval). *)
+let rec count_nodes n =
+  1
+  + List.length (attributes n)
+  + List.fold_left (fun acc c -> acc + count_nodes c) 0 (children n)
+
+(* First id past [n]'s interval (self, attributes, descendants and — on
+   gap-numbered trees — the trailing slack).  Meaningful only after a
+   renumber of the containing root. *)
+let interval_end n = n.nid + n.extent
+
 let doc_order_compare a b = compare a.nid b.nid
 
 (* One O(n) strictly-ascending check: child/descendant axis output is

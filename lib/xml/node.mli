@@ -56,6 +56,24 @@ val renumber : t -> unit
     and enabling the interval descendant test
     [anc.nid < n.nid && n.nid < anc.nid + anc.extent]. *)
 
+val renumber_gapped : ?gap:int -> t -> unit
+(** Gap-reserving renumber for updatable documents: every insertion
+    position (after the attributes, after each child) reserves [gap]
+    spare ids, so small inserts draw from the local slack without
+    touching any ancestor.  [extent] then caches the interval {e width}
+    (gaps included), not the node count — the descendant test and the
+    store's range arithmetic are unaffected; use {!count_nodes} for
+    exact counts.  Default gap: 8. *)
+
+val count_nodes : t -> int
+(** Exact node count (attributes included) by walking — unlike {!size}
+    it never reads the cached extent, so it is correct on gap-numbered
+    trees where the extent is an interval width. *)
+
+val interval_end : t -> int
+(** [n.nid + n.extent]: first id past [n]'s interval.  Only meaningful
+    after a renumber of the containing root. *)
+
 (** {1 Observation} *)
 
 type kind = Kdocument | Kelement | Kattribute | Ktext | Kcomment | Kpi
